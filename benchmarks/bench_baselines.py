@@ -1,0 +1,195 @@
+"""Baseline comparison: the paper's Section II criticisms, quantified.
+
+* Single-source methods (log-TDOA, MoE, ITP, 1-source MLE) degrade or
+  fail outright for K >= 2.
+* Joint methods (joint-state PF, MLE) need K as an input; MLE + BIC can
+  learn K but its cost grows with the K range it must sweep (the paper,
+  citing Morelande: "the algorithms do not scale beyond four sources").
+* The PF + mean-shift algorithm needs no K, and its cost is flat in K.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED
+from repro.baselines import (
+    GridNNLSLocalizer,
+    IterativePruning,
+    JointParticleFilter,
+    LogRatioTDOA,
+    MeanOfEstimates,
+    MLEWithModelSelection,
+    SingleSourceMLE,
+    collect_measurements,
+)
+from repro.core.config import LocalizerConfig
+from repro.core.localizer import MultiSourceLocalizer
+from repro.eval.matching import match_estimates
+from repro.eval.reporting import format_table
+from repro.physics.intensity import RadiationField
+from repro.physics.source import RadiationSource
+from repro.sensors.network import SensorNetwork
+from repro.sensors.placement import grid_placement
+
+EFFICIENCY = 1e-4
+BACKGROUND = 5.0
+AREA = (100.0, 100.0)
+
+#: Well-separated source layouts for K = 1..4 (50 uCi each).
+LAYOUTS = {
+    1: [(47, 71)],
+    2: [(47, 71), (81, 42)],
+    3: [(87, 89), (37, 14), (55, 51)],
+    4: [(20, 20), (80, 20), (20, 80), (80, 80)],
+}
+
+
+def _stream(k, n_steps=15):
+    sources = [RadiationSource(x, y, 50.0) for x, y in LAYOUTS[k]]
+    sensors = grid_placement(
+        6, 6, 100, 100, efficiency=EFFICIENCY, background_cpm=BACKGROUND,
+        margin_fraction=0.0,
+    )
+    network = SensorNetwork(
+        sensors, RadiationField(sources), np.random.default_rng(BENCH_SEED + k)
+    )
+    batches = [network.measure_time_step(t) for t in range(n_steps)]
+    return sources, batches
+
+
+def _score(sources, positions):
+    truth = [(s.x, s.y) for s in sources]
+    match = match_estimates(truth, positions)
+    finite = [match.error_for_source(i) for i in range(len(truth))]
+    finite = [e for e in finite if np.isfinite(e)]
+    return (
+        round(float(np.mean(finite)), 1) if finite else float("nan"),
+        match.false_negatives,
+        match.false_positives,
+    )
+
+
+def _run_ours(batches):
+    config = LocalizerConfig(
+        n_particles=3000, area=AREA,
+        assumed_efficiency=EFFICIENCY, assumed_background_cpm=BACKGROUND,
+    )
+    localizer = MultiSourceLocalizer(config, rng=np.random.default_rng(1))
+    for batch in batches:
+        for measurement in batch:
+            localizer.observe(measurement)
+    return [(e.x, e.y) for e in localizer.estimates()]
+
+
+def test_baselines_accuracy_vs_k(report, benchmark):
+    def run():
+        tables = {}
+        kw = dict(efficiency=EFFICIENCY, background_cpm=BACKGROUND)
+        for k in LAYOUTS:
+            sources, batches = _stream(k)
+            flat = collect_measurements(batches)
+            contenders = [
+                ("ours (no K)", lambda: _run_ours(batches)),
+                ("MLE+BIC", lambda: [
+                    (e.x, e.y) for e in MLEWithModelSelection(
+                        AREA, max_sources=5, rng=np.random.default_rng(2), **kw
+                    ).localize(flat)
+                ]),
+                (f"joint PF (K given)", lambda: [
+                    (e.x, e.y) for e in JointParticleFilter(
+                        k, AREA, n_particles=3000,
+                        rng=np.random.default_rng(3), **kw
+                    ).localize(flat)
+                ]),
+                ("grid NNLS", lambda: [
+                    (e.x, e.y) for e in GridNNLSLocalizer(AREA, **kw).localize(flat)
+                ]),
+                ("1-src MLE", lambda: [
+                    (e.x, e.y) for e in SingleSourceMLE(
+                        AREA, rng=np.random.default_rng(5), **kw
+                    ).localize(flat)
+                ]),
+                ("log TDOA", lambda: [
+                    (e.x, e.y) for e in LogRatioTDOA(AREA, **kw).localize(flat)
+                ]),
+                ("MoE", lambda: [
+                    (e.x, e.y) for e in MeanOfEstimates(
+                        AREA, rng=np.random.default_rng(6), **kw
+                    ).localize(flat)
+                ]),
+                ("ITP", lambda: [
+                    (e.x, e.y) for e in IterativePruning(
+                        AREA, rng=np.random.default_rng(7), **kw
+                    ).localize(flat)
+                ]),
+            ]
+            rows = []
+            for name, runner in contenders:
+                start = time.perf_counter()
+                positions = runner()
+                elapsed = time.perf_counter() - start
+                err, missed, ghosts = _score(sources, positions)
+                rows.append([name, err, missed, ghosts, round(elapsed, 2)])
+            tables[k] = rows
+        return tables
+
+    tables = benchmark.pedantic(run, rounds=1, iterations=1)
+    for k, rows in tables.items():
+        report.add(
+            format_table(
+                ["method", "mean err", "missed", "ghosts", "sec"],
+                rows,
+                title=f"\nK = {k} true sources (50 uCi, 15 steps, 36 sensors)",
+            )
+        )
+
+    ours = {k: rows[0] for k, rows in tables.items()}
+    # Ours: no misses at any K, bounded error, flat-ish cost.
+    for k, row in ours.items():
+        assert row[2] == 0, f"ours missed a source at K={k}"
+        assert row[1] < 10.0
+    # Single-source methods break at K >= 2 (miss sources).
+    for k in (2, 3, 4):
+        single_rows = [r for r in tables[k] if r[0] in ("log TDOA", "MoE", "ITP")]
+        assert all(r[2] >= k - 1 for r in single_rows), (
+            f"single-source methods should miss sources at K={k}"
+        )
+
+
+def test_baselines_mle_cost_growth(report, benchmark):
+    """The model-selection cost wall: MLE+BIC time grows with K."""
+
+    def run():
+        rows = []
+        kw = dict(efficiency=EFFICIENCY, background_cpm=BACKGROUND)
+        ours_times = {}
+        mle_times = {}
+        for k in LAYOUTS:
+            sources, batches = _stream(k)
+            flat = collect_measurements(batches)
+            start = time.perf_counter()
+            _run_ours(batches)
+            ours_times[k] = time.perf_counter() - start
+            start = time.perf_counter()
+            MLEWithModelSelection(
+                AREA, max_sources=k + 2, rng=np.random.default_rng(2), **kw
+            ).localize(flat)
+            mle_times[k] = time.perf_counter() - start
+            rows.append(
+                [k, round(ours_times[k], 2), round(mle_times[k], 2)]
+            )
+        return rows, ours_times, mle_times
+
+    rows, ours_times, mle_times = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add(
+        format_table(
+            ["K", "ours (s)", "MLE+BIC (s)"],
+            rows,
+            title="Cost growth with the number of sources\n"
+            "(MLE+BIC must sweep model orders 1..K+2; ours never models K)",
+        )
+    )
+    # Ours is flat in K (within 2.5x); MLE+BIC grows.
+    assert max(ours_times.values()) < 2.5 * min(ours_times.values())
+    assert mle_times[4] > mle_times[1]

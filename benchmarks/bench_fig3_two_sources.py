@@ -1,0 +1,89 @@
+"""Fig. 3: two sources of various strengths -- error and FP/FN per step.
+
+Paper setup: sources at (47, 71) and (81, 42); strengths 4, 10, 50,
+100 uCi; background 5 CPM; 30 time steps; results averaged over repeats.
+
+Expected shape (paper): error starts large (uniform particle init), drops
+to a few units within the first several steps; FP appears early then
+vanishes, with more FP activity for stronger sources; FN stays near zero
+except for 4 uCi, which hovers near background and is the hard case.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_REPEATS, BENCH_SEED
+from repro.eval.aggregate import mean_over_steps
+from repro.eval.reporting import format_series, format_table
+from repro.sim.runner import run_repeated
+from repro.sim.scenarios import scenario_a
+
+STRENGTHS = (4.0, 10.0, 50.0, 100.0)
+
+
+@pytest.mark.parametrize("strength", STRENGTHS)
+def test_fig3_strength(strength, report, benchmark):
+    scenario = scenario_a(strengths=(strength, strength))
+
+    def run():
+        return run_repeated(scenario, n_repeats=BENCH_REPEATS, base_seed=BENCH_SEED)
+
+    agg = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report.add(
+        f"Fig. 3 ({strength:g} uCi): {scenario.describe()}, "
+        f"{BENCH_REPEATS} repeats"
+    )
+    report.add(format_series(agg.all_mean_series(), index_name="T"))
+
+    # Shape assertions (the reproduction contract, not exact numbers).
+    for i in range(2):
+        series = agg.mean_error_series(i)
+        tail = mean_over_steps(series, first_step=10)
+        if strength >= 10.0:
+            assert tail < 10.0, f"source {i + 1} failed to converge: {tail:.1f}"
+    fp_tail = mean_over_steps(agg.mean_false_positive_series(), first_step=10)
+    fn_tail = mean_over_steps(agg.mean_false_negative_series(), first_step=10)
+    assert fp_tail < 1.5
+    if strength >= 10.0:
+        assert fn_tail < 0.5
+    report.add(
+        f"steady state (T >= 10): FP {fp_tail:.2f}/step, FN {fn_tail:.2f}/step\n"
+    )
+
+
+def test_fig3_summary(report, benchmark):
+    """One table across all strengths: the figure's four panels side by side."""
+
+    def run_all():
+        results = []
+        for strength in STRENGTHS:
+            scenario = scenario_a(strengths=(strength, strength))
+            results.append(
+                run_repeated(scenario, n_repeats=BENCH_REPEATS, base_seed=BENCH_SEED)
+            )
+        return results
+
+    aggregates = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for strength, agg in zip(STRENGTHS, aggregates):
+        rows.append(
+            [
+                f"{strength:g}",
+                round(mean_over_steps(agg.mean_error_series(0), 10), 2),
+                round(mean_over_steps(agg.mean_error_series(1), 10), 2),
+                round(mean_over_steps(agg.mean_false_positive_series(), 10), 2),
+                round(mean_over_steps(agg.mean_false_negative_series(), 10), 2),
+            ]
+        )
+    report.add(
+        format_table(
+            ["uCi", "err src1", "err src2", "FP/step", "FN/step"],
+            rows,
+            title="Fig. 3 summary: steady state (steps 10-29), "
+            f"{BENCH_REPEATS} repeats",
+        )
+    )
+    # Paper trend: the weakest source is the hard case.
+    weak = rows[0]
+    strong = rows[-1]
+    assert weak[4] >= strong[4], "4 uCi should have at least as many FNs as 100 uCi"

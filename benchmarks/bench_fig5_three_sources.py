@@ -1,0 +1,75 @@
+"""Fig. 5: three sources of various strengths -- error and FP/FN per step.
+
+Paper setup: sources at (87, 89), (37, 14), (55, 51); strengths 4, 10, 50,
+100 uCi; background 5 CPM.  Same expected shape as Fig. 3, with the paper
+noting that convergence takes longer than the two-source case and that the
+4 uCi configuration is the hard one (their own 4 uCi panel plots only one
+source's curve).
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_REPEATS, BENCH_SEED
+from repro.eval.aggregate import mean_over_steps
+from repro.eval.reporting import format_series, format_table
+from repro.sim.runner import run_repeated
+from repro.sim.scenarios import scenario_a_three_sources
+
+STRENGTHS = (4.0, 10.0, 50.0, 100.0)
+
+
+@pytest.mark.parametrize("strength", STRENGTHS)
+def test_fig5_strength(strength, report, benchmark):
+    scenario = scenario_a_three_sources(strengths=(strength,) * 3)
+
+    def run():
+        return run_repeated(scenario, n_repeats=BENCH_REPEATS, base_seed=BENCH_SEED)
+
+    agg = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add(
+        f"Fig. 5 ({strength:g} uCi): {scenario.describe()}, {BENCH_REPEATS} repeats"
+    )
+    report.add(format_series(agg.all_mean_series(), index_name="T"))
+
+    fp_tail = mean_over_steps(agg.mean_false_positive_series(), first_step=10)
+    fn_tail = mean_over_steps(agg.mean_false_negative_series(), first_step=10)
+    report.add(
+        f"steady state (T >= 10): FP {fp_tail:.2f}/step, FN {fn_tail:.2f}/step\n"
+    )
+    if strength >= 10.0:
+        for i in range(3):
+            tail = mean_over_steps(agg.mean_error_series(i), first_step=12)
+            assert tail < 12.0, f"source {i + 1} failed to converge: {tail:.1f}"
+        assert fn_tail < 0.7
+    assert fp_tail < 1.5
+
+
+def test_fig5_summary(report, benchmark):
+    def run_all():
+        results = []
+        for strength in STRENGTHS:
+            scenario = scenario_a_three_sources(strengths=(strength,) * 3)
+            results.append(
+                run_repeated(scenario, n_repeats=BENCH_REPEATS, base_seed=BENCH_SEED)
+            )
+        return results
+
+    aggregates = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for strength, agg in zip(STRENGTHS, aggregates):
+        rows.append(
+            [f"{strength:g}"]
+            + [round(mean_over_steps(agg.mean_error_series(i), 10), 2) for i in range(3)]
+            + [
+                round(mean_over_steps(agg.mean_false_positive_series(), 10), 2),
+                round(mean_over_steps(agg.mean_false_negative_series(), 10), 2),
+            ]
+        )
+    report.add(
+        format_table(
+            ["uCi", "err src1", "err src2", "err src3", "FP/step", "FN/step"],
+            rows,
+            title="Fig. 5 summary: steady state (steps 10-29), "
+            f"{BENCH_REPEATS} repeats",
+        )
+    )

@@ -1,0 +1,66 @@
+"""Fig. 8: the three scenario layouts, rendered.
+
+The paper's Fig. 8 is a picture of sensor, source, and obstacle placement
+for Scenarios A (with the U-shaped obstacle), B, and C.  This bench
+renders our frozen layouts as ASCII maps and sanity-checks the frozen
+geometry (counts, areas, obstacle placement between the source pairs the
+paper's narrative depends on).
+"""
+
+import numpy as np
+
+from repro.geometry.primitives import Point, Segment
+from repro.sim.scenarios import scenario_a, scenario_b, scenario_c
+from repro.viz.ascii_map import render_scenario
+
+
+def test_fig8_layouts(report, benchmark):
+    def build():
+        return (
+            scenario_a(with_obstacle=True),
+            scenario_b(),
+            scenario_c(),
+        )
+
+    a, b, c = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    for name, scenario in (("A", a), ("B", b), ("C", c)):
+        report.add(f"--- Fig. 8({name.lower()}) Scenario {name}: {scenario.describe()} ---")
+        report.add(
+            render_scenario(
+                scenario.area,
+                sensors=scenario.sensors,
+                sources=scenario.sources,
+                obstacles=scenario.obstacles,
+                cols=72,
+                rows=36,
+            )
+        )
+        report.add("")
+
+    # Frozen-geometry checks.
+    assert len(a.sensors) == 36 and len(a.sources) == 2 and len(a.obstacles) == 1
+    assert len(b.sensors) == 196 and len(b.sources) == 9 and len(b.obstacles) == 3
+    assert len(c.sensors) == 195 and len(c.sources) == 9 and len(c.obstacles) == 3
+
+    # The paper's narrative needs obstacles *between* specific source
+    # pairs: O1 between S2 and S3, O2 between S6 and S7, O3 between S8
+    # and S9.
+    pairs = ((0, 1, 2), (1, 5, 6), (2, 7, 8))
+    for obstacle_idx, i, j in pairs:
+        si, sj = b.sources[i], b.sources[j]
+        ray = Segment(Point(si.x, si.y), Point(sj.x, sj.y))
+        thickness = b.obstacles[obstacle_idx].polygon.chord_length(ray)
+        assert thickness > 0, (
+            f"obstacle {obstacle_idx} should block the {si.label}-{sj.label} ray"
+        )
+        report.add(
+            f"{b.obstacles[obstacle_idx].label} blocks {si.label}<->{sj.label} "
+            f"with thickness {thickness:.1f} "
+            f"(transmission {np.exp(-b.obstacles[obstacle_idx].mu * thickness):.2f})"
+        )
+
+    # Scenario A: the U's wall sits between the two sources.
+    s1, s2 = a.sources
+    ray = Segment(Point(s1.x, s1.y), Point(s2.x, s2.y))
+    assert a.obstacles[0].polygon.chord_length(ray) > 0

@@ -1,0 +1,138 @@
+"""Fig. 9: normalized localization error -- do obstacles help?
+
+The paper compares each scenario against its no-obstacle twin and reports
+error(no obstacles) / error(with obstacles) -- values above 1 mean the
+(unknown!) obstacle *improved* accuracy by isolating source signatures.
+
+Expected shape (paper): in Scenario A the obstacle helps one source
+noticeably (+24.5 % for source 1) and is roughly neutral for the other
+(-2.4 %); in Scenarios B/C a majority of the nine sources benefit, a few
+are neutral, and at most one is hurt (their S5, by up to 25 %); the first
+5 time steps are excluded as unrepresentative.
+"""
+
+from benchmarks.conftest import BENCH_REPEATS, BENCH_SEED
+from repro.eval.aggregate import mean_over_steps, normalized_errors
+from repro.eval.reporting import format_table
+from repro.sim.runner import run_repeated
+from repro.sim.scenarios import (
+    scenario_a,
+    scenario_b,
+    scenario_c,
+    scenario_c_fusion_policy,
+)
+
+LARGE_REPEATS = min(BENCH_REPEATS, 3)
+
+
+def _steady_errors(agg, n_sources):
+    return [
+        mean_over_steps(agg.mean_error_series(i), first_step=5)
+        for i in range(n_sources)
+    ]
+
+
+def test_fig9a_scenario_a(report, benchmark):
+    # Strong sources: the benefit mechanism is suppression of inter-source
+    # interference, which is negligible for weak sources.
+    def run():
+        clear = run_repeated(
+            scenario_a(strengths=(100.0, 100.0), with_obstacle=False),
+            n_repeats=BENCH_REPEATS,
+            base_seed=BENCH_SEED,
+        )
+        shielded = run_repeated(
+            scenario_a(strengths=(100.0, 100.0), with_obstacle=True),
+            n_repeats=BENCH_REPEATS,
+            base_seed=BENCH_SEED,
+        )
+        return clear, shielded
+
+    clear, shielded = benchmark.pedantic(run, rounds=1, iterations=1)
+    errors_clear = _steady_errors(clear, 2)
+    errors_shielded = _steady_errors(shielded, 2)
+    ratios = normalized_errors(errors_clear, errors_shielded)
+    rows = [
+        [f"Source {i + 1}", round(errors_clear[i], 2), round(errors_shielded[i], 2),
+         round(ratios[i], 2)]
+        for i in range(2)
+    ]
+    report.add(
+        format_table(
+            ["source", "err no-obs", "err obs", "normalized"],
+            rows,
+            title="Fig. 9(a): Scenario A, two 100 uCi sources, steps 5-29 "
+            f"({BENCH_REPEATS} repeats; > 1 = obstacle helped)",
+        )
+    )
+    # Paper shape: at least one source helped, none catastrophically hurt.
+    assert max(ratios) > 1.0
+    assert min(ratios) > 0.5
+
+
+def _scenario_bc_ratios(report, name, make_scenario, fusion_policy_factory=None):
+    results = {}
+    for with_obstacles in (False, True):
+        scenario = make_scenario(with_obstacles)
+        policy = fusion_policy_factory(scenario) if fusion_policy_factory else None
+        results[with_obstacles] = run_repeated(
+            scenario, n_repeats=LARGE_REPEATS, base_seed=BENCH_SEED,
+            fusion_policy=policy,
+        )
+    errors_clear = _steady_errors(results[False], 9)
+    errors_shielded = _steady_errors(results[True], 9)
+    ratios = normalized_errors(errors_clear, errors_shielded)
+    rows = [
+        [f"S{i + 1}", round(errors_clear[i], 2), round(errors_shielded[i], 2),
+         round(ratios[i], 2),
+         "helped" if ratios[i] > 1.05 else ("hurt" if ratios[i] < 0.95 else "neutral")]
+        for i in range(9)
+    ]
+    report.add(
+        format_table(
+            ["source", "err no-obs", "err obs", "normalized", "verdict"],
+            rows,
+            title=f"Fig. 9: Scenario {name}, steps 5-29 ({LARGE_REPEATS} repeats)",
+        )
+    )
+    fp_clear = mean_over_steps(results[False].mean_false_positive_series(), 10)
+    fp_shield = mean_over_steps(results[True].mean_false_positive_series(), 10)
+    fn_clear = mean_over_steps(results[False].mean_false_negative_series(), 10)
+    fn_shield = mean_over_steps(results[True].mean_false_negative_series(), 10)
+    report.add(
+        f"steady FP: {fp_clear:.2f} -> {fp_shield:.2f}; "
+        f"steady FN: {fn_clear:.2f} -> {fn_shield:.2f} (no-obs -> obs)\n"
+    )
+    return ratios
+
+
+def test_fig9bc_scenario_b(report, benchmark):
+    def run():
+        return _scenario_bc_ratios(
+            report, "B", lambda obs: scenario_b(with_obstacles=obs)
+        )
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    helped = sum(1 for r in ratios if r > 1.05)
+    hurt = sum(1 for r in ratios if r < 0.95)
+    report.add(f"Scenario B: {helped} helped, {hurt} hurt, {9 - helped - hurt} neutral")
+    # Paper shape: several sources benefit; at most a couple are hurt.
+    assert helped >= 3
+    assert hurt <= 3
+
+
+def test_fig9bc_scenario_c(report, benchmark):
+    def run():
+        return _scenario_bc_ratios(
+            report,
+            "C",
+            lambda obs: scenario_c(with_obstacles=obs),
+            fusion_policy_factory=scenario_c_fusion_policy,
+        )
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    helped = sum(1 for r in ratios if r > 1.05)
+    hurt = sum(1 for r in ratios if r < 0.95)
+    report.add(f"Scenario C: {helped} helped, {hurt} hurt, {9 - helped - hurt} neutral")
+    assert helped >= 2
+    assert hurt <= 4

@@ -1,0 +1,170 @@
+"""Extension: model mis-specification robustness.
+
+The paper assumes the localizer's sensor model is calibrated (background
+``B_i`` and efficiency ``E_i`` known).  Real calibrations drift, so this
+bench quantifies tolerance to:
+
+* a mis-specified background (localizer assumes 5 CPM, truth differs);
+* a mis-specified efficiency (assumed E_i off by up to +/-50 %);
+* a spatially varying background while the localizer assumes constant.
+
+Expected shape: graceful degradation -- small calibration errors cost
+little because the Poisson likelihood is dominated by the near-source
+excess, while assuming *too low* a background (or too high an efficiency)
+manufactures phantom excess everywhere and inflates false positives.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED
+from repro.eval.aggregate import mean_over_steps
+from repro.eval.reporting import format_table
+from repro.physics.background import SpatialGradientBackground
+from repro.sensors.network import SensorNetwork
+from repro.sim.rng import spawn_rngs
+from repro.sim.runner import run_scenario
+from repro.sim.scenarios import scenario_a
+
+N_SEEDS = 3
+
+
+def _score(scenario):
+    worst, fps, fns = [], [], []
+    for s in range(N_SEEDS):
+        result = run_scenario(scenario, seed=BENCH_SEED + 31 * s)
+        worst.append(
+            max(
+                min(mean_over_steps(result.error_series(i), 8), 40.0)
+                for i in range(2)
+            )
+        )
+        fps.append(mean_over_steps(result.false_positive_series(), 8))
+        fns.append(mean_over_steps(result.false_negative_series(), 8))
+    return float(np.mean(worst)), float(np.mean(fps)), float(np.mean(fns))
+
+
+def test_robustness_background_misspecification(report, benchmark):
+    """Truth background varies; the localizer always assumes 5 CPM."""
+
+    def run():
+        rows = []
+        for true_background in (2.0, 5.0, 8.0, 12.0, 20.0):
+            scenario = scenario_a(
+                strengths=(50.0, 50.0), background_cpm=true_background
+            )
+            scenario.localizer_config = scenario.localizer_config.with_overrides(
+                assumed_background_cpm=5.0
+            )
+            worst, fp, fn = _score(scenario)
+            rows.append(
+                [true_background, round(worst, 1), round(fp, 2), round(fn, 2)]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add(
+        format_table(
+            ["true bg (assumed 5)", "worst err", "FP/step", "FN/step"],
+            rows,
+            title="Background mis-specification (two 50 uCi sources)",
+        )
+    )
+    by_bg = {row[0]: row for row in rows}
+    # Calibrated case is fine; moderate error degrades gracefully.
+    assert by_bg[5.0][1] < 5.0
+    assert by_bg[8.0][1] < 10.0
+
+
+def test_robustness_efficiency_misspecification(report, benchmark):
+    """Assumed E_i off by a factor; strengths absorb most of the error."""
+
+    def run():
+        rows = []
+        for factor in (0.5, 0.8, 1.0, 1.25, 2.0):
+            scenario = scenario_a(strengths=(50.0, 50.0))
+            true_e = scenario.sensors[0].efficiency
+            scenario.localizer_config = scenario.localizer_config.with_overrides(
+                assumed_efficiency=true_e * factor
+            )
+            worst, fp, fn = _score(scenario)
+            rows.append([factor, round(worst, 1), round(fp, 2), round(fn, 2)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add(
+        format_table(
+            ["assumed/true E", "worst err", "FP/step", "FN/step"],
+            rows,
+            title="Efficiency mis-specification: position accuracy should "
+            "hold\n(the strength estimate absorbs a rate-scale error; the "
+            "1/(1+r^2)\ngeometry pins the position)",
+        )
+    )
+    by_factor = {row[0]: row for row in rows}
+    assert by_factor[1.0][1] < 5.0
+    # Position survives a 25 % calibration error.
+    assert by_factor[0.8][1] < 10.0
+    assert by_factor[1.25][1] < 10.0
+
+
+def test_robustness_background_gradient(report, benchmark):
+    """Truth: background rises linearly west->east; assumed: constant 5."""
+
+    def run():
+        rows = []
+        for gradient in (0.0, 0.02, 0.05, 0.1):
+            scenario = scenario_a(strengths=(50.0, 50.0))
+            background = SpatialGradientBackground(5.0, gx=gradient)
+            # Rebuild the score loop manually (custom background model).
+            worst, fps, fns = [], [], []
+            for s in range(N_SEEDS):
+                measurement_rng, transport_rng, filter_rng = spawn_rngs(
+                    BENCH_SEED + 31 * s, 3
+                )
+                from repro.core.localizer import MultiSourceLocalizer
+                from repro.eval.metrics import evaluate_step
+
+                network = SensorNetwork(
+                    scenario.sensors,
+                    scenario.field_with_obstacles(),
+                    measurement_rng,
+                    background=background,
+                )
+                localizer = MultiSourceLocalizer(
+                    scenario.localizer_config, rng=filter_rng
+                )
+                errors, fp_series, fn_series = [], [], []
+                for t in range(scenario.n_time_steps):
+                    for measurement in network.measure_time_step(t):
+                        localizer.observe(measurement)
+                    metrics = evaluate_step(
+                        t, scenario.sources, localizer.estimates()
+                    )
+                    errors.append(
+                        max(min(e, 40.0) for e in metrics.errors)
+                    )
+                    fp_series.append(metrics.false_positives)
+                    fn_series.append(metrics.false_negatives)
+                worst.append(float(np.mean(errors[8:])))
+                fps.append(float(np.mean(fp_series[8:])))
+                fns.append(float(np.mean(fn_series[8:])))
+            rows.append(
+                [
+                    gradient,
+                    round(float(np.mean(worst)), 1),
+                    round(float(np.mean(fps)), 2),
+                    round(float(np.mean(fns)), 2),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add(
+        format_table(
+            ["bg gradient (CPM/unit)", "worst err", "FP/step", "FN/step"],
+            rows,
+            title="Spatial background gradient vs constant-background model\n"
+            "(gx = 0.05 means the far edge reads 10 CPM against an assumed 5)",
+        )
+    )
+    assert rows[0][1] < 5.0  # calibrated case

@@ -1,0 +1,78 @@
+"""Scalability in the number of sources K (the paper's headline claim).
+
+"Our algorithm is able to maintain a constant number of estimation
+parameters even as the number of radiation sources K increases" -- so
+per-iteration cost should be flat in K and accuracy should not collapse,
+where the reference methods grow (the joint parameter space is 3K-
+dimensional and "the algorithms do not scale beyond four sources").
+
+Setup: K in {1, 2, 4, 6, 9} sources of 50 uCi placed on a jittered grid
+over the 260x260 area (the paper's Scenario-B scale: 196 sensors, 15000
+particles).  For each K we report steady-state accuracy, FP/FN, and the
+mean per-iteration time.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED
+from repro.eval.aggregate import mean_over_steps
+from repro.eval.reporting import format_table
+from repro.physics.source import RadiationSource
+from repro.sim.runner import run_scenario
+from repro.sim.scenarios import scenario_b
+
+K_VALUES = (1, 2, 4, 6, 9)
+
+#: Jittered-grid source positions, enough for K = 9.
+SOURCE_POOL = (
+    (45.0, 45.0), (215.0, 50.0), (50.0, 210.0), (210.0, 215.0),
+    (130.0, 130.0), (132.0, 40.0), (40.0, 128.0), (222.0, 132.0),
+    (128.0, 222.0),
+)
+
+
+def test_scalability_in_sources(report, benchmark):
+    def run():
+        rows = []
+        for k in K_VALUES:
+            scenario = scenario_b(with_obstacles=False, n_time_steps=20)
+            scenario = scenario.with_sources(
+                [
+                    RadiationSource(x, y, 50.0, label=f"S{i + 1}")
+                    for i, (x, y) in enumerate(SOURCE_POOL[:k])
+                ]
+            )
+            result = run_scenario(scenario, seed=BENCH_SEED)
+            errors = [
+                min(mean_over_steps(result.error_series(i), 8), 40.0)
+                for i in range(k)
+            ]
+            rows.append(
+                [
+                    k,
+                    round(float(np.mean(errors)), 2),
+                    round(float(np.max(errors)), 2),
+                    round(mean_over_steps(result.false_positive_series(), 8), 2),
+                    round(mean_over_steps(result.false_negative_series(), 8), 2),
+                    round(result.mean_iteration_seconds() * 1000.0, 2),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add(
+        format_table(
+            ["K", "mean err", "worst err", "FP/step", "FN/step", "ms/iter"],
+            rows,
+            title="Scalability in the number of sources "
+            "(260x260, 196 sensors, 15000 particles, steps 8-19)",
+        )
+    )
+
+    by_k = {row[0]: row for row in rows}
+    # Accuracy holds out to nine sources...
+    assert by_k[9][1] < 8.0, "mean error degraded with many sources"
+    assert by_k[9][4] < 1.5, "sources went missing at K=9"
+    # ...and the per-iteration cost is flat in K (within noise).
+    times = [row[5] for row in rows]
+    assert max(times) < 3.0 * min(times), f"cost grew with K: {times}"

@@ -1,0 +1,53 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every file in benchmarks/ regenerates one table or figure of the paper
+(see DESIGN.md's per-experiment index).  Each bench
+
+* prints the same rows/series the paper plots (visible with ``-s``), and
+* writes the same text to ``benchmarks/results/<name>.txt`` so the
+  artifacts survive pytest's output capture.
+
+Repeats default to 5 per configuration (the paper averages 10); set
+``REPRO_BENCH_REPEATS`` to trade precision for wall time.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Repeats per configuration.  The paper uses 10; 5 keeps the full harness
+#: in the minutes range while leaving the trends clear.
+BENCH_REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "5"))
+
+#: Master seed for every bench (fully deterministic harness).
+BENCH_SEED = 1000
+
+
+class BenchReport:
+    """Collects a bench's text output and writes the result artifact."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.chunks: list[str] = []
+
+    def add(self, text: str) -> None:
+        self.chunks.append(text)
+        print(text)
+
+    def flush(self) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self.name}.txt"
+        path.write_text("\n".join(self.chunks) + "\n")
+
+
+@pytest.fixture
+def report(request) -> BenchReport:
+    """A per-test report writer named after the test."""
+    bench_report = BenchReport(request.node.name.replace("/", "_"))
+    yield bench_report
+    bench_report.flush()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Extension: tracking a source that enters and moves through the area.
+
+The paper's resampling step keeps a small random-injection fraction "as a
+provision for new radiation sources entering the area".  This script
+exercises exactly that path plus the movement-model hook: a vehicle-borne
+source drives across the surveillance area while a second, static source
+is present from the start.
+
+Run with::
+
+    python examples/moving_source.py
+"""
+
+import numpy as np
+
+from repro import (
+    LocalizerConfig,
+    MultiSourceLocalizer,
+    RadiationField,
+    RadiationSource,
+    SensorNetwork,
+    grid_placement,
+)
+
+EFFICIENCY = 1e-4
+BACKGROUND = 5.0
+
+
+def random_walk_model(sigma: float):
+    """A diffusion movement model: hypotheses drift by N(0, sigma) each
+    iteration, letting the particle cloud follow a slowly moving source."""
+
+    def model(xs, ys, strengths, rng):
+        n = len(xs)
+        return (
+            xs + rng.normal(0.0, sigma, n),
+            ys + rng.normal(0.0, sigma, n),
+            strengths,
+        )
+
+    return model
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    static = RadiationSource(25.0, 75.0, 80.0, label="static")
+    sensors = grid_placement(
+        6, 6, 100.0, 100.0,
+        efficiency=EFFICIENCY, background_cpm=BACKGROUND, margin_fraction=0.0,
+    )
+
+    config = LocalizerConfig(
+        n_particles=4000,
+        area=(100.0, 100.0),
+        assumed_efficiency=EFFICIENCY,
+        assumed_background_cpm=BACKGROUND,
+        injection_fraction=0.08,   # a little more exploration for the mover
+    )
+    localizer = MultiSourceLocalizer(
+        config,
+        rng=np.random.default_rng(22),
+        movement_model=random_walk_model(0.4),
+    )
+
+    print(f"{'step':>4} {'mover truth':>14} {'estimates (x, y, uCi)'}")
+    for t in range(25):
+        if t < 5:
+            sources = [static]          # the mover has not arrived yet
+            mover_text = "not present"
+        else:
+            # The mover crosses west to east along y = 30 at 4 units/step.
+            mover_x = 10.0 + 4.0 * (t - 5)
+            mover = RadiationSource(mover_x, 30.0, 120.0, label="mover")
+            sources = [static, mover]
+            mover_text = f"({mover_x:5.1f}, 30.0)"
+        network = SensorNetwork(
+            sensors, RadiationField(sources), rng
+        )
+        for measurement in network.measure_time_step(t):
+            localizer.observe(measurement)
+        estimates = localizer.estimates()
+        listing = "  ".join(
+            f"({e.x:5.1f}, {e.y:5.1f}, {e.strength:5.1f})" for e in estimates
+        )
+        print(f"{t:>4} {mover_text:>14} {listing}")
+
+    print()
+    final = localizer.estimates()
+    print(f"final estimate count: {len(final)} (truth: 2)")
+    for e in final:
+        print(f"   {e}")
+    print()
+    print(
+        "The static source is held throughout; the mover is acquired a few\n"
+        "steps after it enters (random injection seeds its region) and its\n"
+        "cluster follows via the movement model's diffusion.  Low-mass\n"
+        "trailing clusters along the mover's wake can linger as transient\n"
+        "ghosts -- sort estimates by mass (the true sources dominate) or\n"
+        "raise mode_mass_ratio when tracking mobile sources."
+    )
+
+
+if __name__ == "__main__":
+    main()

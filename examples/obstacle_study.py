@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Do unknown obstacles help or hurt?  (The paper's Section VI-B/C claim.)
+
+The localizer's forward model is pure free space -- it is never told about
+obstacles.  The paper's counter-intuitive finding is that shielding can
+*improve* accuracy by isolating the sources' signatures from each other.
+This script runs Scenario A with and without its U-shaped obstacle and
+prints the per-source normalized error (values > 1 mean the obstacle
+helped), plus the per-sensor intensity changes that explain the effect.
+
+Run with::
+
+    python examples/obstacle_study.py [--repeats N]
+"""
+
+import argparse
+
+from repro import run_repeated, scenario_a
+from repro.eval.aggregate import mean_over_steps, normalized_errors
+from repro.eval.reporting import format_table
+from repro.viz.ascii_map import render_scenario
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=5, help="runs to average")
+    args = parser.parse_args()
+
+    # Strong sources: the obstacle benefit the paper reports comes from
+    # suppressing *inter-source interference*, which grows with strength.
+    # (With 10 uCi sources the interference is negligible and the obstacle
+    # only removes information, slightly hurting -- try it.)
+    strengths = (100.0, 100.0)
+    clear = scenario_a(strengths=strengths, with_obstacle=False)
+    shielded = scenario_a(strengths=strengths, with_obstacle=True)
+
+    print("Layout with the U-shaped obstacle (thickness 2, mu = 0.0693):")
+    print(
+        render_scenario(
+            shielded.area,
+            sensors=shielded.sensors,
+            sources=shielded.sources,
+            obstacles=shielded.obstacles,
+            cols=50,
+            rows=25,
+        )
+    )
+    print()
+
+    # How the obstacle reshapes what sensors actually see.
+    field_clear = clear.field_with_obstacles()
+    field_shielded = shielded.field_with_obstacles()
+    attenuated = 0
+    for sensor in shielded.sensors:
+        before = field_clear.intensity_at(sensor.x, sensor.y)
+        after = field_shielded.intensity_at(sensor.x, sensor.y)
+        if after < before * 0.95:
+            attenuated += 1
+    print(
+        f"{attenuated} of {len(shielded.sensors)} sensors see attenuated "
+        f"intensity through the obstacle.\n"
+    )
+
+    print(f"running {args.repeats} repeats of each variant...", flush=True)
+    agg_clear = run_repeated(clear, n_repeats=args.repeats, base_seed=100)
+    agg_shielded = run_repeated(shielded, n_repeats=args.repeats, base_seed=100)
+
+    rows = []
+    clear_errors = []
+    shielded_errors = []
+    for i, label in enumerate(agg_clear.source_labels):
+        e_clear = mean_over_steps(agg_clear.mean_error_series(i), first_step=5)
+        e_shielded = mean_over_steps(agg_shielded.mean_error_series(i), first_step=5)
+        clear_errors.append(e_clear)
+        shielded_errors.append(e_shielded)
+        ratio = normalized_errors([e_clear], [e_shielded])[0]
+        verdict = "helped" if ratio > 1.05 else ("hurt" if ratio < 0.95 else "neutral")
+        rows.append(
+            [label, round(e_clear, 2), round(e_shielded, 2), round(ratio, 2), verdict]
+        )
+    print(
+        format_table(
+            ["source", "err (no obs)", "err (obstacle)", "normalized", "obstacle"],
+            rows,
+            title="Mean localization error, time steps 5-29 "
+            f"({args.repeats} repeats; normalized > 1 means obstacle helped)",
+        )
+    )
+    print()
+    print(
+        "The algorithm never models the obstacle; shielding simply reduces\n"
+        "cross-source interference at the sensors between the two sources,\n"
+        "which sharpens each cluster's likelihood landscape."
+    )
+
+
+if __name__ == "__main__":
+    main()

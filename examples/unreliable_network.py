@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Robustness under a hostile wireless network (the Scenario C regime).
+
+The paper's claim: because the algorithm consumes one measurement per
+iteration with no ordering requirement, it tolerates out-of-order
+delivery, message loss, and dead sensors.  This script runs the same
+two-source deployment under increasingly bad transport and shows that the
+steady-state accuracy barely moves.
+
+Run with::
+
+    python examples/unreliable_network.py
+"""
+
+import numpy as np
+
+from repro import (
+    ExponentialLatencyLink,
+    InOrderDelivery,
+    LossyLink,
+    OutOfOrderDelivery,
+    PerfectLink,
+    ShuffledDelivery,
+    UniformLatencyLink,
+    run_scenario,
+    scenario_a,
+)
+from repro.eval.aggregate import mean_over_steps
+from repro.eval.reporting import format_table
+from repro.sensors.placement import fail_sensors
+
+
+def run_case(name, delivery, failed_fraction=0.0, seed=3):
+    scenario = scenario_a(strengths=(50.0, 50.0)).with_delivery(delivery)
+    if failed_fraction > 0:
+        fail_sensors(scenario.sensors, failed_fraction, np.random.default_rng(99))
+    result = run_scenario(scenario, seed=seed)
+    errors = [
+        mean_over_steps(result.error_series(i), first_step=10) for i in range(2)
+    ]
+    fp = mean_over_steps(result.false_positive_series(), first_step=10)
+    fn = mean_over_steps(result.false_negative_series(), first_step=10)
+    return [name, round(errors[0], 2), round(errors[1], 2), round(fp, 2), round(fn, 2)]
+
+
+def main() -> None:
+    cases = [
+        ("in-order, lossless", InOrderDelivery(), 0.0),
+        ("shuffled within rounds", ShuffledDelivery(), 0.0),
+        ("uniform latency 0-2 steps", OutOfOrderDelivery(UniformLatencyLink(0.0, 2.0)), 0.0),
+        ("exponential latency (heavy tail)", OutOfOrderDelivery(ExponentialLatencyLink(1.0)), 0.0),
+        ("30% message loss", OutOfOrderDelivery(LossyLink(PerfectLink(), 0.3)), 0.0),
+        ("loss + latency", OutOfOrderDelivery(LossyLink(UniformLatencyLink(0.0, 2.0), 0.2)), 0.0),
+        ("10% dead sensors", InOrderDelivery(), 0.10),
+        ("dead sensors + loss + latency",
+         OutOfOrderDelivery(LossyLink(UniformLatencyLink(0.0, 2.0), 0.2)), 0.10),
+    ]
+    rows = [run_case(name, delivery, failed) for name, delivery, failed in cases]
+    print(
+        format_table(
+            ["transport", "err src1", "err src2", "FP", "FN"],
+            rows,
+            title="Steady-state (steps 10-29) accuracy under degraded transport\n"
+            "two 50 uCi sources, 6x6 grid, background 5 CPM",
+        )
+    )
+    print()
+    print(
+        "The shared-population design has no per-round barrier: a reading\n"
+        "is folded in whenever it arrives, so reordering and loss only\n"
+        "slow convergence slightly instead of breaking the estimator."
+    )
+
+
+if __name__ == "__main__":
+    main()

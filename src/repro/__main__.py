@@ -1,0 +1,248 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``       Run a paper scenario (a, a3, b, c) and print per-step metrics.
+``layout``    Render a scenario's layout as an ASCII map.
+``sweep``     Sweep source strength or background over Scenario A.
+``export``    Write a paper scenario to a JSON document.
+``run-file``  Run a scenario loaded from a JSON document.
+
+Examples::
+
+    python -m repro run a --strength 50 --repeats 3
+    python -m repro run b --seed 7
+    python -m repro layout b
+    python -m repro sweep strength --values 4 10 50 100
+    python -m repro export a --out my_scenario.json
+    python -m repro run-file my_scenario.json --repeats 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.eval.aggregate import mean_over_steps
+from repro.eval.reporting import format_series, format_table
+from repro.sim.runner import run_repeated
+from repro.sim.scenario import Scenario
+from repro.sim.scenarios import (
+    scenario_a,
+    scenario_a_three_sources,
+    scenario_b,
+    scenario_c,
+    scenario_c_fusion_policy,
+)
+from repro.viz.ascii_map import render_scenario
+
+
+def _build_scenario(args) -> tuple:
+    """(scenario, fusion_policy) for the requested name."""
+    name = args.scenario.lower()
+    if name == "a":
+        return (
+            scenario_a(
+                strengths=(args.strength, args.strength),
+                background_cpm=args.background,
+                with_obstacle=args.obstacles,
+                n_time_steps=args.steps,
+            ),
+            None,
+        )
+    if name == "a3":
+        return (
+            scenario_a_three_sources(
+                strengths=(args.strength,) * 3,
+                background_cpm=args.background,
+                n_time_steps=args.steps,
+            ),
+            None,
+        )
+    if name == "b":
+        return (
+            scenario_b(
+                background_cpm=args.background,
+                with_obstacles=args.obstacles,
+                n_time_steps=args.steps,
+            ),
+            None,
+        )
+    if name == "c":
+        scenario = scenario_c(
+            background_cpm=args.background,
+            with_obstacles=args.obstacles,
+            n_time_steps=args.steps,
+        )
+        return scenario, scenario_c_fusion_policy(scenario)
+    raise SystemExit(f"unknown scenario {args.scenario!r}; choose a, a3, b, or c")
+
+
+def cmd_run(args) -> int:
+    scenario, policy = _build_scenario(args)
+    print(scenario.describe())
+    agg = run_repeated(
+        scenario, n_repeats=args.repeats, base_seed=args.seed, fusion_policy=policy
+    )
+    print(format_series(agg.all_mean_series(), index_name="T"))
+    print()
+    skip = min(5, scenario.n_time_steps - 1)
+    rows = [
+        [label, round(mean_over_steps(agg.mean_error_series(i), skip), 2)]
+        for i, label in enumerate(agg.source_labels)
+    ]
+    print(format_table(["source", f"mean err (T>={skip})"], rows))
+    fp = mean_over_steps(agg.mean_false_positive_series(), skip)
+    fn = mean_over_steps(agg.mean_false_negative_series(), skip)
+    print(f"\nsteady state: FP {fp:.2f}/step, FN {fn:.2f}/step")
+    return 0
+
+
+def cmd_layout(args) -> int:
+    scenario, _policy = _build_scenario(args)
+    print(scenario.describe())
+    print(
+        render_scenario(
+            scenario.area,
+            sensors=scenario.sensors,
+            sources=scenario.sources,
+            obstacles=scenario.obstacles,
+            cols=args.cols,
+            rows=args.cols // 2,
+        )
+    )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    rows = []
+    for value in args.values:
+        if args.parameter == "strength":
+            scenario = scenario_a(
+                strengths=(value, value), n_time_steps=args.steps
+            )
+        else:
+            scenario = scenario_a(
+                strengths=(args.strength, args.strength),
+                background_cpm=value,
+                n_time_steps=args.steps,
+            )
+        agg = run_repeated(scenario, n_repeats=args.repeats, base_seed=args.seed)
+        skip = min(5, scenario.n_time_steps - 1)
+        rows.append(
+            [
+                value,
+                round(mean_over_steps(agg.mean_error_series(0), skip), 2),
+                round(mean_over_steps(agg.mean_error_series(1), skip), 2),
+                round(mean_over_steps(agg.mean_false_positive_series(), skip), 2),
+                round(mean_over_steps(agg.mean_false_negative_series(), skip), 2),
+            ]
+        )
+    print(
+        format_table(
+            [args.parameter, "err src1", "err src2", "FP/step", "FN/step"],
+            rows,
+            title=f"Scenario A sweep over {args.parameter} "
+            f"({args.repeats} repeats, steady state)",
+        )
+    )
+    return 0
+
+
+def _report_run(scenario, policy, repeats, seed):
+    print(scenario.describe())
+    agg = run_repeated(
+        scenario, n_repeats=repeats, base_seed=seed, fusion_policy=policy
+    )
+    print(format_series(agg.all_mean_series(), index_name="T"))
+    print()
+    skip = min(5, scenario.n_time_steps - 1)
+    rows = [
+        [label, round(mean_over_steps(agg.mean_error_series(i), skip), 2)]
+        for i, label in enumerate(agg.source_labels)
+    ]
+    print(format_table(["source", f"mean err (T>={skip})"], rows))
+    fp = mean_over_steps(agg.mean_false_positive_series(), skip)
+    fn = mean_over_steps(agg.mean_false_negative_series(), skip)
+    print(f"\nsteady state: FP {fp:.2f}/step, FN {fn:.2f}/step")
+
+
+def cmd_export(args) -> int:
+    from repro.sim.serialization import save_scenario
+
+    scenario, _policy = _build_scenario(args)
+    save_scenario(scenario, args.out)
+    print(f"wrote {scenario.name!r} ({len(scenario.sensors)} sensors, "
+          f"{len(scenario.sources)} sources) to {args.out}")
+    return 0
+
+
+def cmd_run_file(args) -> int:
+    from repro.sim.serialization import load_scenario
+
+    scenario = load_scenario(args.path)
+    _report_run(scenario, None, args.repeats, args.seed)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Multiple radiation source localization (ICDCS 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--steps", type=int, default=30, help="time steps (default 30)")
+        p.add_argument("--seed", type=int, default=0, help="base seed (default 0)")
+        p.add_argument("--strength", type=float, default=10.0,
+                       help="source strength in uCi for Scenario A (default 10)")
+        p.add_argument("--background", type=float, default=5.0,
+                       help="background CPM (default 5)")
+        p.add_argument("--obstacles", action="store_true",
+                       help="include the scenario's obstacles")
+
+    run_parser = sub.add_parser("run", help="run a scenario and print metrics")
+    run_parser.add_argument("scenario", help="a, a3, b, or c")
+    run_parser.add_argument("--repeats", type=int, default=3,
+                            help="runs to average (default 3; paper uses 10)")
+    common(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    layout_parser = sub.add_parser("layout", help="render a scenario layout")
+    layout_parser.add_argument("scenario", help="a, a3, b, or c")
+    layout_parser.add_argument("--cols", type=int, default=72, help="map width")
+    common(layout_parser)
+    layout_parser.set_defaults(func=cmd_layout)
+
+    sweep_parser = sub.add_parser("sweep", help="parameter sweep on Scenario A")
+    sweep_parser.add_argument("parameter", choices=("strength", "background"))
+    sweep_parser.add_argument("--values", type=float, nargs="+", required=True)
+    sweep_parser.add_argument("--repeats", type=int, default=3)
+    common(sweep_parser)
+    sweep_parser.set_defaults(func=cmd_sweep)
+
+    export_parser = sub.add_parser("export", help="write a scenario to JSON")
+    export_parser.add_argument("scenario", help="a, a3, b, or c")
+    export_parser.add_argument("--out", required=True, help="output JSON path")
+    common(export_parser)
+    export_parser.set_defaults(func=cmd_export)
+
+    run_file_parser = sub.add_parser(
+        "run-file", help="run a scenario from a JSON document"
+    )
+    run_file_parser.add_argument("path", help="scenario JSON path")
+    run_file_parser.add_argument("--repeats", type=int, default=3)
+    run_file_parser.add_argument("--seed", type=int, default=0)
+    run_file_parser.set_defaults(func=cmd_run_file)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

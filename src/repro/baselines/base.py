@@ -1,0 +1,70 @@
+"""Shared interfaces and helpers for baseline localizers."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.sensors.measurement import Measurement
+
+
+@dataclass(frozen=True)
+class BaselineEstimate:
+    """A source estimate produced by a baseline method."""
+
+    x: float
+    y: float
+    strength: float
+
+    @property
+    def position(self) -> Tuple[float, float]:
+        return (self.x, self.y)
+
+    def __str__(self) -> str:
+        return f"BaselineEstimate(({self.x:.1f}, {self.y:.1f}), {self.strength:.1f} uCi)"
+
+
+class BatchLocalizer(ABC):
+    """A localizer that consumes a measurement batch all at once."""
+
+    @abstractmethod
+    def localize(self, measurements: Sequence[Measurement]) -> List[BaselineEstimate]:
+        """Estimate sources from the given measurements."""
+
+
+def collect_measurements(
+    batches: Sequence[Sequence[Measurement]],
+) -> List[Measurement]:
+    """Flatten per-time-step batches into one measurement list."""
+    out: List[Measurement] = []
+    for batch in batches:
+        out.extend(batch)
+    return out
+
+
+def mean_readings_by_sensor(
+    measurements: Sequence[Measurement],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Average repeated readings per sensor.
+
+    Returns ``(positions, mean_cpm)`` where positions is (N, 2).  Averaging
+    is the natural sufficient statistic here: the Poisson rate at a sensor
+    is constant over time for static sources, so the per-sensor mean is the
+    minimum-variance summary the batch methods should fit against.
+    """
+    if not measurements:
+        raise ValueError("no measurements to aggregate")
+    sums: Dict[int, float] = {}
+    counts: Dict[int, int] = {}
+    pos: Dict[int, Tuple[float, float]] = {}
+    for m in measurements:
+        sums[m.sensor_id] = sums.get(m.sensor_id, 0.0) + m.cpm
+        counts[m.sensor_id] = counts.get(m.sensor_id, 0) + 1
+        pos[m.sensor_id] = (m.x, m.y)
+    ids = sorted(sums)
+    positions = np.array([pos[i] for i in ids], dtype=float)
+    means = np.array([sums[i] / counts[i] for i in ids], dtype=float)
+    return positions, means

@@ -1,0 +1,103 @@
+"""The discretized convex formulation (Cheng & Singh style).
+
+Assume a source may sit at each cell of a grid over the area; the expected
+excess reading is then *linear* in the vector of per-cell strengths, and
+non-negative least squares recovers a sparse-ish strength field.  Sources
+are reported at local maxima of the recovered field.
+
+The paper's criticism is cost: the design matrix is (sensors x cells), and
+a fine grid over a large area makes the solve expensive (their reference
+reports 209 s for 196 sensors).  The benchmark sweeps grid resolution to
+expose exactly that accuracy/cost trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import nnls
+
+from repro.baselines.base import BaselineEstimate, BatchLocalizer, mean_readings_by_sensor
+from repro.physics.units import CPM_PER_MICROCURIE
+from repro.sensors.measurement import Measurement
+
+
+class GridNNLSLocalizer(BatchLocalizer):
+    """Non-negative least squares over a grid of candidate source cells."""
+
+    def __init__(
+        self,
+        area: Tuple[float, float],
+        grid_cols: int = 20,
+        grid_rows: int = 20,
+        efficiency: float = 1.0,
+        background_cpm: float = 0.0,
+        min_strength: float = 1.5,
+        cluster_radius: float = 25.0,
+    ):
+        if grid_cols < 2 or grid_rows < 2:
+            raise ValueError(f"grid must be at least 2x2, got {grid_cols}x{grid_rows}")
+        if cluster_radius <= 0:
+            raise ValueError(f"cluster_radius must be positive, got {cluster_radius}")
+        self.area = area
+        self.grid_cols = grid_cols
+        self.grid_rows = grid_rows
+        self.efficiency = efficiency
+        self.background_cpm = background_cpm
+        self.min_strength = min_strength
+        self.cluster_radius = cluster_radius
+
+    def _grid_centers(self) -> np.ndarray:
+        """(cells, 2) cell-center coordinates."""
+        xs = (np.arange(self.grid_cols) + 0.5) * self.area[0] / self.grid_cols
+        ys = (np.arange(self.grid_rows) + 0.5) * self.area[1] / self.grid_rows
+        gx, gy = np.meshgrid(xs, ys)
+        return np.column_stack((gx.ravel(), gy.ravel()))
+
+    def solve_field(
+        self, measurements: Sequence[Measurement]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Recover the per-cell strength field.
+
+        Returns ``(centers, strengths)`` with centers (cells, 2).
+        """
+        sensor_positions, mean_cpm = mean_readings_by_sensor(measurements)
+        centers = self._grid_centers()
+        d_sq = (
+            (sensor_positions[:, 0, None] - centers[None, :, 0]) ** 2
+            + (sensor_positions[:, 1, None] - centers[None, :, 1]) ** 2
+        )
+        design = CPM_PER_MICROCURIE * self.efficiency / (1.0 + d_sq)
+        excess = np.maximum(mean_cpm - self.background_cpm, 0.0)
+        strengths, _residual = nnls(design, excess)
+        return centers, strengths
+
+    def localize(self, measurements: Sequence[Measurement]) -> List[BaselineEstimate]:
+        centers, strengths = self.solve_field(measurements)
+        # NNLS on the highly coherent 1/(1+d^2) dictionary splits one
+        # source's mass across a ring of cells (typically near the closest
+        # sensors), so single-cell peaks are misleading.  Greedily cluster
+        # active cells: the strongest unclaimed cell absorbs every active
+        # cell within cluster_radius, and each cluster is reported at its
+        # strength-weighted centroid with the summed strength.
+        active = np.nonzero(strengths > 1e-9)[0]
+        order = active[np.argsort(strengths[active])[::-1]]
+        claimed = np.zeros(len(strengths), dtype=bool)
+        estimates: List[BaselineEstimate] = []
+        for idx in order:
+            if claimed[idx]:
+                continue
+            d_sq = (
+                (centers[active, 0] - centers[idx, 0]) ** 2
+                + (centers[active, 1] - centers[idx, 1]) ** 2
+            )
+            members = active[(d_sq <= self.cluster_radius**2) & ~claimed[active]]
+            claimed[members] = True
+            total = float(strengths[members].sum())
+            if total < self.min_strength:
+                continue
+            cx = float(np.dot(strengths[members], centers[members, 0]) / total)
+            cy = float(np.dot(strengths[members], centers[members, 1]) / total)
+            estimates.append(BaselineEstimate(x=cx, y=cy, strength=total))
+        return estimates

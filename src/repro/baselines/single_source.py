@@ -1,0 +1,267 @@
+"""Single-source localizers (Rao et al. / Chin et al. style).
+
+These are the methods the paper's related work covers for K = 1:
+
+* :class:`SingleSourceMLE` -- maximum-likelihood fit of one source.
+* :class:`LogRatioTDOA` -- the log-space "difference of distances"
+  triangulation: ratios of background-subtracted readings from sensor
+  triples give linear equations in (x, y, x^2 + y^2).
+* :class:`MeanOfEstimates` -- MoE fusion: triangulate with many random
+  triples and average the results.
+* :class:`IterativePruning` -- ITP fusion: repeatedly discard the triple
+  estimate farthest from the centroid of the surviving estimates.
+
+None of these apply to multiple sources (the paper's motivation); the
+baseline benchmark shows them degrading as soon as K = 2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import BaselineEstimate, BatchLocalizer, mean_readings_by_sensor
+from repro.baselines.mle import MultiSourceMLE
+from repro.physics.units import CPM_PER_MICROCURIE
+from repro.sensors.measurement import Measurement
+
+
+class SingleSourceMLE(BatchLocalizer):
+    """Maximum-likelihood estimation of exactly one source."""
+
+    def __init__(
+        self,
+        area: Tuple[float, float],
+        efficiency: float = 1.0,
+        background_cpm: float = 0.0,
+        n_starts: int = 8,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self._mle = MultiSourceMLE(
+            1,
+            area,
+            efficiency=efficiency,
+            background_cpm=background_cpm,
+            n_starts=n_starts,
+            rng=rng,
+        )
+
+    def localize(self, measurements: Sequence[Measurement]) -> List[BaselineEstimate]:
+        return self._mle.localize(measurements)
+
+
+def triangulate_triple(
+    positions: np.ndarray,
+    excess: np.ndarray,
+) -> Optional[Tuple[float, float]]:
+    """Log-ratio triangulation from exactly three sensors.
+
+    From ``excess_i = C / (1 + r_i^2)`` the pairwise ratios give, for each
+    pair (i, j), a *linear* equation in the unknowns (x, y, u) with
+    u = x^2 + y^2:
+
+        (1 - k) u + (2 k x_i - 2 x_j) x + (2 k y_i - 2 y_j) y
+            = k (1 + |p_i|^2) - (1 + |p_j|^2),      k = excess_i / excess_j
+
+    Solving the 2-pair linear system (dropping the nonlinear constraint on
+    u, the standard linearization) yields the source position.  Returns
+    ``None`` for degenerate triples (zero excess or singular geometry).
+    """
+    if positions.shape != (3, 2) or excess.shape != (3,):
+        raise ValueError("triangulate_triple needs exactly three sensors")
+    if np.any(excess <= 0):
+        return None
+    # Only two of the three pairwise ratio equations are independent (the
+    # third ratio is the product of the other two), so the linear system
+    # in (u, x, y) has rank 2.  Express (x, y) affinely in u from the two
+    # equations, then close with the quadratic constraint u = x^2 + y^2.
+    matrix = np.empty((2, 2))
+    rhs = np.empty(2)
+    u_coeff = np.empty(2)
+    for row, (i, j) in enumerate(((0, 1), (0, 2))):
+        k = excess[i] / excess[j]
+        xi, yi = positions[i]
+        xj, yj = positions[j]
+        u_coeff[row] = 1.0 - k
+        matrix[row] = (2.0 * k * xi - 2.0 * xj, 2.0 * k * yi - 2.0 * yj)
+        rhs[row] = k * (1.0 + xi * xi + yi * yi) - (1.0 + xj * xj + yj * yj)
+    try:
+        alpha = np.linalg.solve(matrix, rhs)          # (x, y) at u = 0
+        beta = np.linalg.solve(matrix, u_coeff)       # d(x, y)/du (negated)
+    except np.linalg.LinAlgError:
+        return None
+    # (x, y) = alpha - beta * u  and  u = x^2 + y^2:
+    #   (beta.beta) u^2 - (2 alpha.beta + 1) u + alpha.alpha = 0
+    a = float(beta @ beta)
+    b = -(2.0 * float(alpha @ beta) + 1.0)
+    c = float(alpha @ alpha)
+    candidates = []
+    if abs(a) < 1e-12:
+        if abs(b) > 1e-12:
+            candidates.append(-c / b)
+    else:
+        disc = b * b - 4.0 * a * c
+        if disc < 0:
+            return None
+        root = np.sqrt(disc)
+        candidates.extend(((-b - root) / (2.0 * a), (-b + root) / (2.0 * a)))
+    solutions = [
+        (float(alpha[0] - beta[0] * u), float(alpha[1] - beta[1] * u))
+        for u in candidates
+        if u >= 0 and np.isfinite(u)
+    ]
+    if not solutions:
+        return None
+    if len(solutions) == 1:
+        return solutions[0]
+    # Two circle intersections are both exact; the physical one lies
+    # closest to the hottest sensor of the triple.
+    hottest = positions[int(np.argmax(excess))]
+    solutions.sort(
+        key=lambda p: (p[0] - hottest[0]) ** 2 + (p[1] - hottest[1]) ** 2
+    )
+    return solutions[0]
+
+
+def _strength_from_position(
+    positions: np.ndarray,
+    excess: np.ndarray,
+    x: float,
+    y: float,
+    efficiency: float,
+) -> float:
+    """Least-squares strength given a fixed position."""
+    d_sq = (positions[:, 0] - x) ** 2 + (positions[:, 1] - y) ** 2
+    gain = CPM_PER_MICROCURIE * efficiency / (1.0 + d_sq)
+    denom = float(np.dot(gain, gain))
+    if denom <= 0:
+        return 0.0
+    return max(0.0, float(np.dot(gain, excess) / denom))
+
+
+class LogRatioTDOA(BatchLocalizer):
+    """Triangulation from the three highest-excess sensors."""
+
+    def __init__(
+        self,
+        area: Tuple[float, float],
+        efficiency: float = 1.0,
+        background_cpm: float = 0.0,
+    ):
+        self.area = area
+        self.efficiency = efficiency
+        self.background_cpm = background_cpm
+
+    def localize(self, measurements: Sequence[Measurement]) -> List[BaselineEstimate]:
+        positions, mean_cpm = mean_readings_by_sensor(measurements)
+        excess = np.maximum(mean_cpm - self.background_cpm, 0.0)
+        top = np.argsort(excess)[-3:]
+        result = triangulate_triple(positions[top], excess[top])
+        if result is None:
+            return []
+        x, y = result
+        x = float(np.clip(x, 0, self.area[0]))
+        y = float(np.clip(y, 0, self.area[1]))
+        strength = _strength_from_position(positions, excess, x, y, self.efficiency)
+        return [BaselineEstimate(x, y, strength)]
+
+
+def _triple_estimates(
+    positions: np.ndarray,
+    excess: np.ndarray,
+    area: Tuple[float, float],
+    n_triples: int,
+    rng: np.random.Generator,
+    top_fraction: float = 0.5,
+) -> List[Tuple[float, float]]:
+    """Triangulations from random triples of high-excess sensors."""
+    order = np.argsort(excess)[::-1]
+    pool = order[: max(3, int(len(order) * top_fraction))]
+    pool = pool[excess[pool] > 0]
+    if len(pool) < 3:
+        return []
+    results: List[Tuple[float, float]] = []
+    for _ in range(n_triples):
+        triple = rng.choice(pool, size=3, replace=False)
+        result = triangulate_triple(positions[triple], excess[triple])
+        if result is None:
+            continue
+        x, y = result
+        # Reject wildly out-of-area solutions (degenerate geometry).
+        if -area[0] * 0.5 <= x <= area[0] * 1.5 and -area[1] * 0.5 <= y <= area[1] * 1.5:
+            results.append((x, y))
+    return results
+
+
+class MeanOfEstimates(BatchLocalizer):
+    """MoE fusion: average of many random-triple triangulations."""
+
+    def __init__(
+        self,
+        area: Tuple[float, float],
+        efficiency: float = 1.0,
+        background_cpm: float = 0.0,
+        n_triples: int = 64,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.area = area
+        self.efficiency = efficiency
+        self.background_cpm = background_cpm
+        self.n_triples = n_triples
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def localize(self, measurements: Sequence[Measurement]) -> List[BaselineEstimate]:
+        positions, mean_cpm = mean_readings_by_sensor(measurements)
+        excess = np.maximum(mean_cpm - self.background_cpm, 0.0)
+        points = _triple_estimates(
+            positions, excess, self.area, self.n_triples, self.rng
+        )
+        if not points:
+            return []
+        arr = np.array(points)
+        x = float(np.clip(arr[:, 0].mean(), 0, self.area[0]))
+        y = float(np.clip(arr[:, 1].mean(), 0, self.area[1]))
+        strength = _strength_from_position(positions, excess, x, y, self.efficiency)
+        return [BaselineEstimate(x, y, strength)]
+
+
+class IterativePruning(BatchLocalizer):
+    """ITP fusion: prune outlier triple estimates until the cloud is tight."""
+
+    def __init__(
+        self,
+        area: Tuple[float, float],
+        efficiency: float = 1.0,
+        background_cpm: float = 0.0,
+        n_triples: int = 64,
+        keep_fraction: float = 0.5,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if not 0.0 < keep_fraction <= 1.0:
+            raise ValueError(f"keep_fraction must be in (0, 1], got {keep_fraction}")
+        self.area = area
+        self.efficiency = efficiency
+        self.background_cpm = background_cpm
+        self.n_triples = n_triples
+        self.keep_fraction = keep_fraction
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def localize(self, measurements: Sequence[Measurement]) -> List[BaselineEstimate]:
+        positions, mean_cpm = mean_readings_by_sensor(measurements)
+        excess = np.maximum(mean_cpm - self.background_cpm, 0.0)
+        points = _triple_estimates(
+            positions, excess, self.area, self.n_triples, self.rng
+        )
+        if not points:
+            return []
+        cloud = np.array(points)
+        target = max(1, int(len(cloud) * self.keep_fraction))
+        while len(cloud) > target:
+            centroid = cloud.mean(axis=0)
+            d_sq = ((cloud - centroid) ** 2).sum(axis=1)
+            cloud = np.delete(cloud, int(np.argmax(d_sq)), axis=0)
+        x = float(np.clip(cloud[:, 0].mean(), 0, self.area[0]))
+        y = float(np.clip(cloud[:, 1].mean(), 0, self.area[1]))
+        strength = _strength_from_position(positions, excess, x, y, self.efficiency)
+        return [BaselineEstimate(x, y, strength)]

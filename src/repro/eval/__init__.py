@@ -1,0 +1,40 @@
+"""Evaluation: the paper's metrics (Section VI, first paragraph).
+
+* Localization error: Euclidean distance from each true source to the
+  closest estimate, under a one-to-one matching (each estimate may explain
+  a single source only).
+* False negative: a source with no estimate within 40 units.
+* False positive: an estimate not traceable to any source.
+"""
+
+from repro.eval.matching import MatchResult, match_estimates
+from repro.eval.metrics import (
+    MATCH_RADIUS,
+    StepMetrics,
+    evaluate_step,
+)
+from repro.eval.aggregate import (
+    mean_series,
+    mean_over_steps,
+    normalized_errors,
+)
+from repro.eval.reporting import format_table, format_series
+from repro.eval.ospa import ospa_distance, ospa_series
+from repro.eval.tracks import Track, TrackAssociator
+
+__all__ = [
+    "MatchResult",
+    "match_estimates",
+    "MATCH_RADIUS",
+    "StepMetrics",
+    "evaluate_step",
+    "mean_series",
+    "mean_over_steps",
+    "normalized_errors",
+    "format_table",
+    "format_series",
+    "ospa_distance",
+    "ospa_series",
+    "Track",
+    "TrackAssociator",
+]

@@ -1,0 +1,78 @@
+"""Aggregation across repeats and time steps.
+
+The paper repeats each simulation 10 times and reports averages; Fig. 9
+additionally reports *normalized* errors: the ratio of the no-obstacle
+error to the with-obstacle error per source (values > 1 mean the obstacle
+improved accuracy), and the per-source averages over time steps 5-29 (the
+first steps are excluded as unrepresentative).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.eval.metrics import MATCH_RADIUS
+
+
+def _finite_or_cap(value: float, cap: float = MATCH_RADIUS) -> float:
+    """Missed sources (inf error) contribute the match radius to averages."""
+    return value if np.isfinite(value) else cap
+
+
+def mean_series(series: Sequence[Sequence[float]]) -> List[float]:
+    """Element-wise mean of equal-length per-repeat series.
+
+    Infinities (missed sources) are capped at the match radius so a single
+    missed repeat does not blow up the average -- the same effect as the
+    paper's averaging of plots that top out at the match radius.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(s) for s in series}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {sorted(lengths)}")
+    data = np.array(
+        [[_finite_or_cap(v) for v in s] for s in series], dtype=float
+    )
+    return [float(v) for v in data.mean(axis=0)]
+
+
+def mean_over_steps(
+    values_per_step: Sequence[float],
+    first_step: int = 5,
+) -> float:
+    """Average from ``first_step`` on (the paper omits the first 5 steps)."""
+    tail = [_finite_or_cap(v) for v in values_per_step[first_step:]]
+    if not tail:
+        raise ValueError(
+            f"no steps left after dropping the first {first_step} "
+            f"of {len(values_per_step)}"
+        )
+    return float(np.mean(tail))
+
+
+def normalized_errors(
+    errors_without_obstacles: Sequence[float],
+    errors_with_obstacles: Sequence[float],
+) -> List[float]:
+    """Fig. 9's normalization: error(no obstacles) / error(with obstacles).
+
+    Values > 1 mean obstacles *improved* accuracy for that entry.  A zero
+    with-obstacle error with a positive no-obstacle error maps to inf.
+    """
+    if len(errors_without_obstacles) != len(errors_with_obstacles):
+        raise ValueError(
+            f"length mismatch: {len(errors_without_obstacles)} vs "
+            f"{len(errors_with_obstacles)}"
+        )
+    out: List[float] = []
+    for without, with_ in zip(errors_without_obstacles, errors_with_obstacles):
+        without = _finite_or_cap(without)
+        with_ = _finite_or_cap(with_)
+        if with_ == 0.0:
+            out.append(float("inf") if without > 0 else 1.0)
+        else:
+            out.append(without / with_)
+    return out

@@ -1,0 +1,75 @@
+"""Plain-text tables and series for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output consistent and legible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def _fmt(value, width: int) -> str:
+    if isinstance(value, float):
+        if not np.isfinite(value):
+            text = "inf" if value > 0 else "-inf"
+        elif value == 0 or 0.01 <= abs(value) < 1e6:
+            text = f"{value:.3f}".rstrip("0").rstrip(".")
+        else:
+            text = f"{value:.3g}"
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+) -> str:
+    """Render a fixed-width table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {columns}")
+    str_rows = [
+        [_fmt(cell, 0).strip() for cell in row] for row in rows
+    ]
+    widths = [
+        max(len(headers[c]), max((len(r[c]) for r in str_rows), default=0))
+        for c in range(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Dict[str, Sequence[float]],
+    index_name: str = "step",
+    title: str = "",
+) -> str:
+    """Render named, equal-length series as columns against their index.
+
+    This mirrors the paper's figure data: one row per time step, one column
+    per curve.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {sorted(lengths)}")
+    n = lengths.pop()
+    headers = [index_name] + list(series.keys())
+    rows = [
+        [i] + [series[name][i] for name in series]
+        for i in range(n)
+    ]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,133 @@
+"""Track association: estimate sets over time -> persistent tracks.
+
+The localizer emits an unordered estimate set each time step.  For the
+mobile-source extension (and for operator displays) those sets need to be
+stitched into *tracks*: "estimate #2 at step 7 is the same physical
+source as estimate #1 at step 6".  This module does nearest-neighbour
+gated association with track confirmation and coasting:
+
+* a new estimate within ``gate`` of an existing track extends it;
+* unmatched estimates open tentative tracks, confirmed after
+  ``confirm_after`` consecutive updates (suppresses one-step ghosts);
+* a track missing for more than ``max_coast`` steps is closed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.estimator import SourceEstimate
+
+
+@dataclass
+class Track:
+    """One persistent source hypothesis over time."""
+
+    track_id: int
+    #: (time_step, estimate) history, in order.
+    history: List[Tuple[int, SourceEstimate]] = field(default_factory=list)
+    confirmed: bool = False
+    closed: bool = False
+    _misses: int = 0
+
+    @property
+    def last_estimate(self) -> SourceEstimate:
+        return self.history[-1][1]
+
+    @property
+    def last_step(self) -> int:
+        return self.history[-1][0]
+
+    @property
+    def length(self) -> int:
+        return len(self.history)
+
+    def positions(self) -> np.ndarray:
+        """(n, 2) array of the track's positions over time."""
+        return np.array([[e.x, e.y] for _, e in self.history])
+
+    def displacement(self) -> float:
+        """Straight-line distance from first to last position."""
+        pts = self.positions()
+        return float(np.hypot(*(pts[-1] - pts[0])))
+
+
+class TrackAssociator:
+    """Greedy gated nearest-neighbour association across time steps."""
+
+    def __init__(
+        self,
+        gate: float = 15.0,
+        confirm_after: int = 2,
+        max_coast: int = 3,
+    ):
+        if gate <= 0:
+            raise ValueError(f"gate must be positive, got {gate}")
+        if confirm_after < 1:
+            raise ValueError(f"confirm_after must be >= 1, got {confirm_after}")
+        if max_coast < 0:
+            raise ValueError(f"max_coast must be non-negative, got {max_coast}")
+        self.gate = float(gate)
+        self.confirm_after = confirm_after
+        self.max_coast = max_coast
+        self.tracks: List[Track] = []
+        self._next_id = 0
+
+    def update(self, time_step: int, estimates: Sequence[SourceEstimate]) -> None:
+        """Fold one time step's estimate set into the track table."""
+        open_tracks = [t for t in self.tracks if not t.closed]
+        unmatched = list(estimates)
+
+        # Globally-closest-pair greedy matching within the gate.
+        pairs = []
+        for track in open_tracks:
+            last = track.last_estimate
+            for estimate in unmatched:
+                d = last.distance_to(estimate.x, estimate.y)
+                if d <= self.gate:
+                    pairs.append((d, track, estimate))
+        pairs.sort(key=lambda p: p[0])
+        used_tracks, used_estimates = set(), set()
+        for d, track, estimate in pairs:
+            if id(track) in used_tracks or id(estimate) in used_estimates:
+                continue
+            track.history.append((time_step, estimate))
+            track._misses = 0
+            if track.length >= self.confirm_after:
+                track.confirmed = True
+            used_tracks.add(id(track))
+            used_estimates.add(id(estimate))
+
+        # Coast or close unmatched tracks.
+        for track in open_tracks:
+            if id(track) in used_tracks:
+                continue
+            track._misses += 1
+            if track._misses > self.max_coast:
+                track.closed = True
+
+        # Open tentative tracks for unmatched estimates.
+        for estimate in unmatched:
+            if id(estimate) in used_estimates:
+                continue
+            track = Track(track_id=self._next_id)
+            self._next_id += 1
+            track.history.append((time_step, estimate))
+            if self.confirm_after <= 1:
+                track.confirmed = True
+            self.tracks.append(track)
+
+    def confirmed_tracks(self, include_closed: bool = False) -> List[Track]:
+        """Tracks that survived the confirmation threshold."""
+        return [
+            t
+            for t in self.tracks
+            if t.confirmed and (include_closed or not t.closed)
+        ]
+
+    def active_count(self) -> int:
+        """The current best estimate of the number of real sources."""
+        return len(self.confirmed_tracks())

@@ -1,0 +1,59 @@
+"""2-D geometry substrate.
+
+The radiation transport model (``repro.physics``) needs, for every
+sensor--source pair, the total thickness of each obstacle intersected by the
+straight ray between them (the ``l_b`` terms of Eq. (3) in the paper).  This
+package provides the small computational-geometry kernel that supports that
+query:
+
+* :mod:`repro.geometry.primitives` -- points, segments, orientation tests.
+* :mod:`repro.geometry.polygon` -- simple polygons with containment tests and
+  segment clipping (the chord-length query used for obstacle thickness).
+* :mod:`repro.geometry.shapes` -- factories for the shapes used in the
+  paper's scenarios (axis-aligned rectangles, U-shapes, L-shapes, walls).
+* :mod:`repro.geometry.intersect` -- segment/segment and segment/polygon
+  intersection helpers.
+
+All coordinates are plain floats in the paper's abstract length units
+(1 unit = 1 cm in the paper's problem formulation).
+"""
+
+from repro.geometry.primitives import (
+    Point,
+    Segment,
+    distance,
+    distance_sq,
+    orientation,
+    on_segment,
+)
+from repro.geometry.polygon import Polygon
+from repro.geometry.intersect import (
+    segments_intersect,
+    segment_intersection_point,
+    segment_polygon_chord_length,
+)
+from repro.geometry.shapes import (
+    rectangle,
+    u_shape,
+    l_shape,
+    wall,
+    regular_polygon,
+)
+
+__all__ = [
+    "Point",
+    "Segment",
+    "distance",
+    "distance_sq",
+    "orientation",
+    "on_segment",
+    "Polygon",
+    "segments_intersect",
+    "segment_intersection_point",
+    "segment_polygon_chord_length",
+    "rectangle",
+    "u_shape",
+    "l_shape",
+    "wall",
+    "regular_polygon",
+]

@@ -1,0 +1,102 @@
+"""Simple polygons with containment and chord queries."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.geometry.primitives import EPS, Point, Segment, on_segment
+
+
+class Polygon:
+    """A simple (non-self-intersecting) polygon, convex or concave.
+
+    Vertices may be given in either winding order.  The polygon is closed
+    implicitly (the last vertex connects back to the first).
+    """
+
+    def __init__(self, vertices: Sequence[Point | Tuple[float, float]]):
+        pts = [v if isinstance(v, Point) else Point(float(v[0]), float(v[1])) for v in vertices]
+        if len(pts) < 3:
+            raise ValueError(f"a polygon needs at least 3 vertices, got {len(pts)}")
+        self.vertices: List[Point] = pts
+        xs = [p.x for p in pts]
+        ys = [p.y for p in pts]
+        #: Axis-aligned bounding box (min_x, min_y, max_x, max_y).
+        self.bbox: Tuple[float, float, float, float] = (min(xs), min(ys), max(xs), max(ys))
+
+    def __repr__(self) -> str:
+        return f"Polygon({len(self.vertices)} vertices, bbox={self.bbox})"
+
+    def edges(self) -> Iterable[Segment]:
+        """Boundary edges in vertex order (closing edge included)."""
+        n = len(self.vertices)
+        for i in range(n):
+            yield Segment(self.vertices[i], self.vertices[(i + 1) % n])
+
+    def area(self) -> float:
+        """Unsigned area via the shoelace formula."""
+        total = 0.0
+        n = len(self.vertices)
+        for i in range(n):
+            p = self.vertices[i]
+            q = self.vertices[(i + 1) % n]
+            total += p.cross(q)
+        return abs(total) / 2.0
+
+    def centroid(self) -> Point:
+        """Area centroid of the polygon."""
+        cx = cy = 0.0
+        signed = 0.0
+        n = len(self.vertices)
+        for i in range(n):
+            p = self.vertices[i]
+            q = self.vertices[(i + 1) % n]
+            w = p.cross(q)
+            signed += w
+            cx += (p.x + q.x) * w
+            cy += (p.y + q.y) * w
+        if abs(signed) < EPS:
+            # Degenerate (zero-area) polygon: fall back to vertex mean.
+            return Point(
+                sum(v.x for v in self.vertices) / n,
+                sum(v.y for v in self.vertices) / n,
+            )
+        return Point(cx / (3.0 * signed), cy / (3.0 * signed))
+
+    def contains(self, p: Point, include_boundary: bool = True) -> bool:
+        """Point-in-polygon test (ray casting with boundary handling)."""
+        min_x, min_y, max_x, max_y = self.bbox
+        if not (min_x - EPS <= p.x <= max_x + EPS and min_y - EPS <= p.y <= max_y + EPS):
+            return False
+
+        for edge in self.edges():
+            if on_segment(p, edge):
+                return include_boundary
+
+        inside = False
+        n = len(self.vertices)
+        for i in range(n):
+            a = self.vertices[i]
+            b = self.vertices[(i + 1) % n]
+            # Half-open rule on the y-range avoids double counting vertices.
+            if (a.y > p.y) != (b.y > p.y):
+                x_cross = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y)
+                if x_cross > p.x:
+                    inside = not inside
+        return inside
+
+    def chord_length(self, seg: Segment) -> float:
+        """Length of ``seg`` inside this polygon (obstacle thickness query)."""
+        # Cheap bbox rejection before the full clipping computation.
+        min_x, min_y, max_x, max_y = self.bbox
+        if max(seg.a.x, seg.b.x) < min_x - EPS or min(seg.a.x, seg.b.x) > max_x + EPS:
+            return 0.0
+        if max(seg.a.y, seg.b.y) < min_y - EPS or min(seg.a.y, seg.b.y) > max_y + EPS:
+            return 0.0
+        from repro.geometry.intersect import segment_polygon_chord_length
+
+        return segment_polygon_chord_length(seg, self)
+
+    def translated(self, dx: float, dy: float) -> "Polygon":
+        """A copy of this polygon shifted by (dx, dy)."""
+        return Polygon([Point(v.x + dx, v.y + dy) for v in self.vertices])

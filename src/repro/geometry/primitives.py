@@ -1,0 +1,111 @@
+"""Geometric primitives: points, segments, and predicates.
+
+These are intentionally tiny, allocation-light value types.  The hot path of
+the simulator (obstacle chord lengths for every sensor--source pair) works on
+them directly, so they avoid any heavyweight abstraction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+#: Tolerance used by the geometric predicates in this package.  Scenario
+#: coordinates are O(100) units, so 1e-9 is far below any meaningful length.
+EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point (or free vector) in the 2-D surveillance plane."""
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def dot(self, other: "Point") -> float:
+        """Dot product with ``other`` treated as a vector."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Point") -> float:
+        """Z-component of the 2-D cross product (signed parallelogram area)."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        """Euclidean length of this point treated as a vector."""
+        return math.hypot(self.x, self.y)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A closed straight segment between two points."""
+
+    a: Point
+    b: Point
+
+    def length(self) -> float:
+        return distance(self.a, self.b)
+
+    def midpoint(self) -> Point:
+        return Point((self.a.x + self.b.x) / 2.0, (self.a.y + self.b.y) / 2.0)
+
+    def point_at(self, t: float) -> Point:
+        """Point at parameter ``t`` in [0, 1] along the segment."""
+        return Point(
+            self.a.x + t * (self.b.x - self.a.x),
+            self.a.y + t * (self.b.y - self.a.y),
+        )
+
+
+def distance(p: Point, q: Point) -> float:
+    """Euclidean distance between two points."""
+    return math.hypot(p.x - q.x, p.y - q.y)
+
+
+def distance_sq(p: Point, q: Point) -> float:
+    """Squared Euclidean distance (avoids the sqrt on hot paths)."""
+    dx = p.x - q.x
+    dy = p.y - q.y
+    return dx * dx + dy * dy
+
+
+def orientation(p: Point, q: Point, r: Point) -> int:
+    """Orientation of the ordered triple (p, q, r).
+
+    Returns +1 for counter-clockwise, -1 for clockwise, and 0 for collinear
+    (within :data:`EPS`).
+    """
+    val = (q - p).cross(r - p)
+    if val > EPS:
+        return 1
+    if val < -EPS:
+        return -1
+    return 0
+
+
+def on_segment(p: Point, seg: Segment) -> bool:
+    """True if ``p`` lies on ``seg`` (collinear and within its bounding box)."""
+    if orientation(seg.a, seg.b, p) != 0:
+        return False
+    return (
+        min(seg.a.x, seg.b.x) - EPS <= p.x <= max(seg.a.x, seg.b.x) + EPS
+        and min(seg.a.y, seg.b.y) - EPS <= p.y <= max(seg.a.y, seg.b.y) + EPS
+    )

@@ -1,0 +1,124 @@
+"""Factories for the obstacle shapes used in the paper's scenarios."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.geometry.polygon import Polygon
+from repro.geometry.primitives import Point
+
+
+def rectangle(x0: float, y0: float, x1: float, y1: float) -> Polygon:
+    """Axis-aligned rectangle spanning [x0, x1] x [y0, y1]."""
+    if x1 <= x0 or y1 <= y0:
+        raise ValueError(f"degenerate rectangle: ({x0}, {y0}) to ({x1}, {y1})")
+    return Polygon([(x0, y0), (x1, y0), (x1, y1), (x0, y1)])
+
+
+def wall(
+    x: float,
+    y: float,
+    length: float,
+    thickness: float,
+    angle_deg: float = 0.0,
+) -> Polygon:
+    """A thin wall: a rotated rectangle centered at (x, y).
+
+    ``angle_deg`` = 0 produces a horizontal wall (long axis along +x).
+    """
+    if length <= 0 or thickness <= 0:
+        raise ValueError("wall length and thickness must be positive")
+    half_l = length / 2.0
+    half_t = thickness / 2.0
+    theta = math.radians(angle_deg)
+    cos_t, sin_t = math.cos(theta), math.sin(theta)
+
+    def rotate(px: float, py: float) -> Tuple[float, float]:
+        return (x + px * cos_t - py * sin_t, y + px * sin_t + py * cos_t)
+
+    corners = [(-half_l, -half_t), (half_l, -half_t), (half_l, half_t), (-half_l, half_t)]
+    return Polygon([rotate(px, py) for px, py in corners])
+
+
+def u_shape(
+    x: float,
+    y: float,
+    width: float,
+    height: float,
+    thickness: float,
+    opening: str = "up",
+) -> Polygon:
+    """A U-shaped obstacle (three walls of a rectangle), as in Fig. 8(a).
+
+    ``(x, y)`` is the lower-left corner of the shape's bounding box;
+    ``opening`` is the open side: ``"up"``, ``"down"``, ``"left"`` or
+    ``"right"``.
+    """
+    if thickness * 2 >= min(width, height):
+        raise ValueError("U-shape thickness too large for its bounding box")
+    if opening not in ("up", "down", "left", "right"):
+        raise ValueError(f"unknown opening {opening!r}")
+
+    # Build an up-opening U inside a (bw x bh) box, then rotate into place.
+    # For left/right openings the pre-rotation box is (height x width) so
+    # the final bounding box comes out as (width x height).
+    t = thickness
+    if opening in ("up", "down"):
+        bw, bh = width, height
+    else:
+        bw, bh = height, width
+    base = [
+        (0.0, 0.0),
+        (bw, 0.0),
+        (bw, bh),
+        (bw - t, bh),
+        (bw - t, t),
+        (t, t),
+        (t, bh),
+        (0.0, bh),
+    ]
+    if opening == "up":
+        pts = base
+    elif opening == "down":
+        pts = [(bw - px, bh - py) for px, py in base]
+    elif opening == "right":
+        # Rotate 90 degrees clockwise: the open top turns to face +x.
+        pts = [(py, bw - px) for px, py in base]
+    else:  # "left"
+        # Rotate 90 degrees counter-clockwise: the open top faces -x.
+        pts = [(bh - py, px) for px, py in base]
+    return Polygon([Point(x + px, y + py) for px, py in pts])
+
+
+def l_shape(x: float, y: float, width: float, height: float, thickness: float) -> Polygon:
+    """An L-shaped obstacle with its corner at (x, y)."""
+    if thickness >= min(width, height):
+        raise ValueError("L-shape thickness too large for its bounding box")
+    t = thickness
+    pts = [
+        (0.0, 0.0),
+        (width, 0.0),
+        (width, t),
+        (t, t),
+        (t, height),
+        (0.0, height),
+    ]
+    return Polygon([Point(x + px, y + py) for px, py in pts])
+
+
+def regular_polygon(cx: float, cy: float, radius: float, sides: int) -> Polygon:
+    """A regular polygon centered at (cx, cy); useful for pillar obstacles."""
+    if sides < 3:
+        raise ValueError("a regular polygon needs at least 3 sides")
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    return Polygon(
+        [
+            Point(
+                cx + radius * math.cos(2.0 * math.pi * i / sides),
+                cy + radius * math.sin(2.0 * math.pi * i / sides),
+            )
+            for i in range(sides)
+        ]
+    )

@@ -1,0 +1,55 @@
+"""Wireless transport substrate.
+
+The paper stresses that its fusion-center algorithm consumes *one
+measurement per iteration, with no ordering requirement*, because real
+wireless sensor networks deliver readings late, out of order, or not at all
+(multi-hop forwarding, interference, low transmission power, failed nodes).
+
+This package simulates that delivery layer:
+
+* :mod:`repro.network.scheduler` -- a small discrete-event queue.
+* :mod:`repro.network.link` -- per-message latency and loss models.
+* :mod:`repro.network.transport` -- delivery policies turning generated
+  measurement batches into an arrival stream (in-order for Scenarios A/B,
+  random-latency out-of-order for Scenario C, lossy variants for
+  robustness studies).
+"""
+
+from repro.network.scheduler import EventQueue, ScheduledEvent
+from repro.network.link import (
+    LinkModel,
+    PerfectLink,
+    UniformLatencyLink,
+    ExponentialLatencyLink,
+    LossyLink,
+)
+from repro.network.transport import (
+    DeliveryModel,
+    InOrderDelivery,
+    OutOfOrderDelivery,
+    ShuffledDelivery,
+    deliver,
+)
+from repro.network.topology import (
+    CommunicationGraph,
+    MultiHopLink,
+    TopologyAwareDelivery,
+)
+
+__all__ = [
+    "EventQueue",
+    "ScheduledEvent",
+    "LinkModel",
+    "PerfectLink",
+    "UniformLatencyLink",
+    "ExponentialLatencyLink",
+    "LossyLink",
+    "DeliveryModel",
+    "InOrderDelivery",
+    "OutOfOrderDelivery",
+    "ShuffledDelivery",
+    "deliver",
+    "CommunicationGraph",
+    "MultiHopLink",
+    "TopologyAwareDelivery",
+]

@@ -1,0 +1,95 @@
+"""Per-message link models: latency distributions and loss.
+
+A link model answers one question per message: *when* (if ever) does a
+measurement generated at time ``t`` arrive at the fusion center?  Latency
+is measured in time-step units (one time step = one measurement round for
+the whole network).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+
+class LinkModel(ABC):
+    """Interface for message delivery timing."""
+
+    @abstractmethod
+    def delivery_time(self, send_time: float, rng: np.random.Generator) -> Optional[float]:
+        """Arrival time for a message sent at ``send_time``.
+
+        Returns ``None`` if the message is lost.
+        """
+
+
+class PerfectLink(LinkModel):
+    """Zero-latency, lossless delivery (Scenarios A and B)."""
+
+    def delivery_time(self, send_time: float, rng: np.random.Generator) -> Optional[float]:
+        return send_time
+
+    def __repr__(self) -> str:
+        return "PerfectLink()"
+
+
+class UniformLatencyLink(LinkModel):
+    """Latency drawn uniformly from [low, high] time steps.
+
+    With ``high`` of a few time steps this reorders messages across
+    neighbouring rounds -- the Scenario C "unpredictable transmission
+    latency" model.
+    """
+
+    def __init__(self, low: float = 0.0, high: float = 1.0):
+        if low < 0 or high < low:
+            raise ValueError(f"need 0 <= low <= high, got low={low}, high={high}")
+        self.low = float(low)
+        self.high = float(high)
+
+    def delivery_time(self, send_time: float, rng: np.random.Generator) -> Optional[float]:
+        return send_time + float(rng.uniform(self.low, self.high))
+
+    def __repr__(self) -> str:
+        return f"UniformLatencyLink({self.low}, {self.high})"
+
+
+class ExponentialLatencyLink(LinkModel):
+    """Latency drawn from an exponential distribution (heavy reordering tail).
+
+    Multi-hop forwarding with contention produces occasional very late
+    arrivals; the exponential tail models that.
+    """
+
+    def __init__(self, mean: float = 0.5):
+        if mean <= 0:
+            raise ValueError(f"mean latency must be positive, got {mean}")
+        self.mean = float(mean)
+
+    def delivery_time(self, send_time: float, rng: np.random.Generator) -> Optional[float]:
+        return send_time + float(rng.exponential(self.mean))
+
+    def __repr__(self) -> str:
+        return f"ExponentialLatencyLink(mean={self.mean})"
+
+
+class LossyLink(LinkModel):
+    """Wraps another link, dropping each message with probability ``loss``."""
+
+    def __init__(self, inner: LinkModel, loss_probability: float):
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError(
+                f"loss probability must be in [0, 1), got {loss_probability}"
+            )
+        self.inner = inner
+        self.loss_probability = float(loss_probability)
+
+    def delivery_time(self, send_time: float, rng: np.random.Generator) -> Optional[float]:
+        if rng.uniform() < self.loss_probability:
+            return None
+        return self.inner.delivery_time(send_time, rng)
+
+    def __repr__(self) -> str:
+        return f"LossyLink({self.inner!r}, loss={self.loss_probability})"

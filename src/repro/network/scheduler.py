@@ -1,0 +1,61 @@
+"""A minimal discrete-event queue for the transport simulation."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An event ordered by delivery time, with FIFO tie-breaking."""
+
+    time: float
+    tiebreak: int = field(compare=True)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Priority queue of timestamped events.
+
+    Ties in delivery time are broken by insertion order, which keeps the
+    simulation deterministic for a fixed RNG seed.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[ScheduledEvent] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, payload: Any) -> None:
+        """Schedule ``payload`` for delivery at ``time``."""
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        heapq.heappush(self._heap, ScheduledEvent(time, next(self._counter), payload))
+
+    def pop(self) -> ScheduledEvent:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """Delivery time of the earliest event, or ``None`` if empty."""
+        return self._heap[0].time if self._heap else None
+
+    def drain_until(self, time: float) -> Iterator[ScheduledEvent]:
+        """Pop every event with delivery time <= ``time``, in order."""
+        while self._heap and self._heap[0].time <= time:
+            yield heapq.heappop(self._heap)
+
+    def drain_all(self) -> Iterator[ScheduledEvent]:
+        """Pop every remaining event in delivery order."""
+        while self._heap:
+            yield heapq.heappop(self._heap)

@@ -1,0 +1,117 @@
+"""Delivery policies: from generated measurement batches to arrival order.
+
+A :class:`DeliveryModel` consumes per-time-step batches of measurements (as
+produced by :meth:`repro.sensors.SensorNetwork.measure_time_step`) and
+yields per-time-step *arrival* batches at the fusion center.  The localizer
+then processes one measurement per iteration, in arrival order -- exactly
+the paper's "no ordering on the measurements" regime.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator, List, Sequence
+
+import numpy as np
+
+from repro.network.link import LinkModel, PerfectLink
+from repro.network.scheduler import EventQueue
+from repro.sensors.measurement import Measurement
+
+
+class DeliveryModel(ABC):
+    """Turns generation-order batches into arrival-order batches."""
+
+    @abstractmethod
+    def deliver(
+        self,
+        batches: Iterable[List[Measurement]],
+        rng: np.random.Generator,
+    ) -> Iterator[List[Measurement]]:
+        """Yield one arrival batch per time step (possibly plus a tail).
+
+        The concatenation of the yielded batches is the exact sequence the
+        fusion center processes, one measurement per iteration.
+        """
+
+
+class InOrderDelivery(DeliveryModel):
+    """Lossless, in-order delivery: arrival order = generation order."""
+
+    def deliver(
+        self,
+        batches: Iterable[List[Measurement]],
+        rng: np.random.Generator,
+    ) -> Iterator[List[Measurement]]:
+        for batch in batches:
+            yield list(batch)
+
+    def __repr__(self) -> str:
+        return "InOrderDelivery()"
+
+
+class ShuffledDelivery(DeliveryModel):
+    """Within-step reordering: each round's readings arrive in random order.
+
+    Models a single-hop network where all readings of a round arrive before
+    the next round but in unpredictable order.
+    """
+
+    def deliver(
+        self,
+        batches: Iterable[List[Measurement]],
+        rng: np.random.Generator,
+    ) -> Iterator[List[Measurement]]:
+        for batch in batches:
+            shuffled = list(batch)
+            rng.shuffle(shuffled)  # type: ignore[arg-type]
+            yield shuffled
+
+    def __repr__(self) -> str:
+        return "ShuffledDelivery()"
+
+
+class OutOfOrderDelivery(DeliveryModel):
+    """Cross-step reordering driven by a per-message latency link model.
+
+    Each sensor's reading in round ``t`` is sent at ``t + i/N`` (sensors
+    transmit spread across the round) and arrives after the link latency;
+    the fusion center processes whatever has arrived by the end of each
+    round.  Messages may be lost (``LossyLink``) or arrive rounds late --
+    the Scenario C regime.
+    """
+
+    def __init__(self, link: LinkModel | None = None):
+        self.link = link if link is not None else PerfectLink()
+
+    def deliver(
+        self,
+        batches: Iterable[List[Measurement]],
+        rng: np.random.Generator,
+    ) -> Iterator[List[Measurement]]:
+        queue = EventQueue()
+        step = -1
+        for step, batch in enumerate(batches):
+            n = max(1, len(batch))
+            for i, measurement in enumerate(batch):
+                send_time = step + i / n
+                arrival = self.link.delivery_time(send_time, rng)
+                if arrival is not None:
+                    queue.push(arrival, measurement)
+            yield [event.payload for event in queue.drain_until(step + 1.0)]
+        # Stragglers arrive after the last generation round.
+        tail = [event.payload for event in queue.drain_all()]
+        if tail:
+            yield tail
+
+    def __repr__(self) -> str:
+        return f"OutOfOrderDelivery({self.link!r})"
+
+
+def deliver(
+    batches: Sequence[List[Measurement]],
+    model: DeliveryModel,
+    rng: np.random.Generator,
+) -> List[List[Measurement]]:
+    """Materialize a delivery model's arrival batches as a list."""
+    return list(model.deliver(batches, rng))

@@ -1,0 +1,75 @@
+"""Radiation physics substrate.
+
+Implements the measurement model of Section III of the paper:
+
+* Eq. (1) free-space intensity  ``I_FS(x, A) = A_str / (1 + |x - A_pos|^2)``
+* Eq. (2) shielded intensity    ``I_S(l, A) = A_str * exp(-mu * l)``
+* Eq. (3) combined transport through free space and obstacles
+* Eq. (4) expected sensor counts ``I_i = 2.22e6 * E_i * sum_j I(S_i, A_j) + B_i``
+
+with measurements drawn from a Poisson process at rate ``I_i``.
+"""
+
+from repro.physics.units import (
+    CPM_PER_MICROCURIE,
+    cpm_to_microcurie,
+    microcurie_to_cpm,
+)
+from repro.physics.attenuation import (
+    Material,
+    MATERIALS,
+    attenuation_coefficient,
+    half_value_thickness,
+    mu_for_half_value,
+)
+from repro.physics.source import RadiationSource
+from repro.physics.obstacle import Obstacle
+from repro.physics.intensity import (
+    free_space_intensity,
+    shielded_intensity,
+    transport_intensity,
+    expected_cpm,
+    expected_cpm_grid,
+    RadiationField,
+)
+from repro.physics.background import (
+    BackgroundModel,
+    ConstantBackground,
+    SpatialGradientBackground,
+)
+from repro.physics.spectrum import (
+    EnergySpectrum,
+    ISOTOPE_ENERGIES_MEV,
+    SPECTRA,
+    effective_mu_for_spectrum,
+    linear_attenuation_coefficient,
+    mass_attenuation_coefficient,
+)
+
+__all__ = [
+    "CPM_PER_MICROCURIE",
+    "cpm_to_microcurie",
+    "microcurie_to_cpm",
+    "Material",
+    "MATERIALS",
+    "attenuation_coefficient",
+    "half_value_thickness",
+    "mu_for_half_value",
+    "RadiationSource",
+    "Obstacle",
+    "free_space_intensity",
+    "shielded_intensity",
+    "transport_intensity",
+    "expected_cpm",
+    "expected_cpm_grid",
+    "RadiationField",
+    "BackgroundModel",
+    "ConstantBackground",
+    "SpatialGradientBackground",
+    "EnergySpectrum",
+    "ISOTOPE_ENERGIES_MEV",
+    "SPECTRA",
+    "effective_mu_for_spectrum",
+    "linear_attenuation_coefficient",
+    "mass_attenuation_coefficient",
+]

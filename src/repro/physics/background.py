@@ -1,0 +1,70 @@
+"""Background radiation models.
+
+Every sensor records a background rate ``B_i`` (CPM) from cosmic rays and
+naturally occurring isotopes.  The paper evaluates constant backgrounds of
+0, 5, 10 and 50 CPM; typical environmental background is 5--20 CPM.  A
+spatial-gradient model is provided as an extension for robustness studies
+(the localizer assumes a constant background, so a gradient stresses its
+model mismatch tolerance).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class BackgroundModel(ABC):
+    """Interface: background count rate as a function of position."""
+
+    @abstractmethod
+    def rate_at(self, x: float, y: float) -> float:
+        """Background rate (CPM) at position (x, y)."""
+
+    def mean_rate(self) -> float:
+        """Nominal rate a calibrated localizer would assume."""
+        return self.rate_at(0.0, 0.0)
+
+
+class ConstantBackground(BackgroundModel):
+    """Uniform background ``B_i = rate`` everywhere (the paper's model)."""
+
+    def __init__(self, rate_cpm: float):
+        if rate_cpm < 0:
+            raise ValueError(f"background rate must be non-negative, got {rate_cpm}")
+        self.rate_cpm = float(rate_cpm)
+
+    def rate_at(self, x: float, y: float) -> float:
+        return self.rate_cpm
+
+    def mean_rate(self) -> float:
+        return self.rate_cpm
+
+    def __repr__(self) -> str:
+        return f"ConstantBackground({self.rate_cpm} CPM)"
+
+
+class SpatialGradientBackground(BackgroundModel):
+    """Background that varies linearly across the area.
+
+    ``rate(x, y) = base + gx * x + gy * y``, clipped at zero.  Models e.g.
+    granite-rich terrain on one side of the surveillance area.
+    """
+
+    def __init__(self, base_cpm: float, gx: float = 0.0, gy: float = 0.0):
+        if base_cpm < 0:
+            raise ValueError(f"base background must be non-negative, got {base_cpm}")
+        self.base_cpm = float(base_cpm)
+        self.gx = float(gx)
+        self.gy = float(gy)
+
+    def rate_at(self, x: float, y: float) -> float:
+        return max(0.0, self.base_cpm + self.gx * x + self.gy * y)
+
+    def mean_rate(self) -> float:
+        return self.base_cpm
+
+    def __repr__(self) -> str:
+        return (
+            f"SpatialGradientBackground(base={self.base_cpm}, "
+            f"gx={self.gx}, gy={self.gy})"
+        )

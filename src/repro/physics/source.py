@@ -1,0 +1,52 @@
+"""Radiation point sources (the ``A_j`` of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RadiationSource:
+    """A point source parameterized by position (x, y) and strength (uCi).
+
+    This is the three-value vector ``A_j = <A_x, A_y, A_str>`` of the
+    paper's problem formulation.  Sources are immutable; a "moving source"
+    in the simulator is a sequence of sources over time.
+    """
+
+    x: float
+    y: float
+    strength: float
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.strength < 0:
+            raise ValueError(f"source strength must be non-negative, got {self.strength}")
+
+    @property
+    def position(self) -> Tuple[float, float]:
+        """``A_pos = (A_x, A_y)``."""
+        return (self.x, self.y)
+
+    def position_array(self) -> np.ndarray:
+        """Position as a (2,) float array."""
+        return np.array([self.x, self.y], dtype=float)
+
+    def as_array(self) -> np.ndarray:
+        """Full parameter vector (x, y, strength) as a (3,) float array."""
+        return np.array([self.x, self.y, self.strength], dtype=float)
+
+    def distance_to(self, x: float, y: float) -> float:
+        """Euclidean distance from the source to (x, y)."""
+        return float(np.hypot(self.x - x, self.y - y))
+
+    def moved_to(self, x: float, y: float) -> "RadiationSource":
+        """A copy of this source relocated to (x, y)."""
+        return RadiationSource(x, y, self.strength, self.label)
+
+    def __str__(self) -> str:
+        tag = f" {self.label}" if self.label else ""
+        return f"Source{tag}({self.x:.1f}, {self.y:.1f}, {self.strength:.1f} uCi)"

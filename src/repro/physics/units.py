@@ -1,0 +1,38 @@
+"""Unit conventions and conversions.
+
+The paper works in:
+
+* source strength -- micro-Curies (uCi), a positive real;
+* sensor readings -- counts per minute (CPM);
+* length -- abstract units (1 unit = 1 cm in the problem formulation).
+
+Eq. (4) converts source strength (after geometric and shielding losses) into
+an expected count rate using the constant ``2.22e6`` CPM per uCi: one Curie
+is 3.7e10 decays/s, so 1 uCi = 3.7e4 decays/s = 2.22e6 decays/min.
+"""
+
+from __future__ import annotations
+
+#: Conversion factor from micro-Curies to counts per minute (Eq. 4).
+CPM_PER_MICROCURIE = 2.22e6
+
+
+def microcurie_to_cpm(strength_uci: float, efficiency: float = 1.0) -> float:
+    """Expected CPM induced by ``strength_uci`` at unit intensity.
+
+    ``efficiency`` is the sensor's counting-efficiency constant ``E_i``.
+    """
+    if strength_uci < 0:
+        raise ValueError(f"source strength must be non-negative, got {strength_uci}")
+    if efficiency < 0:
+        raise ValueError(f"sensor efficiency must be non-negative, got {efficiency}")
+    return CPM_PER_MICROCURIE * efficiency * strength_uci
+
+
+def cpm_to_microcurie(cpm: float, efficiency: float = 1.0) -> float:
+    """Inverse of :func:`microcurie_to_cpm`."""
+    if cpm < 0:
+        raise ValueError(f"count rate must be non-negative, got {cpm}")
+    if efficiency <= 0:
+        raise ValueError(f"sensor efficiency must be positive, got {efficiency}")
+    return cpm / (CPM_PER_MICROCURIE * efficiency)

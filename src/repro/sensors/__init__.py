@@ -1,0 +1,38 @@
+"""Radiation sensor network substrate.
+
+* :mod:`repro.sensors.sensor` -- a single counting sensor (location,
+  efficiency ``E_i``, local background ``B_i``, failure flag).
+* :mod:`repro.sensors.placement` -- deployment strategies: uniform grid
+  (Scenarios A and B), Poisson point process (Scenario C), uniform random.
+* :mod:`repro.sensors.measurement` -- timestamped Poisson count readings.
+* :mod:`repro.sensors.network` -- the sensor network container that samples
+  measurements from a :class:`repro.physics.RadiationField`.
+"""
+
+from repro.sensors.sensor import Sensor
+from repro.sensors.placement import (
+    grid_placement,
+    poisson_placement,
+    uniform_random_placement,
+)
+from repro.sensors.measurement import Measurement
+from repro.sensors.network import SensorNetwork
+from repro.sensors.calibration import (
+    CalibrationResult,
+    apply_calibration,
+    calibrate_network,
+    calibration_minutes_for_error,
+)
+
+__all__ = [
+    "Sensor",
+    "grid_placement",
+    "poisson_placement",
+    "uniform_random_placement",
+    "Measurement",
+    "SensorNetwork",
+    "CalibrationResult",
+    "apply_calibration",
+    "calibrate_network",
+    "calibration_minutes_for_error",
+]

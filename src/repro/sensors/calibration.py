@@ -1,0 +1,175 @@
+"""Sensor calibration: estimating ``E_i`` and ``B_i`` from controlled runs.
+
+The paper assumes calibrated sensors and points at the procedure of its
+companion paper (Chin et al., SenSys 2008): expose each sensor to (i) no
+source, to estimate the background rate ``B_i``, and (ii) a check source
+of known strength at a known distance, to estimate the counting
+efficiency ``E_i``.  This module implements that procedure on top of the
+simulator so a deployment can be driven end-to-end without hand-supplied
+constants -- and so the robustness benches can quantify what calibration
+error does to the localizer.
+
+Estimation detail: counts are Poisson, so the background estimate is the
+sample mean of background-only readings, and the efficiency estimate is
+the excess mean divided by the predicted unit-efficiency rate.  Both
+estimators are unbiased; their standard errors shrink as 1/sqrt(minutes
+of calibration data), which :func:`calibration_minutes_for_error`
+inverts into a "how long must I calibrate" answer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.physics.intensity import RadiationField, free_space_intensity
+from repro.physics.source import RadiationSource
+from repro.physics.units import CPM_PER_MICROCURIE
+from repro.sensors.sensor import Sensor
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Estimated sensor constants with their standard errors."""
+
+    sensor_id: int
+    background_cpm: float
+    background_stderr: float
+    efficiency: float
+    efficiency_stderr: float
+
+    def calibrated_sensor(self, sensor: Sensor) -> Sensor:
+        """A copy of ``sensor`` carrying the estimated constants."""
+        return Sensor(
+            sensor_id=sensor.sensor_id,
+            x=sensor.x,
+            y=sensor.y,
+            efficiency=max(self.efficiency, 1e-12),
+            background_cpm=max(self.background_cpm, 0.0),
+            failed=sensor.failed,
+        )
+
+
+def estimate_background(
+    readings_cpm: Sequence[float],
+) -> tuple[float, float]:
+    """Mean background rate and its standard error from source-free readings."""
+    readings = np.asarray(readings_cpm, dtype=float)
+    if readings.size == 0:
+        raise ValueError("need at least one background reading")
+    if np.any(readings < 0):
+        raise ValueError("readings must be non-negative")
+    mean = float(readings.mean())
+    # Poisson: variance == mean; stderr of the mean = sqrt(mean / n).
+    stderr = math.sqrt(max(mean, 0.0) / readings.size)
+    return mean, stderr
+
+
+def estimate_efficiency(
+    readings_cpm: Sequence[float],
+    background_cpm: float,
+    check_source: RadiationSource,
+    sensor_x: float,
+    sensor_y: float,
+) -> tuple[float, float]:
+    """Efficiency ``E_i`` from readings with a known check source present.
+
+    The expected rate is ``E_i * unit_rate + B_i`` where ``unit_rate`` is
+    the CPM a perfectly-efficient counter would see (Eq. 4 with E = 1), so
+    ``E_i = (mean - B_i) / unit_rate``.
+    """
+    readings = np.asarray(readings_cpm, dtype=float)
+    if readings.size == 0:
+        raise ValueError("need at least one check-source reading")
+    unit_rate = CPM_PER_MICROCURIE * free_space_intensity(
+        sensor_x, sensor_y, check_source.x, check_source.y, check_source.strength
+    )
+    if unit_rate <= 0:
+        raise ValueError("check source produces no signal at this sensor")
+    mean = float(readings.mean())
+    excess = max(mean - background_cpm, 0.0)
+    efficiency = excess / unit_rate
+    stderr = math.sqrt(max(mean, 0.0) / readings.size) / unit_rate
+    return efficiency, stderr
+
+
+def calibrate_network(
+    sensors: Sequence[Sensor],
+    check_source: RadiationSource,
+    rng: np.random.Generator,
+    background_minutes: int = 30,
+    source_minutes: int = 30,
+) -> Dict[int, CalibrationResult]:
+    """Run the full two-phase calibration against the simulator.
+
+    Phase 1: ``background_minutes`` one-minute counts with no source.
+    Phase 2: ``source_minutes`` counts with the check source deployed.
+    Returns per-sensor results keyed by sensor id.
+    """
+    if background_minutes < 1 or source_minutes < 1:
+        raise ValueError("calibration needs at least one minute per phase")
+
+    results: Dict[int, CalibrationResult] = {}
+    field = RadiationField([check_source])
+    for sensor in sensors:
+        # Phase 1: background only.
+        background_counts = rng.poisson(
+            sensor.background_cpm, size=background_minutes
+        ).astype(float)
+        background, background_stderr = estimate_background(background_counts)
+
+        # Phase 2: check source present.
+        rate = field.expected_cpm_at(
+            sensor.x,
+            sensor.y,
+            efficiency=sensor.efficiency,
+            background_cpm=sensor.background_cpm,
+        )
+        source_counts = rng.poisson(rate, size=source_minutes).astype(float)
+        efficiency, efficiency_stderr = estimate_efficiency(
+            source_counts, background, check_source, sensor.x, sensor.y
+        )
+        results[sensor.sensor_id] = CalibrationResult(
+            sensor_id=sensor.sensor_id,
+            background_cpm=background,
+            background_stderr=background_stderr,
+            efficiency=efficiency,
+            efficiency_stderr=efficiency_stderr,
+        )
+    return results
+
+
+def calibration_minutes_for_error(
+    target_relative_error: float,
+    expected_rate_cpm: float,
+) -> int:
+    """Minutes of one-minute counts needed for a target relative error.
+
+    The standard error of a Poisson-mean estimate after ``n`` minutes is
+    ``sqrt(rate / n)``; solving ``sqrt(rate / n) / rate <= target`` gives
+    ``n >= 1 / (target^2 * rate)``.
+    """
+    if not 0 < target_relative_error < 1:
+        raise ValueError(
+            f"target relative error must be in (0, 1), got {target_relative_error}"
+        )
+    if expected_rate_cpm <= 0:
+        raise ValueError(f"expected rate must be positive, got {expected_rate_cpm}")
+    return max(1, math.ceil(1.0 / (target_relative_error**2 * expected_rate_cpm)))
+
+
+def apply_calibration(
+    sensors: Sequence[Sensor],
+    results: Dict[int, CalibrationResult],
+) -> List[Sensor]:
+    """Sensors carrying their *estimated* constants (for the localizer)."""
+    calibrated = []
+    for sensor in sensors:
+        result = results.get(sensor.sensor_id)
+        calibrated.append(
+            result.calibrated_sensor(sensor) if result is not None else sensor
+        )
+    return calibrated

@@ -1,0 +1,43 @@
+"""Sensor measurements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One reading ``m(S_i)`` delivered by a sensor.
+
+    * ``sensor_id`` -- the reporting sensor.
+    * ``x``, ``y`` -- the sensor's known location (carried with the reading
+      so that the fusion center does not need a directory lookup).
+    * ``cpm`` -- the observed count rate, a non-negative integer drawn from
+      a Poisson distribution whose rate is the expected intensity (Eq. 4).
+    * ``time_step`` -- the surveillance time step ``T`` in which the
+      reading was taken (each time step, every live sensor reads once).
+    * ``sequence`` -- global generation order, used by the transport layer
+      to model in-order vs out-of-order delivery.
+    """
+
+    sensor_id: int
+    x: float
+    y: float
+    cpm: float
+    time_step: int
+    sequence: int
+
+    def __post_init__(self) -> None:
+        if self.cpm < 0:
+            raise ValueError(f"measurement CPM must be non-negative, got {self.cpm}")
+
+    @property
+    def position(self) -> Tuple[float, float]:
+        return (self.x, self.y)
+
+    def __str__(self) -> str:
+        return (
+            f"Measurement(sensor={self.sensor_id}, pos=({self.x:.1f}, {self.y:.1f}), "
+            f"cpm={self.cpm:.0f}, T={self.time_step}, seq={self.sequence})"
+        )

@@ -1,0 +1,104 @@
+"""The sensor network: samples Poisson measurements from a radiation field."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.physics.background import BackgroundModel
+from repro.physics.intensity import RadiationField
+from repro.sensors.measurement import Measurement
+from repro.sensors.sensor import Sensor
+
+
+class SensorNetwork:
+    """A deployed set of sensors observing a ground-truth radiation field.
+
+    Each call to :meth:`measure_time_step` produces one measurement per
+    live sensor: a Poisson draw with rate equal to the expected CPM at the
+    sensor (Eq. 4), which includes every source's transported intensity and
+    the sensor's local background.
+    """
+
+    def __init__(
+        self,
+        sensors: Sequence[Sensor],
+        field: RadiationField,
+        rng: np.random.Generator,
+        background: Optional[BackgroundModel] = None,
+    ):
+        if not sensors:
+            raise ValueError("a sensor network needs at least one sensor")
+        ids = [s.sensor_id for s in sensors]
+        if len(set(ids)) != len(ids):
+            raise ValueError("sensor ids must be unique")
+        self.sensors = list(sensors)
+        self.field = field
+        self.rng = rng
+        self.background = background
+        self._sequence = 0
+        # Cache expected rates: sources and obstacles are static, so the
+        # Poisson rate at each sensor never changes between time steps.
+        self._rates: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self.sensors)
+
+    def live_sensors(self) -> List[Sensor]:
+        """Sensors that have not failed."""
+        return [s for s in self.sensors if not s.failed]
+
+    def _background_at(self, sensor: Sensor) -> float:
+        if self.background is not None:
+            return self.background.rate_at(sensor.x, sensor.y)
+        return sensor.background_cpm
+
+    def expected_rates(self) -> np.ndarray:
+        """Expected CPM at every sensor (including failed ones), Eq. (4)."""
+        if self._rates is None:
+            self._rates = np.array(
+                [
+                    self.field.expected_cpm_at(
+                        s.x, s.y, efficiency=s.efficiency,
+                        background_cpm=self._background_at(s),
+                    )
+                    for s in self.sensors
+                ],
+                dtype=float,
+            )
+        return self._rates
+
+    def invalidate_rate_cache(self) -> None:
+        """Call after mutating the field (e.g. a source moved)."""
+        self._rates = None
+
+    def measure_time_step(self, time_step: int) -> List[Measurement]:
+        """One Poisson measurement from every live sensor.
+
+        Measurements are produced in sensor-id order; delivery ordering is
+        the transport layer's job (see :mod:`repro.network.transport`).
+        """
+        rates = self.expected_rates()
+        measurements: List[Measurement] = []
+        for idx, sensor in enumerate(self.sensors):
+            if sensor.failed:
+                continue
+            count = float(self.rng.poisson(rates[idx]))
+            measurements.append(
+                Measurement(
+                    sensor_id=sensor.sensor_id,
+                    x=sensor.x,
+                    y=sensor.y,
+                    cpm=count,
+                    time_step=time_step,
+                    sequence=self._sequence,
+                )
+            )
+            self._sequence += 1
+        return measurements
+
+    def measure_stream(self, n_time_steps: int) -> Iterable[List[Measurement]]:
+        """Generator of per-time-step measurement batches."""
+        for t in range(n_time_steps):
+            yield self.measure_time_step(t)

@@ -1,0 +1,145 @@
+"""Sensor deployment strategies.
+
+The paper uses a uniform grid for Scenarios A (6x6 = 36 sensors over
+100x100) and B (14x14 = 196 sensors over 260x260), and a Poisson point
+process (195 sensors) for Scenario C.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.sensors.sensor import Sensor
+
+
+def grid_placement(
+    rows: int,
+    cols: int,
+    width: float,
+    height: float,
+    efficiency: float = 1.0,
+    background_cpm: float = 0.0,
+    margin_fraction: float = 0.5,
+) -> List[Sensor]:
+    """Sensors on a uniform ``rows x cols`` grid covering the area.
+
+    ``margin_fraction`` positions the outermost sensors at
+    ``margin_fraction * spacing`` from the area edge; 0.5 centers the grid
+    cells on the area (a 6x6 grid over 100x100 lands at 8.33, 25, ...),
+    while 0.0 puts sensors flush with the boundary (0, 20, 40, ...).
+    The paper's figures show sensors starting at the origin, so scenario
+    definitions use ``margin_fraction=0.0``.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError(f"grid must be at least 1x1, got {rows}x{cols}")
+    if width <= 0 or height <= 0:
+        raise ValueError(f"area must be positive, got {width}x{height}")
+
+    sensors: List[Sensor] = []
+    sensor_id = 0
+    for r in range(rows):
+        for c in range(cols):
+            if cols > 1:
+                spacing_x = width / (cols - 1 + 2 * margin_fraction)
+                x = spacing_x * (c + margin_fraction)
+            else:
+                x = width / 2.0
+            if rows > 1:
+                spacing_y = height / (rows - 1 + 2 * margin_fraction)
+                y = spacing_y * (r + margin_fraction)
+            else:
+                y = height / 2.0
+            sensors.append(
+                Sensor(sensor_id, x, y, efficiency=efficiency, background_cpm=background_cpm)
+            )
+            sensor_id += 1
+    return sensors
+
+
+def poisson_placement(
+    expected_count: int,
+    width: float,
+    height: float,
+    rng: np.random.Generator,
+    efficiency: float = 1.0,
+    background_cpm: float = 0.0,
+    exact_count: bool = False,
+) -> List[Sensor]:
+    """Sensors from a homogeneous Poisson point process over the area.
+
+    With ``exact_count=True`` exactly ``expected_count`` sensors are placed
+    uniformly at random (a binomial point process -- the Poisson process
+    conditioned on its count), which is how reported scenarios fix N=195.
+    """
+    if expected_count < 1:
+        raise ValueError(f"expected_count must be >= 1, got {expected_count}")
+    if width <= 0 or height <= 0:
+        raise ValueError(f"area must be positive, got {width}x{height}")
+
+    n = expected_count if exact_count else max(1, int(rng.poisson(expected_count)))
+    xs = rng.uniform(0.0, width, size=n)
+    ys = rng.uniform(0.0, height, size=n)
+    return [
+        Sensor(i, float(xs[i]), float(ys[i]), efficiency=efficiency, background_cpm=background_cpm)
+        for i in range(n)
+    ]
+
+
+def uniform_random_placement(
+    count: int,
+    width: float,
+    height: float,
+    rng: np.random.Generator,
+    efficiency: float = 1.0,
+    background_cpm: float = 0.0,
+) -> List[Sensor]:
+    """Exactly ``count`` sensors placed uniformly at random."""
+    return poisson_placement(
+        count,
+        width,
+        height,
+        rng,
+        efficiency=efficiency,
+        background_cpm=background_cpm,
+        exact_count=True,
+    )
+
+
+def grid_spacing(sensors: List[Sensor]) -> Tuple[float, float]:
+    """Estimate (dx, dy) spacing of a grid placement from sensor positions.
+
+    Useful for auto-selecting fusion ranges.  Returns the median nearest
+    distinct x/y gaps; for non-grid layouts this is a rough characteristic
+    distance.
+    """
+    if len(sensors) < 2:
+        raise ValueError("need at least two sensors to estimate spacing")
+    xs = np.array(sorted({round(s.x, 9) for s in sensors}))
+    ys = np.array(sorted({round(s.y, 9) for s in sensors}))
+    dx = float(np.median(np.diff(xs))) if len(xs) > 1 else float(np.median(np.diff(ys)))
+    dy = float(np.median(np.diff(ys))) if len(ys) > 1 else dx
+    return dx, dy
+
+
+def fail_sensors(
+    sensors: List[Sensor],
+    fraction: float,
+    rng: np.random.Generator,
+) -> List[int]:
+    """Mark a random fraction of sensors as failed; returns their ids.
+
+    Used by robustness experiments (the paper claims tolerance of
+    malfunctioning sensors).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    n_fail = int(round(fraction * len(sensors)))
+    failed_ids: List[int] = []
+    if n_fail == 0:
+        return failed_ids
+    for idx in rng.choice(len(sensors), size=n_fail, replace=False):
+        sensors[int(idx)].failed = True
+        failed_ids.append(sensors[int(idx)].sensor_id)
+    return failed_ids

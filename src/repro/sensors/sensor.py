@@ -1,0 +1,56 @@
+"""A single radiation counting sensor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass
+class Sensor:
+    """A radiation sensor at a known location.
+
+    Attributes mirror the paper's model:
+
+    * ``x``, ``y`` -- known deployment coordinates ``S_i``.
+    * ``efficiency`` -- counting-efficiency constant ``E_i`` correcting for
+      manufacturing bias (obtained by calibration in the paper).
+    * ``background_cpm`` -- the local background rate ``B_i``.
+    * ``failed`` -- a malfunctioning sensor produces no measurements; the
+      paper claims robustness to such sensors.
+    """
+
+    sensor_id: int
+    x: float
+    y: float
+    efficiency: float = 1.0
+    background_cpm: float = 0.0
+    failed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.efficiency <= 0:
+            raise ValueError(
+                f"sensor {self.sensor_id}: efficiency must be positive, "
+                f"got {self.efficiency}"
+            )
+        if self.background_cpm < 0:
+            raise ValueError(
+                f"sensor {self.sensor_id}: background must be non-negative, "
+                f"got {self.background_cpm}"
+            )
+
+    @property
+    def position(self) -> Tuple[float, float]:
+        return (self.x, self.y)
+
+    def position_array(self) -> np.ndarray:
+        return np.array([self.x, self.y], dtype=float)
+
+    def distance_to(self, x: float, y: float) -> float:
+        return float(np.hypot(self.x - x, self.y - y))
+
+    def __str__(self) -> str:
+        status = " FAILED" if self.failed else ""
+        return f"Sensor#{self.sensor_id}({self.x:.1f}, {self.y:.1f}){status}"

@@ -1,0 +1,103 @@
+"""Result containers for simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.estimator import SourceEstimate
+from repro.core.particles import ParticleSet
+from repro.eval.aggregate import mean_series
+from repro.eval.metrics import StepMetrics
+
+
+@dataclass
+class StepRecord:
+    """Everything recorded at the end of one time step."""
+
+    metrics: StepMetrics
+    estimates: List[SourceEstimate]
+    #: Mean wall-clock seconds per localizer iteration within this step.
+    mean_iteration_seconds: float
+    #: Number of measurements processed in this step.
+    n_measurements: int
+    #: Optional particle snapshot (only for steps the caller asked for).
+    snapshot: Optional[ParticleSet] = None
+
+
+@dataclass
+class RunResult:
+    """One complete run of a scenario."""
+
+    scenario_name: str
+    source_labels: List[str]
+    steps: List[StepRecord] = field(default_factory=list)
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    def error_series(self, source_index: int) -> List[float]:
+        """Per-step localization error for one source (inf = missed)."""
+        return [s.metrics.errors[source_index] for s in self.steps]
+
+    def false_positive_series(self) -> List[float]:
+        return [float(s.metrics.false_positives) for s in self.steps]
+
+    def false_negative_series(self) -> List[float]:
+        return [float(s.metrics.false_negatives) for s in self.steps]
+
+    def estimate_count_series(self) -> List[float]:
+        return [float(s.metrics.n_estimates) for s in self.steps]
+
+    def mean_iteration_seconds(self) -> float:
+        """Average per-iteration wall time across the whole run."""
+        if not self.steps:
+            return float("nan")
+        return float(np.mean([s.mean_iteration_seconds for s in self.steps]))
+
+    def final_estimates(self) -> List[SourceEstimate]:
+        if not self.steps:
+            return []
+        return self.steps[-1].estimates
+
+
+@dataclass
+class RepeatedRunResult:
+    """Aggregate of several runs of the same scenario (the paper uses 10)."""
+
+    scenario_name: str
+    source_labels: List[str]
+    runs: List[RunResult]
+
+    @property
+    def n_repeats(self) -> int:
+        return len(self.runs)
+
+    def _check(self) -> None:
+        if not self.runs:
+            raise ValueError("no runs to aggregate")
+
+    def mean_error_series(self, source_index: int) -> List[float]:
+        """Per-step error for one source, averaged over repeats."""
+        self._check()
+        return mean_series([r.error_series(source_index) for r in self.runs])
+
+    def mean_false_positive_series(self) -> List[float]:
+        self._check()
+        return mean_series([r.false_positive_series() for r in self.runs])
+
+    def mean_false_negative_series(self) -> List[float]:
+        self._check()
+        return mean_series([r.false_negative_series() for r in self.runs])
+
+    def all_mean_series(self) -> Dict[str, List[float]]:
+        """Named series ready for :func:`repro.eval.reporting.format_series`."""
+        out: Dict[str, List[float]] = {}
+        for i, label in enumerate(self.source_labels):
+            out[f"err[{label}]"] = self.mean_error_series(i)
+        out["FP"] = self.mean_false_positive_series()
+        out["FN"] = self.mean_false_negative_series()
+        return out

@@ -1,0 +1,26 @@
+"""Deterministic random-number management.
+
+Every stochastic component (measurement noise, delivery latency, particle
+filter) gets its own child generator spawned from one seed, so a run is
+exactly reproducible and components stay independent: adding a draw to the
+transport layer does not perturb the particle filter's stream.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def seeded_rng(seed: int) -> np.random.Generator:
+    """A fresh PCG64 generator for the given seed."""
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, n: int) -> List[np.random.Generator]:
+    """``n`` statistically independent generators derived from one seed."""
+    if n < 1:
+        raise ValueError(f"need at least one generator, got {n}")
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]

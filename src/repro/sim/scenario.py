@@ -1,0 +1,86 @@
+"""Scenario: the complete specification of one simulated deployment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import LocalizerConfig
+from repro.network.transport import DeliveryModel, InOrderDelivery
+from repro.physics.intensity import RadiationField
+from repro.physics.obstacle import Obstacle
+from repro.physics.source import RadiationSource
+from repro.sensors.sensor import Sensor
+
+
+@dataclass
+class Scenario:
+    """Everything needed to run one experiment.
+
+    A scenario owns the *ground truth* (sources, obstacles, sensors,
+    background) and the localizer configuration used against it.  Factory
+    functions in :mod:`repro.sim.scenarios` build the paper's Scenarios
+    A, B and C.
+    """
+
+    name: str
+    area: Tuple[float, float]
+    sources: List[RadiationSource]
+    sensors: List[Sensor]
+    obstacles: List[Obstacle] = field(default_factory=list)
+    background_cpm: float = 5.0
+    n_time_steps: int = 30
+    localizer_config: Optional[LocalizerConfig] = None
+    delivery: DeliveryModel = field(default_factory=InOrderDelivery)
+
+    def __post_init__(self) -> None:
+        if not self.sources:
+            raise ValueError(f"scenario {self.name!r} has no sources")
+        if not self.sensors:
+            raise ValueError(f"scenario {self.name!r} has no sensors")
+        if self.n_time_steps < 1:
+            raise ValueError(f"n_time_steps must be >= 1, got {self.n_time_steps}")
+        if self.background_cpm < 0:
+            raise ValueError(f"background must be non-negative, got {self.background_cpm}")
+        w, h = self.area
+        for src in self.sources:
+            if not (0 <= src.x <= w and 0 <= src.y <= h):
+                raise ValueError(f"source {src} outside the {w}x{h} area")
+        if self.localizer_config is None:
+            self.localizer_config = LocalizerConfig(
+                area=self.area, assumed_background_cpm=self.background_cpm
+            )
+
+    def field_with_obstacles(self) -> RadiationField:
+        """The ground-truth field including obstacles."""
+        return RadiationField(self.sources, self.obstacles)
+
+    def field_without_obstacles(self) -> RadiationField:
+        """The same sources in an empty area (the obstacle-ablation twin)."""
+        return RadiationField(self.sources, ())
+
+    def without_obstacles(self) -> "Scenario":
+        """A copy of this scenario with the obstacles removed."""
+        return replace(self, name=f"{self.name}-no-obstacles", obstacles=[])
+
+    def with_delivery(self, delivery: DeliveryModel) -> "Scenario":
+        """A copy using a different transport model."""
+        return replace(self, delivery=delivery)
+
+    def with_sources(self, sources: Sequence[RadiationSource]) -> "Scenario":
+        """A copy with a different source set."""
+        return replace(self, sources=list(sources))
+
+    def source_positions(self) -> np.ndarray:
+        """(K, 2) array of true source positions."""
+        return np.array([[s.x, s.y] for s in self.sources], dtype=float)
+
+    def describe(self) -> str:
+        """One-line summary for logs and benchmark headers."""
+        return (
+            f"{self.name}: {len(self.sources)} sources, {len(self.sensors)} sensors, "
+            f"{len(self.obstacles)} obstacles, area {self.area[0]:.0f}x{self.area[1]:.0f}, "
+            f"background {self.background_cpm} CPM, {self.n_time_steps} steps"
+        )

@@ -1,0 +1,190 @@
+"""Scenario (de)serialization: deployments as JSON documents.
+
+A real deployment's configuration -- sensor positions and calibrations,
+suspected obstacle footprints, localizer tuning -- lives in files, not in
+code.  This module round-trips a :class:`repro.sim.Scenario` through a
+plain-JSON document so experiment configurations can be versioned,
+shared, and edited by hand.
+
+Delivery models are serialized by name with their parameters; custom
+delivery classes fall back to in-order on load (with the original name
+preserved in the document for the caller to resolve).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.core.config import LocalizerConfig
+from repro.geometry.polygon import Polygon
+from repro.network.link import (
+    ExponentialLatencyLink,
+    LinkModel,
+    LossyLink,
+    PerfectLink,
+    UniformLatencyLink,
+)
+from repro.network.transport import (
+    DeliveryModel,
+    InOrderDelivery,
+    OutOfOrderDelivery,
+    ShuffledDelivery,
+)
+from repro.physics.obstacle import Obstacle
+from repro.physics.source import RadiationSource
+from repro.sensors.sensor import Sensor
+from repro.sim.scenario import Scenario
+
+#: Document format version; bump on incompatible changes.
+FORMAT_VERSION = 1
+
+
+def _link_to_dict(link: LinkModel) -> Dict[str, Any]:
+    if isinstance(link, PerfectLink):
+        return {"type": "perfect"}
+    if isinstance(link, UniformLatencyLink):
+        return {"type": "uniform", "low": link.low, "high": link.high}
+    if isinstance(link, ExponentialLatencyLink):
+        return {"type": "exponential", "mean": link.mean}
+    if isinstance(link, LossyLink):
+        return {
+            "type": "lossy",
+            "loss": link.loss_probability,
+            "inner": _link_to_dict(link.inner),
+        }
+    return {"type": "custom", "repr": repr(link)}
+
+
+def _link_from_dict(data: Dict[str, Any]) -> LinkModel:
+    kind = data.get("type", "perfect")
+    if kind == "perfect":
+        return PerfectLink()
+    if kind == "uniform":
+        return UniformLatencyLink(data["low"], data["high"])
+    if kind == "exponential":
+        return ExponentialLatencyLink(data["mean"])
+    if kind == "lossy":
+        return LossyLink(_link_from_dict(data["inner"]), data["loss"])
+    return PerfectLink()
+
+
+def _delivery_to_dict(delivery: DeliveryModel) -> Dict[str, Any]:
+    if isinstance(delivery, InOrderDelivery):
+        return {"type": "in-order"}
+    if isinstance(delivery, ShuffledDelivery):
+        return {"type": "shuffled"}
+    if isinstance(delivery, OutOfOrderDelivery):
+        return {"type": "out-of-order", "link": _link_to_dict(delivery.link)}
+    return {"type": "custom", "repr": repr(delivery)}
+
+
+def _delivery_from_dict(data: Dict[str, Any]) -> DeliveryModel:
+    kind = data.get("type", "in-order")
+    if kind == "in-order":
+        return InOrderDelivery()
+    if kind == "shuffled":
+        return ShuffledDelivery()
+    if kind == "out-of-order":
+        return OutOfOrderDelivery(_link_from_dict(data.get("link", {})))
+    return InOrderDelivery()
+
+
+def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
+    """A JSON-serializable document describing the scenario."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": scenario.name,
+        "area": list(scenario.area),
+        "background_cpm": scenario.background_cpm,
+        "n_time_steps": scenario.n_time_steps,
+        "sources": [
+            {"x": s.x, "y": s.y, "strength": s.strength, "label": s.label}
+            for s in scenario.sources
+        ],
+        "sensors": [
+            {
+                "id": s.sensor_id,
+                "x": s.x,
+                "y": s.y,
+                "efficiency": s.efficiency,
+                "background_cpm": s.background_cpm,
+                "failed": s.failed,
+            }
+            for s in scenario.sensors
+        ],
+        "obstacles": [
+            {
+                "label": o.label,
+                "mu": o.mu,
+                "vertices": [[v.x, v.y] for v in o.polygon.vertices],
+            }
+            for o in scenario.obstacles
+        ],
+        "localizer_config": dataclasses.asdict(scenario.localizer_config),
+        "delivery": _delivery_to_dict(scenario.delivery),
+    }
+
+
+def scenario_from_dict(data: Dict[str, Any]) -> Scenario:
+    """Rebuild a Scenario from :func:`scenario_to_dict` output."""
+    version = data.get("format_version", 0)
+    if version > FORMAT_VERSION:
+        raise ValueError(
+            f"scenario document version {version} is newer than supported "
+            f"({FORMAT_VERSION})"
+        )
+    sources = [
+        RadiationSource(s["x"], s["y"], s["strength"], label=s.get("label", ""))
+        for s in data["sources"]
+    ]
+    sensors = [
+        Sensor(
+            sensor_id=s["id"],
+            x=s["x"],
+            y=s["y"],
+            efficiency=s.get("efficiency", 1.0),
+            background_cpm=s.get("background_cpm", 0.0),
+            failed=s.get("failed", False),
+        )
+        for s in data["sensors"]
+    ]
+    obstacles = [
+        Obstacle(
+            Polygon([tuple(v) for v in o["vertices"]]),
+            mu=o["mu"],
+            label=o.get("label", ""),
+        )
+        for o in data.get("obstacles", [])
+    ]
+    config_data = data.get("localizer_config")
+    config = None
+    if config_data is not None:
+        config_data = dict(config_data)
+        area = config_data.get("area")
+        if isinstance(area, list):
+            config_data["area"] = tuple(area)
+        config = LocalizerConfig(**config_data)
+    return Scenario(
+        name=data.get("name", "unnamed"),
+        area=(float(data["area"][0]), float(data["area"][1])),
+        sources=sources,
+        sensors=sensors,
+        obstacles=obstacles,
+        background_cpm=data.get("background_cpm", 0.0),
+        n_time_steps=data.get("n_time_steps", 30),
+        localizer_config=config,
+        delivery=_delivery_from_dict(data.get("delivery", {})),
+    )
+
+
+def save_scenario(scenario: Scenario, path: str | Path) -> None:
+    """Write the scenario to a JSON file."""
+    Path(path).write_text(json.dumps(scenario_to_dict(scenario), indent=2))
+
+
+def load_scenario(path: str | Path) -> Scenario:
+    """Read a scenario from a JSON file."""
+    return scenario_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,10 @@
+"""Terminal visualization of scenarios and particle populations.
+
+No plotting libraries are available offline, so the figures that are
+pictures in the paper (Figs. 2, 4, 8) are rendered as ASCII maps: sensors,
+sources, obstacles, particle density and estimates over a character grid.
+"""
+
+from repro.viz.ascii_map import AsciiMap, render_scenario, render_particles
+
+__all__ = ["AsciiMap", "render_scenario", "render_particles"]

@@ -1,0 +1,155 @@
+"""ASCII rendering of surveillance areas.
+
+Glyph conventions (later layers overdraw earlier ones):
+
+* particle density -- `` .:-=+*#%@`` ramp (weight mass per cell)
+* obstacles -- ``[]``-filled cells
+* sensors -- ``o``
+* sources -- ``S``
+* estimates -- ``E``
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.estimator import SourceEstimate
+from repro.core.particles import ParticleSet
+from repro.geometry.primitives import Point
+from repro.physics.obstacle import Obstacle
+from repro.physics.source import RadiationSource
+from repro.sensors.sensor import Sensor
+
+#: Density ramp from empty to dense.
+DENSITY_RAMP = " .:-=+*#%@"
+
+
+class AsciiMap:
+    """A character-grid canvas over a rectangular area.
+
+    The grid is addressed in map coordinates; row 0 of the rendered output
+    is the *top* (largest y), matching how the paper's figures are read.
+    """
+
+    def __init__(self, area: Tuple[float, float], cols: int = 64, rows: int = 32):
+        if cols < 2 or rows < 2:
+            raise ValueError(f"grid must be at least 2x2, got {cols}x{rows}")
+        if area[0] <= 0 or area[1] <= 0:
+            raise ValueError(f"area must be positive, got {area}")
+        self.area = (float(area[0]), float(area[1]))
+        self.cols = cols
+        self.rows = rows
+        self.grid: List[List[str]] = [[" "] * cols for _ in range(rows)]
+
+    def _cell(self, x: float, y: float) -> Optional[Tuple[int, int]]:
+        """(row, col) for map coordinates, or None if out of the area."""
+        w, h = self.area
+        if not (0.0 <= x <= w and 0.0 <= y <= h):
+            return None
+        col = min(self.cols - 1, int(x / w * self.cols))
+        row = min(self.rows - 1, int(y / h * self.rows))
+        return (self.rows - 1 - row, col)  # flip so +y is up
+
+    def put(self, x: float, y: float, glyph: str) -> None:
+        """Draw a single glyph at map coordinates (no-op when outside)."""
+        cell = self._cell(x, y)
+        if cell is not None:
+            r, c = cell
+            self.grid[r][c] = glyph[0]
+
+    def draw_density(self, particles: ParticleSet) -> None:
+        """Shade cells by particle weight mass using the density ramp."""
+        mass = np.zeros((self.rows, self.cols))
+        w, h = self.area
+        cols = np.minimum(self.cols - 1, (particles.xs / w * self.cols).astype(int))
+        rows = np.minimum(self.rows - 1, (particles.ys / h * self.rows).astype(int))
+        inside = (
+            (particles.xs >= 0)
+            & (particles.xs <= w)
+            & (particles.ys >= 0)
+            & (particles.ys <= h)
+        )
+        np.add.at(mass, (self.rows - 1 - rows[inside], cols[inside]), particles.weights[inside])
+        peak = mass.max()
+        if peak <= 0:
+            return
+        levels = (mass / peak * (len(DENSITY_RAMP) - 1)).astype(int)
+        for r in range(self.rows):
+            for c in range(self.cols):
+                if levels[r, c] > 0:
+                    self.grid[r][c] = DENSITY_RAMP[levels[r, c]]
+
+    def draw_obstacle(self, obstacle: Obstacle) -> None:
+        """Fill the cells whose centers lie inside the obstacle."""
+        w, h = self.area
+        for r in range(self.rows):
+            for c in range(self.cols):
+                x = (c + 0.5) / self.cols * w
+                y = (self.rows - 1 - r + 0.5) / self.rows * h
+                if obstacle.polygon.contains(Point(x, y)):
+                    self.grid[r][c] = "]" if c % 2 else "["
+
+    def draw_sensors(self, sensors: Sequence[Sensor]) -> None:
+        for sensor in sensors:
+            self.put(sensor.x, sensor.y, "x" if sensor.failed else "o")
+
+    def draw_sources(self, sources: Sequence[RadiationSource]) -> None:
+        for source in sources:
+            self.put(source.x, source.y, "S")
+
+    def draw_estimates(self, estimates: Sequence[SourceEstimate]) -> None:
+        for estimate in estimates:
+            self.put(estimate.x, estimate.y, "E")
+
+    def render(self, legend: str = "") -> str:
+        border = "+" + "-" * self.cols + "+"
+        body = "\n".join("|" + "".join(row) + "|" for row in self.grid)
+        parts = [border, body, border]
+        if legend:
+            parts.append(legend)
+        return "\n".join(parts)
+
+
+def render_scenario(
+    area: Tuple[float, float],
+    sensors: Sequence[Sensor] = (),
+    sources: Sequence[RadiationSource] = (),
+    obstacles: Sequence[Obstacle] = (),
+    estimates: Sequence[SourceEstimate] = (),
+    particles: Optional[ParticleSet] = None,
+    cols: int = 64,
+    rows: int = 32,
+) -> str:
+    """One-call rendering of a full scene (the Fig. 8 layout view)."""
+    canvas = AsciiMap(area, cols=cols, rows=rows)
+    if particles is not None:
+        canvas.draw_density(particles)
+    for obstacle in obstacles:
+        canvas.draw_obstacle(obstacle)
+    canvas.draw_sensors(sensors)
+    canvas.draw_sources(sources)
+    canvas.draw_estimates(estimates)
+    return canvas.render(
+        legend="o sensor   S source   E estimate   [] obstacle   shading = particle mass"
+    )
+
+
+def render_particles(
+    particles: ParticleSet,
+    area: Tuple[float, float],
+    sources: Sequence[RadiationSource] = (),
+    estimates: Sequence[SourceEstimate] = (),
+    cols: int = 64,
+    rows: int = 32,
+) -> str:
+    """The Fig. 2 / Fig. 4 view: particle density with sources overlaid."""
+    return render_scenario(
+        area,
+        sources=sources,
+        estimates=estimates,
+        particles=particles,
+        cols=cols,
+        rows=rows,
+    )

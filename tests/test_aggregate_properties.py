@@ -1,0 +1,77 @@
+"""Property tests on aggregation helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval.aggregate import mean_over_steps, mean_series, normalized_errors
+from repro.eval.metrics import MATCH_RADIUS
+
+finite_series = st.lists(st.floats(0.0, 100.0), min_size=1, max_size=20)
+
+
+class TestMeanSeriesProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(finite_series, min_size=1, max_size=5).filter(
+        lambda ls: len({len(s) for s in ls}) == 1
+    ))
+    def test_mean_within_bounds(self, series):
+        result = mean_series(series)
+        stacked = np.array(series)
+        assert np.all(np.array(result) >= stacked.min(axis=0) - 1e-9)
+        assert np.all(np.array(result) <= stacked.max(axis=0) + 1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(finite_series)
+    def test_single_series_is_identity(self, series):
+        assert mean_series([series]) == pytest.approx(series)
+
+    def test_inf_contributes_match_radius(self):
+        result = mean_series([[float("inf"), 0.0]])
+        assert result[0] == MATCH_RADIUS
+
+    @settings(max_examples=40, deadline=None)
+    @given(finite_series)
+    def test_permutation_invariance(self, series):
+        a = mean_series([series, series[::-1]])
+        b = mean_series([series[::-1], series])
+        assert a == pytest.approx(b)
+
+
+class TestMeanOverStepsProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(finite_series)
+    def test_zero_skip_is_plain_mean(self, series):
+        assert mean_over_steps(series, first_step=0) == pytest.approx(
+            float(np.mean(series))
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(0.0, 100.0), min_size=8, max_size=20))
+    def test_skipping_large_head_reduces_mean_when_head_is_large(self, tail):
+        series = [1000.0] * 3 + tail
+        assert mean_over_steps(series, first_step=3) < mean_over_steps(
+            series, first_step=0
+        )
+
+
+class TestNormalizedErrorsProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(0.1, 100.0), min_size=1, max_size=9))
+    def test_identical_errors_give_unity(self, errors):
+        assert normalized_errors(errors, errors) == pytest.approx([1.0] * len(errors))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.floats(0.1, 100.0), min_size=1, max_size=9),
+        st.floats(1.1, 5.0),
+    )
+    def test_improvement_scales(self, errors, factor):
+        improved = [e / factor for e in errors]
+        ratios = normalized_errors(errors, improved)
+        assert all(r == pytest.approx(factor) for r in ratios)
+
+    def test_missed_source_capped_consistently(self):
+        # inf on either side is treated as the match radius.
+        ratios = normalized_errors([float("inf")], [MATCH_RADIUS])
+        assert ratios == [pytest.approx(1.0)]

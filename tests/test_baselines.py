@@ -1,0 +1,281 @@
+"""Tests for the baseline localizers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import collect_measurements, mean_readings_by_sensor
+from repro.baselines.em_gmm import EMGaussianMixtureLocalizer
+from repro.baselines.grid_nnls import GridNNLSLocalizer
+from repro.baselines.joint_pf import JointParticleFilter
+from repro.baselines.mle import MultiSourceMLE, poisson_nll
+from repro.baselines.model_selection import (
+    MLEWithModelSelection,
+    aic,
+    bic,
+    estimate_source_count,
+)
+from repro.baselines.single_source import (
+    IterativePruning,
+    LogRatioTDOA,
+    MeanOfEstimates,
+    SingleSourceMLE,
+    triangulate_triple,
+)
+from repro.physics.intensity import RadiationField
+from repro.physics.source import RadiationSource
+from repro.physics.units import CPM_PER_MICROCURIE
+from repro.sensors.measurement import Measurement
+from repro.sensors.network import SensorNetwork
+from repro.sensors.placement import grid_placement
+
+EFFICIENCY = 1e-4
+BACKGROUND = 5.0
+AREA = (100.0, 100.0)
+
+
+def measurements_for(sources, n_steps=10, seed=0):
+    sensors = grid_placement(
+        6, 6, 100, 100, efficiency=EFFICIENCY, background_cpm=BACKGROUND,
+        margin_fraction=0.0,
+    )
+    network = SensorNetwork(
+        sensors, RadiationField(sources), np.random.default_rng(seed)
+    )
+    return collect_measurements([network.measure_time_step(t) for t in range(n_steps)])
+
+
+ONE_SOURCE = [RadiationSource(47, 71, 50.0)]
+TWO_SOURCES = [RadiationSource(47, 71, 50.0), RadiationSource(81, 42, 50.0)]
+
+
+class TestBaseHelpers:
+    def test_mean_readings_by_sensor(self):
+        ms = [
+            Measurement(0, 0.0, 0.0, 10.0, 0, 0),
+            Measurement(0, 0.0, 0.0, 20.0, 1, 1),
+            Measurement(1, 5.0, 5.0, 4.0, 0, 2),
+        ]
+        positions, means = mean_readings_by_sensor(ms)
+        assert positions.shape == (2, 2)
+        np.testing.assert_allclose(means, [15.0, 4.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_readings_by_sensor([])
+
+
+class TestTriangulateTriple:
+    def test_noiseless_exact(self):
+        positions = np.array([[40.0, 60.0], [40.0, 80.0], [60.0, 60.0]])
+        c = CPM_PER_MICROCURIE * EFFICIENCY * 50.0
+        excess = c / (1.0 + ((positions[:, 0] - 47) ** 2 + (positions[:, 1] - 71) ** 2))
+        result = triangulate_triple(positions, excess)
+        assert result is not None
+        assert result == pytest.approx((47.0, 71.0), abs=1e-6)
+
+    def test_zero_excess_returns_none(self):
+        positions = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        assert triangulate_triple(positions, np.array([1.0, 0.0, 1.0])) is None
+
+    def test_collinear_sensors_degenerate(self):
+        positions = np.array([[0.0, 0.0], [10.0, 0.0], [20.0, 0.0]])
+        excess = np.array([1.0, 1.0, 1.0])
+        # Equal readings from collinear sensors: singular system.
+        assert triangulate_triple(positions, excess) is None
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            triangulate_triple(np.zeros((2, 2)), np.zeros(2))
+
+
+class TestSingleSourceBaselines:
+    @pytest.mark.parametrize(
+        "localizer_factory",
+        [
+            lambda: SingleSourceMLE(AREA, EFFICIENCY, BACKGROUND, rng=np.random.default_rng(1)),
+            lambda: LogRatioTDOA(AREA, EFFICIENCY, BACKGROUND),
+            lambda: MeanOfEstimates(AREA, EFFICIENCY, BACKGROUND, rng=np.random.default_rng(2)),
+            lambda: IterativePruning(AREA, EFFICIENCY, BACKGROUND, rng=np.random.default_rng(3)),
+        ],
+        ids=["mle1", "tdoa", "moe", "itp"],
+    )
+    def test_localizes_single_source(self, localizer_factory):
+        ms = measurements_for(ONE_SOURCE, seed=5)
+        estimates = localizer_factory().localize(ms)
+        assert len(estimates) == 1
+        e = estimates[0]
+        assert np.hypot(e.x - 47, e.y - 71) < 8.0
+
+    def test_itp_tighter_than_moe_under_outliers(self):
+        # Both consume the same triple estimates; ITP prunes outliers so
+        # its spread should not exceed MoE's by much.  (Smoke property.)
+        ms = measurements_for(ONE_SOURCE, seed=9)
+        moe = MeanOfEstimates(AREA, EFFICIENCY, BACKGROUND, rng=np.random.default_rng(0))
+        itp = IterativePruning(AREA, EFFICIENCY, BACKGROUND, rng=np.random.default_rng(0))
+        e_moe = moe.localize(ms)[0]
+        e_itp = itp.localize(ms)[0]
+        d_moe = np.hypot(e_moe.x - 47, e_moe.y - 71)
+        d_itp = np.hypot(e_itp.x - 47, e_itp.y - 71)
+        assert d_itp < d_moe + 5.0
+
+
+class TestMultiSourceMLE:
+    def test_two_sources_recovered(self):
+        ms = measurements_for(TWO_SOURCES, seed=5)
+        mle = MultiSourceMLE(
+            2, AREA, efficiency=EFFICIENCY, background_cpm=BACKGROUND,
+            rng=np.random.default_rng(1),
+        )
+        estimates = mle.localize(ms)
+        assert len(estimates) == 2
+        for sx, sy in ((47, 71), (81, 42)):
+            assert min(np.hypot(e.x - sx, e.y - sy) for e in estimates) < 5.0
+
+    def test_strengths_recovered(self):
+        ms = measurements_for(TWO_SOURCES, seed=5)
+        mle = MultiSourceMLE(
+            2, AREA, efficiency=EFFICIENCY, background_cpm=BACKGROUND,
+            rng=np.random.default_rng(1),
+        )
+        estimates = mle.localize(ms)
+        for e in estimates:
+            assert e.strength == pytest.approx(50.0, rel=0.3)
+
+    def test_nll_decreases_with_truth(self):
+        positions = np.array([[0.0, 0.0], [20.0, 0.0]])
+        mean_cpm = np.array([100.0, 10.0])
+        truth = np.array([0.0, 0.0, np.log(1.0)])
+        wrong = np.array([20.0, 0.0, np.log(1.0)])
+        nll_truth = poisson_nll(truth, positions, mean_cpm, 1.0, 1.0, 5.0)
+        nll_wrong = poisson_nll(wrong, positions, mean_cpm, 1.0, 1.0, 5.0)
+        # Reading 100 at sensor 0 is better explained by a source there.
+        assert nll_truth < nll_wrong
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiSourceMLE(0, AREA)
+        with pytest.raises(ValueError):
+            MultiSourceMLE(1, AREA, n_starts=0)
+
+
+class TestModelSelection:
+    def test_criteria_formulas(self):
+        assert aic(10.0, 3) == 26.0
+        assert bic(10.0, 3, np.e**2) == pytest.approx(26.0)
+
+    def test_bic_needs_observations(self):
+        with pytest.raises(ValueError):
+            bic(1.0, 1, 0)
+
+    def test_selects_correct_k_for_two_sources(self):
+        ms = measurements_for(TWO_SOURCES, seed=5)
+        k, estimates = estimate_source_count(
+            ms, AREA, max_sources=4, efficiency=EFFICIENCY,
+            background_cpm=BACKGROUND, rng=np.random.default_rng(0),
+        )
+        assert k == 2
+        assert len(estimates) == 2
+
+    def test_selects_one_for_single_source(self):
+        ms = measurements_for(ONE_SOURCE, seed=5)
+        k, _ = estimate_source_count(
+            ms, AREA, max_sources=3, efficiency=EFFICIENCY,
+            background_cpm=BACKGROUND, rng=np.random.default_rng(0),
+        )
+        assert k == 1
+
+    def test_pipeline_records_k(self):
+        ms = measurements_for(TWO_SOURCES, seed=5)
+        pipeline = MLEWithModelSelection(
+            AREA, max_sources=3, efficiency=EFFICIENCY,
+            background_cpm=BACKGROUND, rng=np.random.default_rng(0),
+        )
+        pipeline.localize(ms)
+        assert pipeline.last_k == 2
+
+    def test_invalid_criterion(self):
+        with pytest.raises(ValueError):
+            estimate_source_count([], AREA, criterion="hic")
+
+
+class TestJointParticleFilter:
+    def test_single_source_converges(self):
+        ms = measurements_for(ONE_SOURCE, seed=5)
+        pf = JointParticleFilter(
+            1, AREA, n_particles=3000, efficiency=EFFICIENCY,
+            background_cpm=BACKGROUND, rng=np.random.default_rng(1),
+        )
+        estimates = pf.localize(ms)
+        assert len(estimates) == 1
+        assert np.hypot(estimates[0].x - 47, estimates[0].y - 71) < 8.0
+
+    def test_two_source_state_dimension(self):
+        pf = JointParticleFilter(3, AREA, n_particles=100, rng=np.random.default_rng(0))
+        assert pf.state.shape == (100, 9)
+
+    def test_estimates_respect_bounds(self):
+        ms = measurements_for(TWO_SOURCES, seed=5)
+        pf = JointParticleFilter(
+            2, AREA, n_particles=1000, efficiency=EFFICIENCY,
+            background_cpm=BACKGROUND, rng=np.random.default_rng(1),
+        )
+        for e in pf.localize(ms):
+            assert 0 <= e.x <= 100 and 0 <= e.y <= 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JointParticleFilter(0, AREA)
+        with pytest.raises(ValueError):
+            JointParticleFilter(1, AREA, n_particles=1)
+
+
+class TestGridNNLS:
+    def test_single_source_peak(self):
+        ms = measurements_for(ONE_SOURCE, seed=5)
+        nnls_loc = GridNNLSLocalizer(
+            AREA, grid_cols=20, grid_rows=20,
+            efficiency=EFFICIENCY, background_cpm=BACKGROUND,
+        )
+        estimates = nnls_loc.localize(ms)
+        assert estimates, "expected at least one estimate"
+        best = min(estimates, key=lambda e: np.hypot(e.x - 47, e.y - 71))
+        # Resolution-limited: NNLS smears one source over a ring of cells
+        # near the surrounding sensors (the discretization-granularity
+        # weakness the paper calls out for grid methods), so the centroid
+        # lands within roughly half a sensor spacing of the truth.
+        assert np.hypot(best.x - 47, best.y - 71) < 12.0
+
+    def test_field_shape(self):
+        ms = measurements_for(ONE_SOURCE, seed=5)
+        nnls_loc = GridNNLSLocalizer(
+            AREA, grid_cols=10, grid_rows=12,
+            efficiency=EFFICIENCY, background_cpm=BACKGROUND,
+        )
+        centers, strengths = nnls_loc.solve_field(ms)
+        assert centers.shape == (120, 2)
+        assert strengths.shape == (120,)
+        assert np.all(strengths >= 0)
+
+    def test_grid_validated(self):
+        with pytest.raises(ValueError):
+            GridNNLSLocalizer(AREA, grid_cols=1, grid_rows=10)
+
+
+class TestEMGMM:
+    def test_runs_and_reports_k(self):
+        ms = measurements_for(TWO_SOURCES, seed=5)
+        em = EMGaussianMixtureLocalizer(
+            AREA, max_sources=4, efficiency=EFFICIENCY,
+            background_cpm=BACKGROUND, rng=np.random.default_rng(0),
+        )
+        estimates = em.localize(ms)
+        assert em.last_k == len(estimates)
+        assert em.last_k >= 1
+        for e in estimates:
+            assert 0 <= e.x <= 100 and 0 <= e.y <= 100
+
+    def test_no_excess_no_estimates(self):
+        ms = [Measurement(i, float(i), 0.0, 0.0, 0, i) for i in range(5)]
+        em = EMGaussianMixtureLocalizer(AREA, background_cpm=5.0)
+        assert em.localize(ms) == []
+        assert em.last_k == 0

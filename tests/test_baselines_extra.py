@@ -1,0 +1,134 @@
+"""Additional baseline behaviours: scaling shapes and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import BaselineEstimate, collect_measurements
+from repro.baselines.em_gmm import _weighted_em
+from repro.baselines.grid_nnls import GridNNLSLocalizer
+from repro.baselines.joint_pf import JointParticleFilter
+from repro.physics.intensity import RadiationField
+from repro.physics.source import RadiationSource
+from repro.sensors.measurement import Measurement
+from repro.sensors.network import SensorNetwork
+from repro.sensors.placement import grid_placement
+
+EFFICIENCY = 1e-4
+BACKGROUND = 5.0
+AREA = (100.0, 100.0)
+
+
+class TestBaselineEstimate:
+    def test_position_and_str(self):
+        estimate = BaselineEstimate(1.0, 2.0, 3.0)
+        assert estimate.position == (1.0, 2.0)
+        assert "3.0 uCi" in str(estimate)
+
+
+class TestCollect:
+    def test_flattens_in_order(self):
+        a = Measurement(0, 0, 0, 1.0, 0, 0)
+        b = Measurement(1, 0, 0, 2.0, 0, 1)
+        c = Measurement(0, 0, 0, 3.0, 1, 2)
+        assert collect_measurements([[a, b], [c]]) == [a, b, c]
+
+    def test_empty(self):
+        assert collect_measurements([]) == []
+
+
+class TestWeightedEM:
+    def test_single_component_recovers_weighted_mean(self):
+        points = np.array([[0.0, 0.0], [10.0, 0.0]])
+        masses = np.array([1.0, 3.0])
+        means, variances, mix, log_like = _weighted_em(
+            points, masses, 1, np.random.default_rng(0)
+        )
+        assert means[0][0] == pytest.approx(7.5)
+        assert mix[0] == pytest.approx(1.0)
+        assert np.isfinite(log_like)
+
+    def test_two_components_separate_clusters(self):
+        rng = np.random.default_rng(1)
+        points = np.vstack(
+            [rng.normal((10, 10), 1, (20, 2)), rng.normal((80, 80), 1, (20, 2))]
+        )
+        masses = np.ones(40)
+        means, _v, mix, _ll = _weighted_em(points, masses, 2, np.random.default_rng(2))
+        centers = sorted(tuple(m) for m in means)
+        assert np.hypot(centers[0][0] - 10, centers[0][1] - 10) < 3
+        assert np.hypot(centers[1][0] - 80, centers[1][1] - 80) < 3
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValueError):
+            _weighted_em(
+                np.zeros((3, 2)), np.zeros(3), 1, np.random.default_rng(0)
+            )
+
+
+class TestJointPfScaling:
+    def test_state_grows_with_k_ours_does_not(self):
+        """The paper's Section IV point, as a direct structural check."""
+        from repro.core.config import LocalizerConfig
+        from repro.core.localizer import MultiSourceLocalizer
+
+        sizes = {}
+        for k in (1, 2, 5):
+            pf = JointParticleFilter(k, AREA, n_particles=100,
+                                     rng=np.random.default_rng(0))
+            sizes[k] = pf.state.shape[1]
+        assert sizes == {1: 3, 2: 6, 5: 15}
+
+        # Ours: the particle array is (N, 3) regardless of K (there is no
+        # K parameter at all).
+        localizer = MultiSourceLocalizer(
+            LocalizerConfig(n_particles=100), rng=np.random.default_rng(0)
+        )
+        assert localizer.particles.positions.shape == (100, 2)
+
+
+class TestGridNNLSEdges:
+    def test_background_only_yields_nothing(self):
+        sensors = grid_placement(
+            4, 4, 100, 100, efficiency=EFFICIENCY, background_cpm=BACKGROUND,
+            margin_fraction=0.0,
+        )
+        network = SensorNetwork(
+            sensors,
+            RadiationField([RadiationSource(50, 50, 0.0)]),
+            np.random.default_rng(0),
+        )
+        ms = collect_measurements([network.measure_time_step(t) for t in range(5)])
+        localizer = GridNNLSLocalizer(
+            AREA, efficiency=EFFICIENCY, background_cpm=BACKGROUND,
+            min_strength=2.0,
+        )
+        estimates = localizer.localize(ms)
+        # Poisson noise may produce sub-threshold residuals; nothing
+        # substantial should be reported.
+        assert all(e.strength < 10.0 for e in estimates)
+
+    def test_finer_grid_tightens_position(self):
+        sensors = grid_placement(
+            6, 6, 100, 100, efficiency=EFFICIENCY, background_cpm=BACKGROUND,
+            margin_fraction=0.0,
+        )
+        network = SensorNetwork(
+            sensors,
+            RadiationField([RadiationSource(47, 71, 100.0)]),
+            np.random.default_rng(3),
+        )
+        ms = collect_measurements([network.measure_time_step(t) for t in range(10)])
+
+        def best_error(cells):
+            localizer = GridNNLSLocalizer(
+                AREA, grid_cols=cells, grid_rows=cells,
+                efficiency=EFFICIENCY, background_cpm=BACKGROUND,
+            )
+            estimates = localizer.localize(ms)
+            return min(
+                (np.hypot(e.x - 47, e.y - 71) for e in estimates), default=np.inf
+            )
+
+        coarse = best_error(8)
+        fine = best_error(25)
+        assert fine <= coarse + 2.0  # finer grids should not be worse

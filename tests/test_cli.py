@@ -1,0 +1,81 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "a"])
+        assert args.scenario == "a"
+        assert args.steps == 30
+        assert args.repeats == 3
+
+    def test_sweep_requires_values(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "strength"])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+
+class TestCommands:
+    def test_layout_a(self, capsys):
+        assert main(["layout", "a", "--obstacles"]) == 0
+        out = capsys.readouterr().out
+        assert "S" in out and "o" in out and "36 sensors" in out
+
+    def test_layout_b(self, capsys):
+        assert main(["layout", "b"]) == 0
+        out = capsys.readouterr().out
+        assert "196 sensors" in out
+
+    def test_layout_unknown_scenario(self):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["layout", "z"])
+
+    def test_run_small(self, capsys):
+        code = main(
+            ["run", "a", "--steps", "4", "--repeats", "1", "--strength", "50"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "err[Source 1]" in out
+        assert "steady state" in out
+
+    def test_sweep_small(self, capsys):
+        code = main(
+            [
+                "sweep", "strength",
+                "--values", "50", "100",
+                "--steps", "4",
+                "--repeats", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "err src1" in out
+
+
+class TestExportRunFile:
+    def test_export_and_run_file_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "scenario.json"
+        assert main(["export", "a", "--out", str(path), "--strength", "50"]) == 0
+        assert path.exists()
+        capsys.readouterr()
+        assert main(["run-file", str(path), "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "steady state" in out
+
+    def test_run_file_steps_respected_from_document(self, tmp_path, capsys):
+        path = tmp_path / "short.json"
+        main(["export", "a", "--out", str(path), "--steps", "4", "--strength", "50"])
+        capsys.readouterr()
+        main(["run-file", str(path), "--repeats", "1"])
+        out = capsys.readouterr().out
+        # 4 time steps -> rows 0..3 in the series table, no row 29.
+        assert "4 steps" in out
+        assert "\n3 " in out
+        assert "\n29 " not in out

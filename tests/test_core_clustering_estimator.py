@@ -1,0 +1,174 @@
+"""Unit tests for mode merging and source-estimate extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import Mode, merge_modes
+from repro.core.config import LocalizerConfig
+from repro.core.estimator import (
+    disc_mass,
+    extract_estimates,
+    local_strength,
+    weighted_median,
+)
+from repro.core.particles import ParticleSet
+
+
+class TestMergeModes:
+    def test_distinct_modes_survive(self):
+        locations = np.array([[10.0, 10.0], [80.0, 80.0]])
+        densities = np.array([1.0, 0.8])
+        modes = merge_modes(locations, densities, merge_radius=5.0)
+        assert len(modes) == 2
+
+    def test_nearby_modes_merge_keeping_densest(self):
+        locations = np.array([[10.0, 10.0], [12.0, 10.0], [80.0, 80.0]])
+        densities = np.array([0.5, 1.0, 0.8])
+        modes = merge_modes(locations, densities, merge_radius=5.0)
+        assert len(modes) == 2
+        assert modes[0].x == pytest.approx(12.0)  # densest representative
+        assert modes[0].seed_count == 2
+
+    def test_sorted_by_density(self):
+        locations = np.array([[0.0, 0.0], [50.0, 50.0], [99.0, 99.0]])
+        densities = np.array([0.3, 0.9, 0.6])
+        modes = merge_modes(locations, densities, merge_radius=1.0)
+        assert [m.density for m in modes] == sorted(
+            [m.density for m in modes], reverse=True
+        )
+
+    def test_chain_merging_is_greedy_not_transitive(self):
+        # A-B within radius, B-C within radius, A-C not: the densest (B)
+        # absorbs both.
+        locations = np.array([[0.0, 0.0], [4.0, 0.0], [8.0, 0.0]])
+        densities = np.array([0.5, 1.0, 0.5])
+        modes = merge_modes(locations, densities, merge_radius=5.0)
+        assert len(modes) == 1
+        assert modes[0].seed_count == 3
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            merge_modes(np.zeros((3, 2)), np.zeros(2), 1.0)
+
+    def test_mode_position_property(self):
+        mode = Mode(1.0, 2.0, 0.5, 3)
+        np.testing.assert_array_equal(mode.position, [1.0, 2.0])
+
+
+class TestWeightedMedian:
+    def test_uniform_weights(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert weighted_median(values, np.ones(5)) == 3.0
+
+    def test_weight_shifts_median(self):
+        values = np.array([1.0, 2.0, 100.0])
+        weights = np.array([1.0, 1.0, 10.0])
+        assert weighted_median(values, weights) == 100.0
+
+    def test_robust_to_heavy_outlier(self):
+        values = np.concatenate([np.full(99, 1.0), [1000.0]])
+        weights = np.ones(100)
+        assert weighted_median(values, weights) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_median(np.array([]), np.array([]))
+
+    def test_zero_weights_fall_back_to_plain_median(self):
+        values = np.array([1.0, 2.0, 3.0])
+        assert weighted_median(values, np.zeros(3)) == 2.0
+
+
+def clustered_particles(n_cluster=400, n_background=600, seed=0):
+    """A tight cluster at (30, 30) on a uniform background."""
+    rng = np.random.default_rng(seed)
+    xs = np.concatenate(
+        [rng.normal(30, 3, n_cluster), rng.uniform(0, 100, n_background)]
+    )
+    ys = np.concatenate(
+        [rng.normal(30, 3, n_cluster), rng.uniform(0, 100, n_background)]
+    )
+    strengths = np.concatenate(
+        [np.full(n_cluster, 50.0), np.full(n_background, 1.0)]
+    )
+    return ParticleSet(xs, ys, strengths)
+
+
+class TestDiscMassAndStrength:
+    def test_disc_mass_fraction(self):
+        p = ParticleSet(
+            xs=np.array([0.0, 0.0, 50.0, 50.0]),
+            ys=np.zeros(4),
+            strengths=np.ones(4),
+        )
+        assert disc_mass(p, 0.0, 0.0, 10.0) == pytest.approx(0.5)
+
+    def test_local_strength_uses_nearby_particles_only(self):
+        p = clustered_particles()
+        strength = local_strength(p, 30.0, 30.0, 8.0)
+        assert strength == pytest.approx(50.0)
+
+    def test_local_strength_empty_region(self):
+        p = ParticleSet(np.array([0.0]), np.array([0.0]), np.array([5.0]))
+        assert local_strength(p, 90.0, 90.0, 5.0) == 0.0
+
+
+class TestExtractEstimates:
+    def test_finds_cluster(self):
+        p = clustered_particles()
+        config = LocalizerConfig(n_particles=len(p))
+        estimates = extract_estimates(p, config, np.random.default_rng(0))
+        assert len(estimates) >= 1
+        best = max(estimates, key=lambda e: e.mass)
+        assert np.hypot(best.x - 30, best.y - 30) < 5.0
+        assert best.strength == pytest.approx(50.0, rel=0.2)
+
+    def test_uniform_population_yields_no_confident_estimates(self):
+        rng = np.random.default_rng(0)
+        p = ParticleSet.uniform_random(2000, (100, 100), (1.0, 1000.0), rng)
+        # Force all strengths low, as in a converged no-source region.
+        p.strengths[:] = 1.0
+        config = LocalizerConfig(n_particles=2000)
+        estimates = extract_estimates(p, config, np.random.default_rng(1))
+        # The strength filter kills everything at strength 1 < 1.5.
+        assert estimates == []
+
+    def test_strength_filter(self):
+        p = clustered_particles()
+        p.strengths[:] = 0.5  # below min_estimate_strength
+        config = LocalizerConfig(n_particles=len(p))
+        assert extract_estimates(p, config, np.random.default_rng(0)) == []
+
+    def test_mass_ratio_reported(self):
+        p = clustered_particles()
+        config = LocalizerConfig(n_particles=len(p))
+        estimates = extract_estimates(p, config, np.random.default_rng(0))
+        best = max(estimates, key=lambda e: e.mass)
+        assert best.mass_ratio >= config.mode_mass_ratio
+
+    def test_two_clusters_two_estimates(self):
+        rng = np.random.default_rng(1)
+        xs = np.concatenate([rng.normal(25, 3, 500), rng.normal(75, 3, 500)])
+        ys = np.concatenate([rng.normal(25, 3, 500), rng.normal(75, 3, 500)])
+        p = ParticleSet(xs, ys, np.full(1000, 20.0))
+        config = LocalizerConfig(n_particles=1000)
+        estimates = extract_estimates(p, config, np.random.default_rng(2))
+        assert len(estimates) == 2
+        positions = sorted((e.x, e.y) for e in estimates)
+        assert np.hypot(positions[0][0] - 25, positions[0][1] - 25) < 5
+        assert np.hypot(positions[1][0] - 75, positions[1][1] - 75) < 5
+
+    def test_estimate_clipped_to_area(self):
+        rng = np.random.default_rng(0)
+        xs = rng.normal(0.5, 1.0, 500)
+        ys = rng.normal(50, 2.0, 500)
+        p = ParticleSet(np.clip(xs, 0, 100), ys, np.full(500, 20.0))
+        config = LocalizerConfig(n_particles=500)
+        estimates = extract_estimates(p, config, np.random.default_rng(1))
+        assert all(0 <= e.x <= 100 and 0 <= e.y <= 100 for e in estimates)
+
+    def test_distance_helper(self):
+        p = clustered_particles()
+        config = LocalizerConfig(n_particles=len(p))
+        estimate = extract_estimates(p, config, np.random.default_rng(0))[0]
+        assert estimate.distance_to(estimate.x, estimate.y) == 0.0

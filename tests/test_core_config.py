@@ -1,0 +1,84 @@
+"""Unit tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import LocalizerConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = LocalizerConfig()
+        assert config.resample_noise_sigma == 3.0   # sigma_N in Section VI
+        assert config.fusion_range == 24.0          # see DESIGN.md (paper: 28)
+        assert config.injection_fraction == 0.05    # ~5 % random particles
+
+    def test_area_default(self):
+        assert LocalizerConfig().area == (100.0, 100.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("n_particles", 0),
+            ("strength_min", 0.0),
+            ("strength_min", -1.0),
+            ("fusion_range", 0.0),
+            ("assumed_background_cpm", -1.0),
+            ("assumed_efficiency", 0.0),
+            ("under_prediction_tempering", 1.5),
+            ("under_prediction_tempering", -0.1),
+            ("interference_refresh", 0),
+            ("echo_residual_fraction", 2.0),
+            ("echo_sensor_radius", 0.0),
+            ("resample_noise_sigma", -1.0),
+            ("strength_noise_rel", -0.5),
+            ("injection_fraction", 1.0),
+            ("injection_fraction", -0.01),
+            ("bandwidth", 0.0),
+            ("meanshift_seeds", 0),
+            ("meanshift_tol", 0.0),
+            ("meanshift_max_iter", 0),
+            ("mode_merge_radius", -1.0),
+            ("mode_mass_ratio", -0.5),
+            ("min_estimate_strength", -1.0),
+            ("area", (0.0, 100.0)),
+            ("area", (100.0, -5.0)),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            LocalizerConfig(**{field: value})
+
+    def test_strength_range_ordering(self):
+        with pytest.raises(ValueError):
+            LocalizerConfig(strength_min=100.0, strength_max=10.0)
+
+    def test_bad_strength_init(self):
+        with pytest.raises(ValueError, match="strength_init"):
+            LocalizerConfig(strength_init="gaussian")
+
+    def test_bad_injection_scope(self):
+        with pytest.raises(ValueError, match="injection_scope"):
+            LocalizerConfig(injection_scope="nowhere")
+
+    def test_bad_resample_weight_mode(self):
+        with pytest.raises(ValueError, match="resample_weight_mode"):
+            LocalizerConfig(resample_weight_mode="amplify")
+
+
+class TestOverrides:
+    def test_with_overrides_returns_new_config(self):
+        base = LocalizerConfig()
+        tweaked = base.with_overrides(fusion_range=40.0)
+        assert tweaked.fusion_range == 40.0
+        assert base.fusion_range == 24.0
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ValueError):
+            LocalizerConfig().with_overrides(n_particles=-5)
+
+    def test_frozen(self):
+        config = LocalizerConfig()
+        with pytest.raises(AttributeError):
+            config.fusion_range = 10.0  # type: ignore[misc]

@@ -1,0 +1,144 @@
+"""Tests for runtime diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LocalizerConfig
+from repro.core.diagnostics import (
+    ConvergenceMonitor,
+    cluster_report,
+    population_health,
+)
+from repro.core.estimator import SourceEstimate
+from repro.core.localizer import MultiSourceLocalizer
+from repro.physics.intensity import RadiationField
+from repro.physics.source import RadiationSource
+from repro.sensors.network import SensorNetwork
+from repro.sensors.placement import grid_placement
+
+
+def converged_localizer(seed=0, n_steps=8):
+    sensors = grid_placement(
+        6, 6, 100, 100, efficiency=1e-4, background_cpm=5.0, margin_fraction=0.0
+    )
+    localizer = MultiSourceLocalizer(
+        LocalizerConfig(
+            n_particles=2000, area=(100, 100),
+            assumed_efficiency=1e-4, assumed_background_cpm=5.0,
+        ),
+        rng=np.random.default_rng(seed),
+    )
+    network = SensorNetwork(
+        sensors,
+        RadiationField([RadiationSource(47, 71, 50.0)]),
+        np.random.default_rng(seed + 1),
+    )
+    for t in range(n_steps):
+        for m in network.measure_time_step(t):
+            localizer.observe(m)
+    return localizer
+
+
+def estimate_at(x, y, strength=10.0):
+    return SourceEstimate(x, y, strength, mass=0.2, mass_ratio=3.0, seed_count=5)
+
+
+class TestPopulationHealth:
+    def test_fresh_population(self):
+        localizer = MultiSourceLocalizer(
+            LocalizerConfig(n_particles=500), rng=np.random.default_rng(0)
+        )
+        health = population_health(localizer)
+        assert health.n_particles == 500
+        assert health.ess_fraction == pytest.approx(1.0)
+        # Uniform over 100x100: RMS spread ~ sqrt(2 * var(U(0,100))) ~ 40.8
+        assert 30.0 < health.spatial_spread < 50.0
+
+    def test_converged_population_contracts(self):
+        localizer = converged_localizer()
+        health = population_health(localizer)
+        assert health.spatial_spread < 40.0
+        assert health.strength_median > 1.0
+
+
+class TestClusterReport:
+    def test_report_for_converged_run(self):
+        localizer = converged_localizer()
+        reports = cluster_report(localizer)
+        assert reports, "expected at least one cluster"
+        top = max(reports, key=lambda r: r.weight_mass)
+        assert top.particle_count > 100
+        assert top.weight_mass > 0.1
+        assert np.isfinite(top.strength_iqr)
+
+    def test_explicit_estimates_and_radius(self):
+        localizer = converged_localizer()
+        fake = [estimate_at(5.0, 5.0)]
+        reports = cluster_report(localizer, estimates=fake, radius=2.0)
+        assert len(reports) == 1
+        assert reports[0].estimate is fake[0]
+
+
+class TestConvergenceMonitor:
+    def test_declares_after_stable_checks(self):
+        monitor = ConvergenceMonitor(position_tolerance=3.0, stable_checks=2)
+        assert not monitor.update([estimate_at(10, 10)])
+        assert not monitor.update([estimate_at(10.5, 10)])   # stable x1
+        assert monitor.update([estimate_at(10.2, 10.1)])     # stable x2
+        assert monitor.converged
+        assert monitor.converged_at == 2
+
+    def test_cardinality_change_resets(self):
+        monitor = ConvergenceMonitor(position_tolerance=3.0, stable_checks=2)
+        monitor.update([estimate_at(10, 10)])
+        monitor.update([estimate_at(10, 10), estimate_at(50, 50)])  # K changed
+        monitor.update([estimate_at(10, 10), estimate_at(50, 50)])  # stable x1
+        assert not monitor.converged
+        monitor.update([estimate_at(10, 10), estimate_at(50, 50)])  # stable x2
+        assert monitor.converged
+
+    def test_large_movement_resets(self):
+        monitor = ConvergenceMonitor(position_tolerance=2.0, stable_checks=2)
+        monitor.update([estimate_at(10, 10)])
+        monitor.update([estimate_at(30, 10)])  # jumped
+        monitor.update([estimate_at(30.5, 10)])
+        assert not monitor.converged
+        monitor.update([estimate_at(30.4, 10)])
+        assert monitor.converged
+
+    def test_empty_sets_never_converge(self):
+        monitor = ConvergenceMonitor(stable_checks=1)
+        for _ in range(5):
+            monitor.update([])
+        assert not monitor.converged
+
+    def test_converged_at_is_first_declaration(self):
+        monitor = ConvergenceMonitor(position_tolerance=3.0, stable_checks=1)
+        monitor.update([estimate_at(10, 10)])
+        monitor.update([estimate_at(10, 10)])
+        monitor.update([estimate_at(10, 10)])
+        assert monitor.converged_at == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConvergenceMonitor(position_tolerance=0.0)
+        with pytest.raises(ValueError):
+            ConvergenceMonitor(stable_checks=0)
+
+    def test_end_to_end_convergence_detection(self):
+        localizer = converged_localizer(n_steps=0)
+        sensors = grid_placement(
+            6, 6, 100, 100, efficiency=1e-4, background_cpm=5.0, margin_fraction=0.0
+        )
+        network = SensorNetwork(
+            sensors,
+            RadiationField([RadiationSource(47, 71, 100.0)]),
+            np.random.default_rng(5),
+        )
+        monitor = ConvergenceMonitor(position_tolerance=4.0, stable_checks=3)
+        for t in range(12):
+            for m in network.measure_time_step(t):
+                localizer.observe(m)
+            monitor.update(localizer.estimates())
+        assert monitor.converged
+        assert monitor.converged_at >= 2  # cannot converge before 3 checks

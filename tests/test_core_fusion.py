@@ -1,0 +1,72 @@
+"""Unit tests for fusion range policies."""
+
+import math
+
+import pytest
+
+from repro.core.fusion import AutoFusionRange, FixedFusionRange, InfiniteFusionRange
+
+
+class TestFixedFusionRange:
+    def test_constant(self):
+        policy = FixedFusionRange(28.0)
+        assert policy.range_for(0, 0.0, 0.0) == 28.0
+        assert policy.range_for(99, 123.0, 456.0) == 28.0
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            FixedFusionRange(0.0)
+
+
+class TestInfiniteFusionRange:
+    def test_infinite(self):
+        assert math.isinf(InfiniteFusionRange().range_for(0, 0, 0))
+
+
+class TestAutoFusionRange:
+    def test_grid_knn(self):
+        # 3x3 grid with spacing 10: distances to 1st/2nd/3rd nearest from
+        # the center are 10, 10, 10 (4 orthogonal neighbours).
+        positions = [(x * 10.0, y * 10.0) for x in range(3) for y in range(3)]
+        policy = AutoFusionRange(positions, k=3, slack=1.0)
+        assert policy.range_for(0, 10.0, 10.0) == pytest.approx(10.0)
+
+    def test_corner_has_larger_range_than_center(self):
+        positions = [(x * 10.0, y * 10.0) for x in range(3) for y in range(3)]
+        policy = AutoFusionRange(positions, k=3, slack=1.0)
+        corner = policy.range_for(0, 0.0, 0.0)       # neighbours at 10, 10, 14.1
+        center = policy.range_for(0, 10.0, 10.0)
+        assert corner > center
+
+    def test_slack_scales(self):
+        positions = [(0.0, 0.0), (10.0, 0.0), (20.0, 0.0)]
+        tight = AutoFusionRange(positions, k=1, slack=1.0)
+        loose = AutoFusionRange(positions, k=1, slack=2.0)
+        assert loose.range_for(0, 0.0, 0.0) == pytest.approx(
+            2.0 * tight.range_for(0, 0.0, 0.0)
+        )
+
+    def test_k_clamped_to_population(self):
+        positions = [(0.0, 0.0), (5.0, 0.0)]
+        policy = AutoFusionRange(positions, k=10, slack=1.0)
+        assert policy.range_for(0, 0.0, 0.0) == pytest.approx(5.0)
+
+    def test_unknown_sensor_falls_back_to_median(self):
+        positions = [(0.0, 0.0), (10.0, 0.0), (20.0, 0.0)]
+        policy = AutoFusionRange(positions, k=1, slack=1.0)
+        fallback = policy.range_for(0, 555.0, 555.0)
+        known = sorted(
+            policy.range_for(0, x, y) for x, y in positions
+        )
+        assert fallback == known[1]
+
+    def test_requires_two_sensors(self):
+        with pytest.raises(ValueError):
+            AutoFusionRange([(0.0, 0.0)])
+
+    def test_invalid_parameters(self):
+        positions = [(0.0, 0.0), (1.0, 1.0)]
+        with pytest.raises(ValueError):
+            AutoFusionRange(positions, k=0)
+        with pytest.raises(ValueError):
+            AutoFusionRange(positions, slack=0.0)

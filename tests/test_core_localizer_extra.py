@@ -1,0 +1,136 @@
+"""Additional localizer behaviours: interference ablation, echo filter
+internals, weight-mode ablation, fusion-policy interplay."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LocalizerConfig
+from repro.core.estimator import SourceEstimate
+from repro.core.fusion import FixedFusionRange
+from repro.core.localizer import MultiSourceLocalizer
+
+EFFICIENCY = 1e-4
+BACKGROUND = 5.0
+
+
+def localizer_with(**overrides) -> MultiSourceLocalizer:
+    config = LocalizerConfig(
+        n_particles=overrides.pop("n_particles", 500),
+        area=(100.0, 100.0),
+        assumed_efficiency=EFFICIENCY,
+        assumed_background_cpm=BACKGROUND,
+    ).with_overrides(**overrides)
+    return MultiSourceLocalizer(config, rng=np.random.default_rng(3))
+
+
+def estimate(x, y, strength, mass=0.2):
+    return SourceEstimate(x, y, strength, mass=mass, mass_ratio=3.0, seed_count=5)
+
+
+class TestInterferenceSubtraction:
+    def test_disabled_returns_zero(self):
+        localizer = localizer_with(interference_subtraction=False)
+        assert localizer._interference_for(50.0, 50.0, 24.0) == 0.0
+
+    def test_infinite_range_returns_zero(self):
+        localizer = localizer_with(interference_subtraction=True)
+        assert localizer._interference_for(50.0, 50.0, np.inf) == 0.0
+
+    def test_outside_disc_sources_contribute(self):
+        localizer = localizer_with(interference_subtraction=True)
+        # Inject a cached estimate far from the sensor.
+        localizer._interference_sources = np.array([[90.0, 90.0, 100.0]])
+        localizer._interference_age = -10**6  # prevent refresh
+        value = localizer._interference_for(10.0, 10.0, 24.0)
+        d_sq = 80.0**2 + 80.0**2
+        expected = 2.22e6 * EFFICIENCY * 100.0 / (1.0 + d_sq)
+        assert value == pytest.approx(expected)
+
+    def test_inside_disc_sources_excluded(self):
+        localizer = localizer_with(interference_subtraction=True)
+        localizer._interference_sources = np.array([[52.0, 50.0, 100.0]])
+        localizer._interference_age = -10**6
+        assert localizer._interference_for(50.0, 50.0, 24.0) == 0.0
+
+
+class TestEchoFilterInternals:
+    def _seed_readings(self, localizer, readings):
+        for (x, y), cpm in readings.items():
+            localizer._reading_ema[(x, y)] = cpm
+
+    def test_no_readings_passes_all(self):
+        localizer = localizer_with()
+        candidates = [estimate(10, 10, 5.0)]
+        assert localizer._filter_echoes(candidates) == candidates
+
+    def test_explained_candidate_dropped(self):
+        localizer = localizer_with(fusion_range=24.0)
+        # A strong accepted source at (50, 50) fully explains the excess
+        # at the sensors near the weak candidate at (70, 50).
+        strong = estimate(50.0, 50.0, 100.0, mass=0.5)
+        echo = estimate(70.0, 50.0, 3.0, mass=0.05)
+        scale = 2.22e6 * EFFICIENCY
+        readings = {}
+        for sx in (40.0, 60.0, 80.0):
+            for sy in (40.0, 60.0):
+                excess = scale * 100.0 / (1 + (sx - 50) ** 2 + (sy - 50) ** 2)
+                readings[(sx, sy)] = BACKGROUND + excess
+        self._seed_readings(localizer, readings)
+        kept = localizer._filter_echoes([strong, echo])
+        assert strong in kept
+        assert echo not in kept
+
+    def test_unexplained_candidate_kept(self):
+        localizer = localizer_with(fusion_range=24.0)
+        real = estimate(70.0, 50.0, 50.0, mass=0.3)
+        scale = 2.22e6 * EFFICIENCY
+        self._seed_readings(
+            localizer,
+            {(72.0, 50.0): BACKGROUND + scale * 50.0 / (1 + 4.0)},
+        )
+        assert localizer._filter_echoes([real]) == [real]
+
+    def test_noise_floor_blocks_tiny_support(self):
+        localizer = localizer_with(fusion_range=24.0, echo_noise_sigmas=2.0)
+        ghost = estimate(20.0, 20.0, 2.0, mass=0.05)
+        # Nearby sensor shows only a ~1 CPM excess: below 2 * sqrt(5).
+        self._seed_readings(localizer, {(22.0, 20.0): BACKGROUND + 1.0})
+        assert localizer._filter_echoes([ghost]) == []
+
+    def test_candidate_without_nearby_sensors_kept(self):
+        localizer = localizer_with(fusion_range=10.0)
+        lonely = estimate(90.0, 90.0, 20.0)
+        self._seed_readings(localizer, {(10.0, 10.0): BACKGROUND})
+        assert localizer._filter_echoes([lonely]) == [lonely]
+
+    def test_filter_disabled(self):
+        localizer = localizer_with(echo_residual_fraction=0.0)
+        ghost = estimate(20.0, 20.0, 2.0)
+        self._seed_readings(localizer, {(22.0, 20.0): BACKGROUND})
+        assert localizer._filter_echoes([ghost]) == [ghost]
+
+
+class TestResampleWeightModes:
+    @pytest.mark.parametrize("mode", ["reset", "preserve"])
+    def test_both_modes_run_and_normalize(self, mode):
+        localizer = localizer_with(resample_weight_mode=mode)
+        for i in range(20):
+            localizer.observe_reading(
+                20.0 + 3 * (i % 5), 20.0, BACKGROUND + (10.0 if i % 2 else 0.0)
+            )
+        assert localizer.particles.total_weight() == pytest.approx(1.0)
+
+
+class TestResampleRangeFraction:
+    def test_fraction_limits_redistribution(self):
+        localizer = localizer_with(
+            resample_range_fraction=0.5, fusion_range=40.0, n_particles=800
+        )
+        before = localizer.particles.copy()
+        localizer.observe_reading(50.0, 50.0, BACKGROUND)
+        after = localizer.particles
+        dist = np.hypot(before.xs - 50.0, before.ys - 50.0)
+        # The annulus (0.5 d, d] was weighted but not resampled: positions
+        # unchanged there.
+        annulus = (dist > 20.0) & (dist <= 40.0)
+        np.testing.assert_array_equal(after.xs[annulus], before.xs[annulus])

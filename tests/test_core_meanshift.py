@@ -1,0 +1,144 @@
+"""Unit and property tests for mean-shift mode finding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.meanshift import (
+    gaussian_kernel_weights,
+    mean_shift,
+    mean_shift_modes,
+    select_seeds,
+)
+
+
+def two_cluster_data(seed=0, n=200, centers=((20.0, 20.0), (80.0, 80.0)), spread=2.0):
+    rng = np.random.default_rng(seed)
+    points = np.vstack(
+        [rng.normal(c, spread, size=(n // len(centers), 2)) for c in centers]
+    )
+    weights = np.ones(len(points))
+    return points, weights
+
+
+class TestGaussianKernel:
+    def test_peak_at_center(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [5.0, 0.0]])
+        k = gaussian_kernel_weights(points, np.array([0.0, 0.0]), 1.0)
+        assert k[0] == pytest.approx(1.0)
+        assert k[0] > k[1] > k[2]
+
+    def test_known_value(self):
+        points = np.array([[1.0, 0.0]])
+        k = gaussian_kernel_weights(points, np.array([0.0, 0.0]), 1.0)
+        assert k[0] == pytest.approx(np.exp(-0.5))
+
+    def test_bandwidth_widens(self):
+        points = np.array([[3.0, 0.0]])
+        narrow = gaussian_kernel_weights(points, np.zeros(2), 1.0)[0]
+        wide = gaussian_kernel_weights(points, np.zeros(2), 10.0)[0]
+        assert wide > narrow
+
+
+class TestMeanShiftSingle:
+    def test_converges_to_cluster_center(self):
+        points, weights = two_cluster_data()
+        mode = mean_shift(np.array([25.0, 25.0]), points, weights, bandwidth=5.0)
+        assert np.linalg.norm(mode - [20, 20]) < 2.0
+
+    def test_nearest_mode_wins(self):
+        points, weights = two_cluster_data()
+        mode = mean_shift(np.array([75.0, 75.0]), points, weights, bandwidth=5.0)
+        assert np.linalg.norm(mode - [80, 80]) < 2.0
+
+    def test_weighted_pull(self):
+        points = np.array([[0.0, 0.0], [10.0, 0.0]])
+        # With all weight on the second point, the mode is that point.
+        mode = mean_shift(
+            np.array([5.0, 0.0]), points, np.array([1e-12, 1.0]), bandwidth=20.0
+        )
+        assert mode[0] == pytest.approx(10.0, abs=1e-3)
+
+
+class TestMeanShiftModes:
+    def test_finds_both_clusters(self):
+        points, weights = two_cluster_data()
+        seeds = np.array([[10.0, 10.0], [90.0, 90.0], [30.0, 30.0]])
+        modes, densities = mean_shift_modes(seeds, points, weights, bandwidth=5.0)
+        assert modes.shape == (3, 2)
+        assert densities.shape == (3,)
+        assert np.linalg.norm(modes[0] - [20, 20]) < 2.0
+        assert np.linalg.norm(modes[1] - [80, 80]) < 2.0
+
+    def test_densities_positive_at_clusters(self):
+        points, weights = two_cluster_data()
+        seeds = np.array([[20.0, 20.0]])
+        _modes, densities = mean_shift_modes(seeds, points, weights, bandwidth=5.0)
+        assert densities[0] > 0
+
+    def test_stranded_seed_stays_put(self):
+        points, weights = two_cluster_data()
+        far = np.array([[500.0, 500.0]])
+        modes, densities = mean_shift_modes(far, points, weights, bandwidth=2.0)
+        np.testing.assert_allclose(modes[0], [500.0, 500.0])
+        assert densities[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_matches_single_seed_driver(self):
+        points, weights = two_cluster_data(seed=3)
+        seed = np.array([30.0, 25.0])
+        single = mean_shift(seed.copy(), points, weights, bandwidth=5.0, tol=1e-4)
+        batch, _ = mean_shift_modes(
+            seed[None, :], points, weights, bandwidth=5.0, tol=1e-4
+        )
+        np.testing.assert_allclose(batch[0], single, atol=1e-2)
+
+    def test_zero_weight_rejected(self):
+        points = np.zeros((5, 2))
+        with pytest.raises(ValueError, match="positive total weight"):
+            mean_shift_modes(np.zeros((1, 2)), points, np.zeros(5), 1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="disagree"):
+            mean_shift_modes(np.zeros((1, 2)), np.zeros((5, 2)), np.ones(4), 1.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_modes_have_higher_density_than_seeds(self, seed):
+        # Mean-shift is hill climbing: density at the converged point is at
+        # least the density at the start.
+        points, weights = two_cluster_data(seed=seed % 17)
+        rng = np.random.default_rng(seed)
+        start = rng.uniform(0, 100, size=(4, 2))
+        from repro.core.meanshift import _density_at
+
+        start_density = _density_at(start, points, weights, 5.0)
+        modes, _ = mean_shift_modes(start, points, weights, bandwidth=5.0)
+        end_density = _density_at(modes, points, weights, 5.0)
+        assert np.all(end_density >= start_density - 1e-9)
+
+
+class TestSelectSeeds:
+    def test_returns_all_when_few_points(self):
+        points = np.random.default_rng(0).uniform(0, 10, (5, 2))
+        seeds = select_seeds(points, np.ones(5), 10)
+        assert len(seeds) == 5
+
+    def test_requested_count_or_fewer(self):
+        points = np.random.default_rng(0).uniform(0, 10, (100, 2))
+        seeds = select_seeds(points, np.ones(100), 16)
+        assert 1 <= len(seeds) <= 16
+
+    def test_top_weight_points_included(self):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 10, (100, 2))
+        weights = np.ones(100)
+        weights[42] = 100.0
+        seeds = select_seeds(points, weights, 10)
+        assert any(np.allclose(s, points[42]) for s in seeds)
+
+    def test_deterministic_without_rng(self):
+        points = np.random.default_rng(0).uniform(0, 10, (50, 2))
+        weights = np.random.default_rng(1).uniform(0, 1, 50)
+        a = select_seeds(points, weights, 8)
+        b = select_seeds(points, weights, 8)
+        np.testing.assert_array_equal(a, b)

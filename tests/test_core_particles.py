@@ -1,0 +1,153 @@
+"""Unit and property tests for repro.core.particles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.particles import ParticleSet
+
+
+def simple_set() -> ParticleSet:
+    return ParticleSet(
+        xs=np.array([0.0, 10.0, 20.0]),
+        ys=np.array([0.0, 10.0, 20.0]),
+        strengths=np.array([1.0, 2.0, 3.0]),
+        weights=np.array([0.2, 0.3, 0.5]),
+    )
+
+
+class TestConstruction:
+    def test_default_uniform_weights(self):
+        p = ParticleSet(np.zeros(4), np.zeros(4), np.ones(4))
+        np.testing.assert_allclose(p.weights, 0.25)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            ParticleSet(np.zeros(3), np.zeros(2), np.zeros(3))
+
+    def test_weights_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ParticleSet(np.zeros(3), np.zeros(3), np.zeros(3), np.ones(2))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ParticleSet(np.array([]), np.array([]), np.array([]))
+
+    def test_negative_strength_rejected(self):
+        with pytest.raises(ValueError):
+            ParticleSet(np.zeros(2), np.zeros(2), np.array([1.0, -1.0]))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ParticleSet(np.zeros(2), np.zeros(2), np.ones(2), np.array([0.5, -0.5]))
+
+
+class TestUniformRandom:
+    def test_within_area_and_range(self):
+        rng = np.random.default_rng(0)
+        p = ParticleSet.uniform_random(500, (100, 80), (1.0, 1000.0), rng)
+        assert len(p) == 500
+        assert np.all((p.xs >= 0) & (p.xs <= 100))
+        assert np.all((p.ys >= 0) & (p.ys <= 80))
+        assert np.all((p.strengths >= 1.0) & (p.strengths <= 1000.0))
+
+    def test_log_init_spreads_decades(self):
+        rng = np.random.default_rng(0)
+        p = ParticleSet.uniform_random(4000, (100, 100), (1.0, 1000.0), rng, "log")
+        # Roughly a third of log-uniform draws land in each decade.
+        low = np.mean(p.strengths < 10.0)
+        assert 0.25 < low < 0.42
+
+    def test_uniform_init_concentrates_high(self):
+        rng = np.random.default_rng(0)
+        p = ParticleSet.uniform_random(4000, (100, 100), (1.0, 1000.0), rng, "uniform")
+        assert np.mean(p.strengths < 10.0) < 0.05
+
+    def test_bad_strength_init(self):
+        with pytest.raises(ValueError):
+            ParticleSet.uniform_random(
+                10, (10, 10), (1, 10), np.random.default_rng(0), "bad"
+            )
+
+    def test_initial_weights_uniform(self):
+        rng = np.random.default_rng(0)
+        p = ParticleSet.uniform_random(10, (10, 10), (1, 10), rng)
+        np.testing.assert_allclose(p.weights, 0.1)
+
+
+class TestQueries:
+    def test_indices_within(self):
+        p = simple_set()
+        np.testing.assert_array_equal(p.indices_within(0, 0, 5.0), [0])
+        np.testing.assert_array_equal(p.indices_within(10, 10, 15.0), [0, 1, 2])
+
+    def test_indices_within_boundary_inclusive(self):
+        p = simple_set()
+        # Particle 1 at (10, 10) is exactly sqrt(200) from the origin.
+        radius = np.sqrt(200.0)
+        assert 1 in p.indices_within(0, 0, radius + 1e-9)
+
+    def test_positions_shape(self):
+        assert simple_set().positions.shape == (3, 2)
+
+    def test_total_weight(self):
+        assert simple_set().total_weight() == pytest.approx(1.0)
+
+    def test_weighted_mean(self):
+        p = simple_set()
+        mean = p.weighted_mean()
+        assert mean[0] == pytest.approx(0.2 * 0 + 0.3 * 10 + 0.5 * 20)
+        assert mean[2] == pytest.approx(0.2 * 1 + 0.3 * 2 + 0.5 * 3)
+
+
+class TestNormalize:
+    def test_normalize_scales_to_one(self):
+        p = ParticleSet(np.zeros(2), np.zeros(2), np.ones(2), np.array([2.0, 6.0]))
+        p.normalize()
+        np.testing.assert_allclose(p.weights, [0.25, 0.75])
+
+    def test_degenerate_weights_become_uniform(self):
+        p = ParticleSet(np.zeros(2), np.zeros(2), np.ones(2), np.array([0.0, 0.0]))
+        p.normalize()
+        np.testing.assert_allclose(p.weights, 0.5)
+
+
+class TestEffectiveSampleSize:
+    def test_uniform_ess_equals_n(self):
+        p = ParticleSet(np.zeros(10), np.zeros(10), np.ones(10))
+        assert p.effective_sample_size() == pytest.approx(10.0)
+
+    def test_degenerate_ess_is_one(self):
+        weights = np.zeros(10)
+        weights[0] = 1.0
+        p = ParticleSet(np.zeros(10), np.zeros(10), np.ones(10), weights)
+        assert p.effective_sample_size() == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(0.01, 10.0), min_size=2, max_size=50))
+    def test_ess_bounds(self, raw_weights):
+        n = len(raw_weights)
+        p = ParticleSet(
+            np.zeros(n), np.zeros(n), np.ones(n), np.array(raw_weights)
+        )
+        ess = p.effective_sample_size()
+        assert 1.0 - 1e-9 <= ess <= n + 1e-9
+
+
+class TestCopyAndClip:
+    def test_copy_is_independent(self):
+        p = simple_set()
+        q = p.copy()
+        q.xs[0] = 99.0
+        q.weights[0] = 0.0
+        assert p.xs[0] == 0.0
+        assert p.weights[0] == 0.2
+
+    def test_clip_to_area(self):
+        p = ParticleSet(
+            np.array([-5.0, 50.0, 150.0]),
+            np.array([120.0, 50.0, -1.0]),
+            np.ones(3),
+        )
+        p.clip_to_area((100.0, 100.0))
+        np.testing.assert_allclose(p.xs, [0.0, 50.0, 100.0])
+        np.testing.assert_allclose(p.ys, [100.0, 50.0, 0.0])

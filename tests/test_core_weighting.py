@@ -1,0 +1,188 @@
+"""Unit and property tests for repro.core.weighting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.stats import poisson
+
+from repro.core.particles import ParticleSet
+from repro.core.weighting import (
+    poisson_log_pmf,
+    reweight_in_place,
+    tempered_poisson_log_likelihood,
+)
+from repro.physics.units import CPM_PER_MICROCURIE
+
+
+class TestPoissonLogPmf:
+    def test_matches_scipy(self):
+        rates = np.array([0.5, 5.0, 50.0, 5000.0])
+        for count in (0.0, 3.0, 40.0, 5500.0):
+            ours = poisson_log_pmf(count, rates)
+            reference = poisson.logpmf(count, rates)
+            np.testing.assert_allclose(ours, reference, rtol=1e-10)
+
+    def test_zero_rate_zero_count(self):
+        result = poisson_log_pmf(0.0, np.array([0.0, 1.0]))
+        assert result[0] == 0.0
+        assert result[1] == pytest.approx(-1.0)
+
+    def test_zero_rate_positive_count_impossible(self):
+        assert poisson_log_pmf(3.0, np.array([0.0]))[0] == -np.inf
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_log_pmf(-1.0, np.array([1.0]))
+
+    def test_large_counts_finite(self):
+        # Strong sources induce ~1e6 CPM; the gammaln form must not overflow.
+        result = poisson_log_pmf(1.0e6, np.array([1.0e6]))
+        assert np.isfinite(result[0])
+
+    @given(st.integers(0, 1000), st.floats(0.1, 2000.0))
+    def test_maximized_near_count(self, count, rate):
+        # logpmf(count; count) >= logpmf(count; any other rate).
+        at_count = poisson_log_pmf(float(count), np.array([max(count, 1e-9)]))[0]
+        at_rate = poisson_log_pmf(float(count), np.array([rate]))[0]
+        assert at_count >= at_rate - 1e-9
+
+
+class TestTemperedLikelihood:
+    def test_alpha_one_is_symmetric(self):
+        rates = np.array([1.0, 10.0, 100.0])
+        np.testing.assert_allclose(
+            tempered_poisson_log_likelihood(20.0, rates, 1.0),
+            poisson_log_pmf(20.0, rates),
+        )
+
+    def test_over_prediction_untouched(self):
+        rates = np.array([50.0, 100.0])
+        tempered = tempered_poisson_log_likelihood(20.0, rates, 0.25)
+        np.testing.assert_allclose(tempered, poisson_log_pmf(20.0, rates))
+
+    def test_under_prediction_penalty_reduced(self):
+        rates = np.array([5.0])  # under-predicts a count of 50
+        full = poisson_log_pmf(50.0, rates)[0]
+        at_count = poisson_log_pmf(50.0, np.array([50.0]))[0]
+        tempered = tempered_poisson_log_likelihood(50.0, rates, 0.25)[0]
+        assert full < tempered < at_count
+
+    def test_continuous_at_count(self):
+        eps = 1e-6
+        below = tempered_poisson_log_likelihood(50.0, np.array([50.0 - eps]), 0.25)[0]
+        above = tempered_poisson_log_likelihood(50.0, np.array([50.0 + eps]), 0.25)[0]
+        assert below == pytest.approx(above, abs=1e-6)
+
+    def test_alpha_zero_flattens_under_prediction(self):
+        rates = np.array([1.0, 10.0, 49.0])
+        tempered = tempered_poisson_log_likelihood(50.0, rates, 0.0)
+        # All under-predictors collapse to the profile value logpmf(50; 50).
+        assert np.allclose(tempered, tempered[0])
+
+    def test_monotone_in_rate_below_count(self):
+        rates = np.linspace(1.0, 49.0, 20)
+        tempered = tempered_poisson_log_likelihood(50.0, rates, 0.3)
+        assert np.all(np.diff(tempered) > 0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            tempered_poisson_log_likelihood(10.0, np.array([1.0]), 1.5)
+
+
+def particles_around(x, y, strength, n=50, spread=2.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return ParticleSet(
+        xs=rng.normal(x, spread, n),
+        ys=rng.normal(y, spread, n),
+        strengths=np.full(n, float(strength)),
+    )
+
+
+class TestReweightInPlace:
+    def test_correct_hypothesis_gains_weight(self):
+        # Particles hypothesize sources at two spots; the sensor reading is
+        # consistent with the first spot only.
+        n = 100
+        p = ParticleSet(
+            xs=np.concatenate([np.full(50, 10.0), np.full(50, 90.0)]),
+            ys=np.full(n, 50.0),
+            strengths=np.full(n, 50.0),
+        )
+        # Sensor at (10, 40): distance 10 from spot A, ~81 from spot B.
+        rate_a = CPM_PER_MICROCURIE * 1e-4 * 50.0 / (1 + 100.0) + 5.0
+        indices = np.arange(n)
+        reweight_in_place(
+            p, indices, rate_a, 10.0, 40.0, efficiency=1e-4, background_cpm=5.0
+        )
+        mass_a = p.weights[:50].sum()
+        mass_b = p.weights[50:].sum()
+        assert mass_a > 10 * mass_b
+
+    def test_subset_mass_preserved(self):
+        p = particles_around(50, 50, 10.0)
+        indices = np.arange(20)
+        before = p.weights[indices].sum()
+        reweight_in_place(p, indices, 25.0, 50.0, 50.0, efficiency=1e-4, background_cpm=5.0)
+        assert p.weights[indices].sum() == pytest.approx(before)
+
+    def test_untouched_particles_unchanged(self):
+        p = particles_around(50, 50, 10.0)
+        untouched = p.weights[25:].copy()
+        reweight_in_place(
+            p, np.arange(25), 25.0, 50.0, 50.0, efficiency=1e-4, background_cpm=5.0
+        )
+        np.testing.assert_array_equal(p.weights[25:], untouched)
+
+    def test_empty_selection_is_noop(self):
+        p = particles_around(50, 50, 10.0)
+        before = p.weights.copy()
+        reweight_in_place(p, np.array([], dtype=int), 25.0, 0.0, 0.0)
+        np.testing.assert_array_equal(p.weights, before)
+
+    def test_zeroed_subset_recovers(self):
+        p = particles_around(50, 50, 10.0)
+        p.weights[:10] = 0.0
+        reweight_in_place(
+            p, np.arange(10), 5.0, 50.0, 50.0, efficiency=1e-4, background_cpm=5.0
+        )
+        assert p.weights[:10].sum() > 0
+
+    def test_relative_floor_prevents_total_zeroing(self):
+        # One particle matches, others are astronomically unlikely; the
+        # unlikely ones keep a tiny floor weight instead of exact zero.
+        p = ParticleSet(
+            xs=np.array([50.0, 50.0]),
+            ys=np.array([50.0, 50.0]),
+            strengths=np.array([10.0, 900.0]),
+        )
+        indices = np.arange(2)
+        rate_good = CPM_PER_MICROCURIE * 1e-4 * 10.0 + 5.0
+        reweight_in_place(
+            p, indices, rate_good, 50.0, 50.0, efficiency=1e-4, background_cpm=5.0
+        )
+        assert p.weights[1] > 0
+
+    def test_interference_shifts_preference(self):
+        # Sensor reads bg + 20; with interference 20 already explained, a
+        # zero-ish local source explains the reading best.
+        n = 2
+        p = ParticleSet(
+            xs=np.array([50.0, 50.0]),
+            ys=np.array([50.0, 50.0]),
+            strengths=np.array([1e-6, 20.0 * 101.0 / (CPM_PER_MICROCURIE * 1e-4)]),
+        )
+        sensor = (40.0, 50.0)  # distance 10 -> 1 + d^2 = 101
+        observed = 5.0 + 20.0
+        # Without interference: the matching-strength particle wins.
+        q = p.copy()
+        reweight_in_place(
+            q, np.arange(n), observed, *sensor, efficiency=1e-4, background_cpm=5.0
+        )
+        assert q.weights[1] > q.weights[0]
+        # With interference explaining the excess: weak hypothesis wins.
+        r = p.copy()
+        reweight_in_place(
+            r, np.arange(n), observed, *sensor,
+            efficiency=1e-4, background_cpm=5.0, interference_cpm=20.0,
+        )
+        assert r.weights[0] > r.weights[1]

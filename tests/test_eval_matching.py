@@ -1,0 +1,104 @@
+"""Unit and property tests for estimate-to-source matching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval.matching import match_estimates
+
+
+class TestBasicMatching:
+    def test_perfect_match(self):
+        result = match_estimates([(10, 10), (50, 50)], [(11, 10), (50, 51)])
+        assert result.false_positives == 0
+        assert result.false_negatives == 0
+        assert result.matches[0] == (0, pytest.approx(1.0))
+        assert result.matches[1] == (1, pytest.approx(1.0))
+
+    def test_no_estimates_all_false_negatives(self):
+        result = match_estimates([(10, 10), (50, 50)], [])
+        assert result.false_negatives == 2
+        assert result.false_positives == 0
+        assert result.unmatched_sources == [0, 1]
+
+    def test_no_sources_all_false_positives(self):
+        result = match_estimates([], [(10, 10)])
+        assert result.false_positives == 1
+        assert result.false_negatives == 0
+
+    def test_empty_both(self):
+        result = match_estimates([], [])
+        assert result.false_positives == 0
+        assert result.false_negatives == 0
+
+    def test_beyond_radius_is_false_negative_and_positive(self):
+        result = match_estimates([(0, 0)], [(100, 100)], match_radius=40.0)
+        assert result.false_negatives == 1
+        assert result.false_positives == 1
+
+    def test_exactly_at_radius_matches(self):
+        result = match_estimates([(0, 0)], [(40, 0)], match_radius=40.0)
+        assert result.false_negatives == 0
+
+
+class TestOneToOneConstraint:
+    def test_one_estimate_cannot_serve_two_sources(self):
+        # One estimate equidistant from two sources: one source matched,
+        # the other is a false negative (the paper: "each estimate must
+        # estimate a single source only").
+        result = match_estimates([(0, 0), (20, 0)], [(10, 0)])
+        assert len(result.matches) == 1
+        assert result.false_negatives == 1
+        assert result.false_positives == 0
+
+    def test_globally_closest_pair_wins(self):
+        # Estimate A is close to source 1; estimate B is closer to source 1
+        # than to source 2 but must take source 2.
+        sources = [(0, 0), (30, 0)]
+        estimates = [(1, 0), (10, 0)]
+        result = match_estimates(sources, estimates)
+        assert result.matches[0][0] == 0  # closest pair (source 0, est 0)
+        assert result.matches[1][0] == 1
+
+    def test_extra_estimates_are_false_positives(self):
+        result = match_estimates([(0, 0)], [(1, 0), (2, 0), (3, 0)])
+        assert len(result.matches) == 1
+        assert result.false_positives == 2
+
+
+class TestErrorForSource:
+    def test_matched_distance(self):
+        result = match_estimates([(0, 0)], [(3, 4)])
+        assert result.error_for_source(0) == pytest.approx(5.0)
+
+    def test_missed_source_is_inf(self):
+        result = match_estimates([(0, 0)], [])
+        assert result.error_for_source(0) == float("inf")
+
+
+class TestValidation:
+    def test_bad_radius(self):
+        with pytest.raises(ValueError):
+            match_estimates([(0, 0)], [(1, 1)], match_radius=0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 100), st.floats(0, 100)), min_size=0, max_size=6
+    ),
+    st.lists(
+        st.tuples(st.floats(0, 100), st.floats(0, 100)), min_size=0, max_size=6
+    ),
+)
+def test_matching_invariants(sources, estimates):
+    result = match_estimates(sources, estimates, match_radius=40.0)
+    # Conservation: every source is matched or a false negative.
+    assert len(result.matches) + result.false_negatives == len(sources)
+    # Every estimate is matched or a false positive.
+    assert len(result.matches) + result.false_positives == len(estimates)
+    # One-to-one.
+    matched_estimates = [j for j, _ in result.matches.values()]
+    assert len(set(matched_estimates)) == len(matched_estimates)
+    # All matched distances within the radius.
+    assert all(d <= 40.0 for _, d in result.matches.values())

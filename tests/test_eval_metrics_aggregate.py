@@ -1,0 +1,136 @@
+"""Unit tests for metrics, aggregation, and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import SourceEstimate
+from repro.eval.aggregate import mean_over_steps, mean_series, normalized_errors
+from repro.eval.metrics import MATCH_RADIUS, evaluate_step, strength_errors
+from repro.eval.reporting import format_series, format_table
+from repro.physics.source import RadiationSource
+
+
+def est(x, y, strength=10.0):
+    return SourceEstimate(x, y, strength, mass=0.1, mass_ratio=2.0, seed_count=5)
+
+
+class TestEvaluateStep:
+    def test_match_radius_is_40(self):
+        assert MATCH_RADIUS == 40.0
+
+    def test_all_matched(self):
+        sources = [RadiationSource(10, 10, 5.0), RadiationSource(50, 50, 5.0)]
+        metrics = evaluate_step(3, sources, [est(12, 10), est(50, 52)])
+        assert metrics.time_step == 3
+        assert metrics.errors[0] == pytest.approx(2.0)
+        assert metrics.errors[1] == pytest.approx(2.0)
+        assert metrics.false_positives == 0
+        assert metrics.false_negatives == 0
+        assert metrics.n_estimates == 2
+
+    def test_missed_source(self):
+        sources = [RadiationSource(10, 10, 5.0)]
+        metrics = evaluate_step(0, sources, [])
+        assert metrics.errors[0] == float("inf")
+        assert metrics.false_negatives == 1
+
+    def test_mean_error_skips_missed_by_default(self):
+        sources = [RadiationSource(10, 10, 5.0), RadiationSource(90, 90, 5.0)]
+        metrics = evaluate_step(0, sources, [est(10, 14)])
+        assert metrics.mean_error() == pytest.approx(4.0)
+        assert metrics.mean_error(include_missed=True) == pytest.approx(
+            (4.0 + MATCH_RADIUS) / 2
+        )
+
+    def test_mean_error_all_missed_is_nan(self):
+        sources = [RadiationSource(10, 10, 5.0)]
+        metrics = evaluate_step(0, sources, [])
+        assert np.isnan(metrics.mean_error())
+
+
+class TestStrengthErrors:
+    def test_relative_error(self):
+        sources = [RadiationSource(10, 10, 100.0)]
+        errors = strength_errors(sources, [est(10, 10, strength=80.0)])
+        assert errors[0] == pytest.approx(0.2)
+
+    def test_missed_source_inf(self):
+        sources = [RadiationSource(10, 10, 100.0)]
+        assert strength_errors(sources, []) == [float("inf")]
+
+
+class TestMeanSeries:
+    def test_elementwise_mean(self):
+        result = mean_series([[1.0, 2.0], [3.0, 4.0]])
+        assert result == [2.0, 3.0]
+
+    def test_inf_capped_at_match_radius(self):
+        result = mean_series([[float("inf")], [0.0]])
+        assert result == [MATCH_RADIUS / 2]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mean_series([[1.0], [1.0, 2.0]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_series([])
+
+
+class TestMeanOverSteps:
+    def test_drops_leading_steps(self):
+        values = [100.0, 100.0, 100.0, 100.0, 100.0, 2.0, 4.0]
+        assert mean_over_steps(values, first_step=5) == pytest.approx(3.0)
+
+    def test_all_dropped_rejected(self):
+        with pytest.raises(ValueError):
+            mean_over_steps([1.0, 2.0], first_step=5)
+
+
+class TestNormalizedErrors:
+    def test_obstacle_improvement_above_one(self):
+        # Error 10 without obstacles, 5 with: ratio 2 (> 1 = improved).
+        assert normalized_errors([10.0], [5.0]) == [2.0]
+
+    def test_degradation_below_one(self):
+        assert normalized_errors([5.0], [10.0]) == [0.5]
+
+    def test_zero_with_obstacle(self):
+        assert normalized_errors([5.0], [0.0]) == [float("inf")]
+        assert normalized_errors([0.0], [0.0]) == [1.0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            normalized_errors([1.0], [1.0, 2.0])
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [3, 4.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.5" in text and "4" in text
+
+    def test_row_width_validated(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_infinity_rendered(self):
+        assert "inf" in format_table(["x"], [[float("inf")]])
+
+
+class TestFormatSeries:
+    def test_columns_against_index(self):
+        text = format_series({"err": [1.0, 2.0], "fp": [0.0, 1.0]}, index_name="step")
+        lines = text.splitlines()
+        assert "step" in lines[0] and "err" in lines[0] and "fp" in lines[0]
+        assert len(lines) == 4  # header + separator + 2 rows
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_series({})

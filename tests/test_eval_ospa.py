@@ -1,0 +1,94 @@
+"""Tests for the OSPA multi-target metric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval.ospa import ospa_distance, ospa_series
+
+point_lists = st.lists(
+    st.tuples(st.floats(0, 100), st.floats(0, 100)), min_size=0, max_size=5
+)
+
+
+class TestOspaDistance:
+    def test_identical_sets_zero(self):
+        pts = [(10.0, 10.0), (50.0, 50.0)]
+        assert ospa_distance(pts, pts) == 0.0
+
+    def test_both_empty_zero(self):
+        assert ospa_distance([], []) == 0.0
+
+    def test_one_empty_is_cutoff(self):
+        assert ospa_distance([(0, 0)], [], cutoff=40.0) == 40.0
+        assert ospa_distance([], [(0, 0)], cutoff=40.0) == 40.0
+
+    def test_pure_localization_error(self):
+        # One target, one estimate 6 away: OSPA = 6.
+        assert ospa_distance([(0, 0)], [(6, 0)]) == pytest.approx(6.0)
+
+    def test_cardinality_penalty(self):
+        # One matched perfectly plus one ghost: (0 + c) / 2.
+        result = ospa_distance([(0, 0)], [(0, 0), (90, 90)], cutoff=40.0)
+        assert result == pytest.approx(20.0)
+
+    def test_distance_capped_at_cutoff(self):
+        far = ospa_distance([(0, 0)], [(1000, 1000)], cutoff=40.0)
+        assert far == pytest.approx(40.0)
+
+    def test_optimal_assignment(self):
+        # Greedy nearest would pair (0,0)-(1,0) and leave (10,0) matched to
+        # (11,0): total 2.  The crossed assignment would cost more; check
+        # the Hungarian result picks the cheaper matching.
+        truth = [(0.0, 0.0), (10.0, 0.0)]
+        estimates = [(1.0, 0.0), (11.0, 0.0)]
+        assert ospa_distance(truth, estimates) == pytest.approx(1.0)
+
+    def test_order_two(self):
+        result = ospa_distance([(0, 0)], [(3, 4)], cutoff=40.0, order=2.0)
+        assert result == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ospa_distance([], [], cutoff=0.0)
+        with pytest.raises(ValueError):
+            ospa_distance([], [], order=0.5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(point_lists, point_lists)
+    def test_symmetry(self, a, b):
+        assert ospa_distance(a, b) == pytest.approx(ospa_distance(b, a))
+
+    @settings(max_examples=40, deadline=None)
+    @given(point_lists, point_lists)
+    def test_bounds(self, a, b):
+        value = ospa_distance(a, b, cutoff=40.0)
+        assert 0.0 <= value <= 40.0 + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(point_lists)
+    def test_identity_of_indiscernibles(self, a):
+        assert ospa_distance(a, a) == pytest.approx(0.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(point_lists, point_lists, point_lists)
+    def test_triangle_inequality(self, a, b, c):
+        # OSPA is a metric on finite sets (Schuhmacher et al., Thm 1).
+        ab = ospa_distance(a, b)
+        bc = ospa_distance(b, c)
+        ac = ospa_distance(a, c)
+        assert ac <= ab + bc + 1e-6
+
+
+class TestOspaSeries:
+    def test_series_shape_and_trend(self):
+        truth = [(10.0, 10.0), (50.0, 50.0)]
+        estimate_sets = [
+            [],                                      # nothing yet
+            [(30.0, 30.0)],                          # one poor estimate
+            [(12.0, 10.0), (50.0, 52.0)],            # both found
+        ]
+        series = ospa_series(truth, estimate_sets, cutoff=40.0)
+        assert len(series) == 3
+        assert series[0] == 40.0
+        assert series[2] < series[1] < series[0] + 1e-9

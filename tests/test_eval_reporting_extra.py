@@ -1,0 +1,66 @@
+"""Additional edge-case tests for the reporting module."""
+
+import pytest
+
+from repro.eval.reporting import format_series, format_table
+
+
+class TestFormatting:
+    def test_large_numbers_use_scientific(self):
+        text = format_table(["x"], [[1.5e9]])
+        assert "1.5e+09" in text or "1.5e9" in text.replace("+0", "")
+
+    def test_small_numbers_use_scientific(self):
+        text = format_table(["x"], [[0.0001]])
+        assert "e-" in text or "0.0001" in text
+
+    def test_zero_rendered_plainly(self):
+        assert "0" in format_table(["x"], [[0.0]])
+
+    def test_negative_infinity(self):
+        assert "-inf" in format_table(["x"], [[float("-inf")]])
+
+    def test_trailing_zeros_stripped(self):
+        text = format_table(["x"], [[2.500]])
+        assert "2.5" in text
+        assert "2.500" not in text
+
+    def test_string_cells_pass_through(self):
+        text = format_table(["name", "verdict"], [["S1", "helped"]])
+        assert "helped" in text
+
+    def test_integer_cells(self):
+        text = format_table(["n"], [[42]])
+        assert "42" in text
+
+    def test_column_alignment(self):
+        text = format_table(["a", "b"], [[1, 2], [100, 200]])
+        lines = text.splitlines()
+        # All rows have the same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title_on_first_line(self):
+        text = format_table(["a"], [[1]], title="My Title")
+        assert text.splitlines()[0] == "My Title"
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestSeriesFormatting:
+    def test_index_starts_at_zero(self):
+        text = format_series({"v": [10.0, 20.0]})
+        lines = text.splitlines()
+        assert lines[2].strip().startswith("0")
+        assert lines[3].strip().startswith("1")
+
+    def test_custom_index_name(self):
+        text = format_series({"v": [1.0]}, index_name="T")
+        assert "T" in text.splitlines()[0]
+
+    def test_many_series_all_present(self):
+        series = {f"s{i}": [float(i)] for i in range(6)}
+        header = format_series(series).splitlines()[0]
+        for name in series:
+            assert name in header

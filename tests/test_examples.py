@@ -1,0 +1,43 @@
+"""Smoke tests: the example scripts must run and produce sane output.
+
+Only the fast examples run end-to-end here (the city-scale and baseline
+scripts take minutes and are exercised by the benchmark suite); the rest
+are import-checked so a syntax or API drift fails loudly.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_expected_examples_present():
+    assert "quickstart.py" in ALL_EXAMPLES
+    assert len(ALL_EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_compiles(name):
+    path = EXAMPLES_DIR / name
+    source = path.read_text()
+    compile(source, str(path), "exec")
+
+
+def test_quickstart_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "Final belief" in result.stdout
+    assert "Estimate(" in result.stdout
+    # Both sources should be matched in the final belief lines.
+    assert "Source 1" in result.stdout
+    assert "Source 2" in result.stdout

@@ -1,0 +1,93 @@
+"""Unit tests for repro.geometry.intersect."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.intersect import (
+    segment_intersection_point,
+    segment_polygon_chord_length,
+    segments_intersect,
+)
+from repro.geometry.polygon import Polygon
+from repro.geometry.primitives import Point, Segment
+from repro.geometry.shapes import rectangle
+
+
+def seg(x1, y1, x2, y2) -> Segment:
+    return Segment(Point(x1, y1), Point(x2, y2))
+
+
+class TestSegmentsIntersect:
+    def test_crossing(self):
+        assert segments_intersect(seg(0, 0, 10, 10), seg(0, 10, 10, 0))
+
+    def test_parallel_disjoint(self):
+        assert not segments_intersect(seg(0, 0, 10, 0), seg(0, 1, 10, 1))
+
+    def test_collinear_overlap(self):
+        assert segments_intersect(seg(0, 0, 10, 0), seg(5, 0, 15, 0))
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect(seg(0, 0, 4, 0), seg(5, 0, 10, 0))
+
+    def test_touching_at_endpoint(self):
+        assert segments_intersect(seg(0, 0, 5, 5), seg(5, 5, 10, 0))
+
+    def test_t_junction(self):
+        assert segments_intersect(seg(0, 0, 10, 0), seg(5, -5, 5, 0))
+
+    def test_near_miss(self):
+        assert not segments_intersect(seg(0, 0, 10, 0), seg(5, 0.001, 5, 5))
+
+    @given(
+        st.floats(-50, 50), st.floats(-50, 50), st.floats(-50, 50), st.floats(-50, 50),
+        st.floats(-50, 50), st.floats(-50, 50), st.floats(-50, 50), st.floats(-50, 50),
+    )
+    def test_symmetry(self, a, b, c, d, e, f, g, h):
+        s1, s2 = seg(a, b, c, d), seg(e, f, g, h)
+        assert segments_intersect(s1, s2) == segments_intersect(s2, s1)
+
+
+class TestIntersectionPoint:
+    def test_simple_cross(self):
+        p = segment_intersection_point(seg(0, 0, 10, 10), seg(0, 10, 10, 0))
+        assert p is not None
+        assert (p.x, p.y) == pytest.approx((5, 5))
+
+    def test_no_intersection_returns_none(self):
+        assert segment_intersection_point(seg(0, 0, 1, 1), seg(5, 5, 6, 6)) is None
+
+    def test_parallel_returns_none(self):
+        assert segment_intersection_point(seg(0, 0, 10, 0), seg(0, 1, 10, 1)) is None
+
+    def test_lines_cross_but_segments_do_not(self):
+        assert segment_intersection_point(seg(0, 0, 1, 1), seg(10, 0, 0, 10)) is None
+
+
+class TestChordFunction:
+    def test_triangle_chord(self):
+        triangle = Polygon([(0, 0), (10, 0), (5, 10)])
+        # Horizontal line at y=5 crosses the triangle between x=2.5 and 7.5.
+        chord = segment_polygon_chord_length(seg(-5, 5, 15, 5), triangle)
+        assert chord == pytest.approx(5.0)
+
+    def test_through_vertex(self):
+        triangle = Polygon([(0, 0), (10, 0), (5, 10)])
+        chord = segment_polygon_chord_length(seg(5, -5, 5, 15), triangle)
+        assert chord == pytest.approx(10.0)
+
+    def test_additivity_of_disjoint_boxes(self):
+        box_a = rectangle(0, 0, 10, 10)
+        box_b = rectangle(20, 0, 30, 10)
+        ray = seg(-5, 5, 35, 5)
+        total = segment_polygon_chord_length(ray, box_a) + segment_polygon_chord_length(
+            ray, box_b
+        )
+        assert total == pytest.approx(20.0)
+
+    def test_collinear_edge_traversal(self):
+        # Ray collinear with a shared interior edge structure: along the
+        # top edge of a box, then into nothing.
+        box = rectangle(0, 0, 10, 10)
+        chord = segment_polygon_chord_length(seg(0, 10, 10, 10), box)
+        assert chord == pytest.approx(0.0, abs=1e-6)

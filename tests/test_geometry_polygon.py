@@ -1,0 +1,173 @@
+"""Unit and property tests for repro.geometry.polygon."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.polygon import Polygon
+from repro.geometry.primitives import Point, Segment
+from repro.geometry.shapes import rectangle, u_shape
+
+
+def unit_square() -> Polygon:
+    return Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+
+
+class TestConstruction:
+    def test_requires_three_vertices(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            Polygon([(0, 0), (1, 1)])
+
+    def test_accepts_tuples_and_points(self):
+        poly = Polygon([Point(0, 0), (1, 0), (0.5, 1)])
+        assert len(poly.vertices) == 3
+
+    def test_bbox(self):
+        poly = Polygon([(1, 2), (5, 2), (3, 7)])
+        assert poly.bbox == (1, 2, 5, 7)
+
+
+class TestArea:
+    def test_unit_square(self):
+        assert unit_square().area() == pytest.approx(1.0)
+
+    def test_triangle(self):
+        assert Polygon([(0, 0), (4, 0), (0, 3)]).area() == pytest.approx(6.0)
+
+    def test_winding_independent(self):
+        ccw = Polygon([(0, 0), (2, 0), (2, 2), (0, 2)])
+        cw = Polygon([(0, 0), (0, 2), (2, 2), (2, 0)])
+        assert ccw.area() == pytest.approx(cw.area())
+
+    def test_u_shape_area(self):
+        # U with box 30x30, thickness 2: two uprights 2x30 + base 26x2.
+        shape = u_shape(0, 0, 30, 30, 2, opening="up")
+        assert shape.area() == pytest.approx(2 * 2 * 30 + 26 * 2)
+
+
+class TestCentroid:
+    def test_square_centroid(self):
+        c = rectangle(0, 0, 4, 2).centroid()
+        assert (c.x, c.y) == pytest.approx((2, 1))
+
+    @given(
+        st.floats(min_value=-100, max_value=100),
+        st.floats(min_value=-100, max_value=100),
+        st.floats(min_value=0.5, max_value=50),
+        st.floats(min_value=0.5, max_value=50),
+    )
+    def test_rectangle_centroid_is_center(self, x, y, w, h):
+        c = rectangle(x, y, x + w, y + h).centroid()
+        assert c.x == pytest.approx(x + w / 2, abs=1e-6)
+        assert c.y == pytest.approx(y + h / 2, abs=1e-6)
+
+
+class TestContains:
+    def test_interior(self):
+        assert unit_square().contains(Point(0.5, 0.5))
+
+    def test_exterior(self):
+        assert not unit_square().contains(Point(1.5, 0.5))
+
+    def test_boundary_included_by_default(self):
+        assert unit_square().contains(Point(0, 0.5))
+        assert unit_square().contains(Point(0, 0))
+
+    def test_boundary_excluded_on_request(self):
+        assert not unit_square().contains(Point(0, 0.5), include_boundary=False)
+
+    def test_concave_notch(self):
+        # U-shape opening up: the notch interior is NOT inside.
+        shape = u_shape(0, 0, 30, 30, 2, opening="up")
+        assert not shape.contains(Point(15, 15))
+        assert shape.contains(Point(1, 15))      # left upright
+        assert shape.contains(Point(29, 15))     # right upright
+        assert shape.contains(Point(15, 1))      # base
+
+    def test_far_outside_bbox_short_circuits(self):
+        assert not unit_square().contains(Point(100, 100))
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.99),
+        st.floats(min_value=0.01, max_value=0.99),
+    )
+    def test_all_unit_square_interior_points(self, x, y):
+        assert unit_square().contains(Point(x, y))
+
+
+class TestChordLength:
+    def test_full_crossing(self):
+        square = rectangle(0, 0, 10, 10)
+        seg = Segment(Point(-5, 5), Point(15, 5))
+        assert square.chord_length(seg) == pytest.approx(10.0)
+
+    def test_miss(self):
+        square = rectangle(0, 0, 10, 10)
+        seg = Segment(Point(-5, 20), Point(15, 20))
+        assert square.chord_length(seg) == pytest.approx(0.0)
+
+    def test_one_endpoint_inside(self):
+        square = rectangle(0, 0, 10, 10)
+        seg = Segment(Point(5, 5), Point(25, 5))
+        assert square.chord_length(seg) == pytest.approx(5.0)
+
+    def test_fully_inside(self):
+        square = rectangle(0, 0, 10, 10)
+        seg = Segment(Point(2, 5), Point(8, 5))
+        assert square.chord_length(seg) == pytest.approx(6.0)
+
+    def test_diagonal_crossing(self):
+        square = rectangle(0, 0, 10, 10)
+        seg = Segment(Point(-1, -1), Point(11, 11))
+        assert square.chord_length(seg) == pytest.approx(10 * math.sqrt(2))
+
+    def test_double_crossing_concave(self):
+        # A ray through both uprights of a U: two chords of 2 each.
+        shape = u_shape(0, 0, 30, 30, 2, opening="up")
+        seg = Segment(Point(-5, 15), Point(35, 15))
+        assert shape.chord_length(seg) == pytest.approx(4.0)
+
+    def test_grazing_edge_contributes_zero(self):
+        square = rectangle(0, 0, 10, 10)
+        seg = Segment(Point(-5, 0), Point(15, 0))
+        # Sliding along the bottom edge: no interior traversal.
+        assert square.chord_length(seg) == pytest.approx(0.0, abs=1e-6)
+
+    def test_zero_length_segment(self):
+        square = rectangle(0, 0, 10, 10)
+        assert square.chord_length(Segment(Point(5, 5), Point(5, 5))) == 0.0
+
+    @given(
+        st.floats(min_value=-20, max_value=20),
+        st.floats(min_value=-20, max_value=20),
+        st.floats(min_value=-20, max_value=20),
+        st.floats(min_value=-20, max_value=20),
+    )
+    def test_chord_never_exceeds_segment_length(self, x1, y1, x2, y2):
+        square = rectangle(0, 0, 10, 10)
+        seg = Segment(Point(x1, y1), Point(x2, y2))
+        chord = square.chord_length(seg)
+        assert 0.0 <= chord <= seg.length() + 1e-6
+
+    @given(
+        st.floats(min_value=-20, max_value=20),
+        st.floats(min_value=-20, max_value=20),
+        st.floats(min_value=-20, max_value=20),
+        st.floats(min_value=-20, max_value=20),
+    )
+    def test_chord_symmetric_in_direction(self, x1, y1, x2, y2):
+        square = rectangle(0, 0, 10, 10)
+        forward = square.chord_length(Segment(Point(x1, y1), Point(x2, y2)))
+        backward = square.chord_length(Segment(Point(x2, y2), Point(x1, y1)))
+        assert forward == pytest.approx(backward, abs=1e-6)
+
+
+class TestTranslated:
+    def test_translation_moves_bbox(self):
+        poly = rectangle(0, 0, 2, 2).translated(10, 20)
+        assert poly.bbox == (10, 20, 12, 22)
+
+    def test_translation_preserves_area(self):
+        poly = u_shape(0, 0, 30, 30, 2)
+        assert poly.translated(5, -3).area() == pytest.approx(poly.area())

@@ -1,0 +1,130 @@
+"""Unit and property tests for repro.geometry.primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.primitives import (
+    EPS,
+    Point,
+    Segment,
+    distance,
+    distance_sq,
+    on_segment,
+    orientation,
+)
+
+coords = st.floats(min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False)
+
+
+class TestPoint:
+    def test_addition(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+
+    def test_subtraction(self):
+        assert Point(5, 7) - Point(2, 3) == Point(3, 4)
+
+    def test_scalar_multiplication(self):
+        assert Point(1, -2) * 3 == Point(3, -6)
+        assert 3 * Point(1, -2) == Point(3, -6)
+
+    def test_dot_product(self):
+        assert Point(1, 2).dot(Point(3, 4)) == 11
+
+    def test_cross_product_sign(self):
+        assert Point(1, 0).cross(Point(0, 1)) == 1
+        assert Point(0, 1).cross(Point(1, 0)) == -1
+
+    def test_cross_of_parallel_is_zero(self):
+        assert Point(2, 4).cross(Point(1, 2)) == 0
+
+    def test_norm(self):
+        assert Point(3, 4).norm() == 5
+
+    def test_iteration_and_tuple(self):
+        assert tuple(Point(1, 2)) == (1, 2)
+        assert Point(1, 2).as_tuple() == (1, 2)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 1  # type: ignore[misc]
+
+
+class TestSegment:
+    def test_length(self):
+        assert Segment(Point(0, 0), Point(3, 4)).length() == 5
+
+    def test_midpoint(self):
+        assert Segment(Point(0, 0), Point(2, 4)).midpoint() == Point(1, 2)
+
+    def test_point_at_endpoints(self):
+        seg = Segment(Point(1, 1), Point(5, 9))
+        assert seg.point_at(0.0) == Point(1, 1)
+        assert seg.point_at(1.0) == Point(5, 9)
+
+    def test_point_at_middle(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        assert seg.point_at(0.25) == Point(2.5, 0)
+
+
+class TestDistance:
+    def test_distance(self):
+        assert distance(Point(0, 0), Point(3, 4)) == 5
+
+    def test_distance_sq(self):
+        assert distance_sq(Point(0, 0), Point(3, 4)) == 25
+
+    @given(coords, coords, coords, coords)
+    def test_distance_symmetry(self, x1, y1, x2, y2):
+        p, q = Point(x1, y1), Point(x2, y2)
+        assert distance(p, q) == distance(q, p)
+
+    @given(coords, coords)
+    def test_distance_to_self_is_zero(self, x, y):
+        assert distance(Point(x, y), Point(x, y)) == 0
+
+    @given(coords, coords, coords, coords, coords, coords)
+    def test_triangle_inequality(self, x1, y1, x2, y2, x3, y3):
+        a, b, c = Point(x1, y1), Point(x2, y2), Point(x3, y3)
+        assert distance(a, c) <= distance(a, b) + distance(b, c) + 1e-6
+
+
+class TestOrientation:
+    def test_counter_clockwise(self):
+        assert orientation(Point(0, 0), Point(1, 0), Point(1, 1)) == 1
+
+    def test_clockwise(self):
+        assert orientation(Point(0, 0), Point(1, 1), Point(1, 0)) == -1
+
+    def test_collinear(self):
+        assert orientation(Point(0, 0), Point(1, 1), Point(2, 2)) == 0
+
+    @given(coords, coords, coords, coords, coords, coords)
+    def test_swap_flips_sign(self, x1, y1, x2, y2, x3, y3):
+        p, q, r = Point(x1, y1), Point(x2, y2), Point(x3, y3)
+        assert orientation(p, q, r) == -orientation(p, r, q)
+
+
+class TestOnSegment:
+    def test_midpoint_on_segment(self):
+        seg = Segment(Point(0, 0), Point(10, 10))
+        assert on_segment(Point(5, 5), seg)
+
+    def test_endpoint_on_segment(self):
+        seg = Segment(Point(0, 0), Point(10, 10))
+        assert on_segment(Point(0, 0), seg)
+        assert on_segment(Point(10, 10), seg)
+
+    def test_collinear_but_outside(self):
+        seg = Segment(Point(0, 0), Point(10, 10))
+        assert not on_segment(Point(11, 11), seg)
+
+    def test_off_line(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        assert not on_segment(Point(5, 1), seg)
+
+    @given(st.floats(min_value=0, max_value=1), coords, coords, coords, coords)
+    def test_interpolated_points_lie_on_segment(self, t, x1, y1, x2, y2):
+        seg = Segment(Point(x1, y1), Point(x2, y2))
+        assert on_segment(seg.point_at(t), seg)

@@ -1,0 +1,123 @@
+"""Unit tests for repro.geometry.shapes."""
+
+import math
+
+import pytest
+
+from repro.geometry.primitives import Point, Segment
+from repro.geometry.shapes import l_shape, rectangle, regular_polygon, u_shape, wall
+
+
+class TestRectangle:
+    def test_area(self):
+        assert rectangle(0, 0, 4, 3).area() == pytest.approx(12.0)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            rectangle(5, 0, 5, 10)
+        with pytest.raises(ValueError, match="degenerate"):
+            rectangle(0, 10, 10, 5)
+
+
+class TestWall:
+    def test_horizontal_wall_bbox(self):
+        poly = wall(50, 50, length=20, thickness=2, angle_deg=0)
+        min_x, min_y, max_x, max_y = poly.bbox
+        assert (min_x, max_x) == pytest.approx((40, 60))
+        assert (min_y, max_y) == pytest.approx((49, 51))
+
+    def test_rotated_wall_area_preserved(self):
+        flat = wall(0, 0, 20, 2, 0)
+        tilted = wall(0, 0, 20, 2, 37)
+        assert tilted.area() == pytest.approx(flat.area())
+
+    def test_vertical_wall(self):
+        poly = wall(10, 10, length=20, thickness=2, angle_deg=90)
+        min_x, min_y, max_x, max_y = poly.bbox
+        assert (min_y, max_y) == pytest.approx((0, 20))
+        assert (min_x, max_x) == pytest.approx((9, 11))
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            wall(0, 0, length=0, thickness=1)
+        with pytest.raises(ValueError):
+            wall(0, 0, length=10, thickness=-1)
+
+
+class TestUShape:
+    @pytest.mark.parametrize("opening", ["up", "down", "left", "right"])
+    def test_bbox_matches_request(self, opening):
+        poly = u_shape(10, 20, width=30, height=40, thickness=3, opening=opening)
+        min_x, min_y, max_x, max_y = poly.bbox
+        assert (min_x, min_y) == pytest.approx((10, 20))
+        assert (max_x - min_x, max_y - min_y) == pytest.approx((30, 40))
+
+    @pytest.mark.parametrize("opening", ["up", "down", "left", "right"])
+    def test_area_independent_of_opening(self, opening):
+        base = u_shape(0, 0, 30, 30, 2, opening="up").area()
+        assert u_shape(0, 0, 30, 30, 2, opening=opening).area() == pytest.approx(base)
+
+    def test_opening_side_is_open(self):
+        # The center of the opening side must be outside the polygon; the
+        # opposite side's center must be inside (it is the base wall).
+        cases = {
+            "up": (Point(15, 29), Point(15, 1)),
+            "down": (Point(15, 1), Point(15, 29)),
+            "left": (Point(1, 15), Point(29, 15)),
+            "right": (Point(29, 15), Point(1, 15)),
+        }
+        for opening, (open_pt, base_pt) in cases.items():
+            poly = u_shape(0, 0, 30, 30, 2, opening=opening)
+            assert not poly.contains(open_pt), f"{opening}: opening should be open"
+            assert poly.contains(base_pt), f"{opening}: base should be solid"
+
+    def test_thickness_too_large(self):
+        with pytest.raises(ValueError, match="thickness"):
+            u_shape(0, 0, 10, 10, 5)
+
+    def test_unknown_opening(self):
+        with pytest.raises(ValueError, match="opening"):
+            u_shape(0, 0, 30, 30, 2, opening="sideways")
+
+    def test_chord_through_both_uprights(self):
+        poly = u_shape(0, 0, 30, 30, 2, opening="up")
+        ray = Segment(Point(-1, 20), Point(31, 20))
+        assert poly.chord_length(ray) == pytest.approx(4.0)
+
+
+class TestLShape:
+    def test_area(self):
+        # width 10, height 8, thickness 2: horizontal 10x2 + vertical 2x6.
+        poly = l_shape(0, 0, 10, 8, 2)
+        assert poly.area() == pytest.approx(10 * 2 + 2 * 6)
+
+    def test_corner_solid_arms_positioning(self):
+        poly = l_shape(0, 0, 10, 8, 2)
+        assert poly.contains(Point(1, 1))    # corner
+        assert poly.contains(Point(9, 1))    # horizontal arm
+        assert poly.contains(Point(1, 7))    # vertical arm
+        assert not poly.contains(Point(9, 7))  # open quadrant
+
+    def test_thickness_too_large(self):
+        with pytest.raises(ValueError, match="thickness"):
+            l_shape(0, 0, 4, 10, 5)
+
+
+class TestRegularPolygon:
+    def test_hexagon_area(self):
+        hexagon = regular_polygon(0, 0, radius=2, sides=6)
+        expected = 6 * (math.sqrt(3) / 4) * (2**2)
+        assert hexagon.area() == pytest.approx(expected)
+
+    def test_center_inside(self):
+        assert regular_polygon(5, 5, 3, 5).contains(Point(5, 5))
+
+    def test_many_sides_approaches_circle(self):
+        poly = regular_polygon(0, 0, 1, 256)
+        assert poly.area() == pytest.approx(math.pi, rel=1e-3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            regular_polygon(0, 0, 1, 2)
+        with pytest.raises(ValueError):
+            regular_polygon(0, 0, 0, 5)

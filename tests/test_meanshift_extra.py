@@ -1,0 +1,99 @@
+"""Additional mean-shift behaviours: weighted modes, bandwidth effects."""
+
+import numpy as np
+import pytest
+
+from repro.core.meanshift import (
+    _density_at,
+    mean_shift,
+    mean_shift_modes,
+    select_seeds,
+)
+
+
+def blob(center, n, spread, rng):
+    return rng.normal(center, spread, size=(n, 2))
+
+
+class TestBandwidthEffects:
+    def test_small_bandwidth_resolves_close_clusters(self):
+        rng = np.random.default_rng(0)
+        points = np.vstack([blob((40, 50), 150, 1.5, rng), blob((60, 50), 150, 1.5, rng)])
+        weights = np.ones(len(points))
+        seeds = np.array([[38.0, 50.0], [62.0, 50.0]])
+        modes, _ = mean_shift_modes(seeds, points, weights, bandwidth=3.0)
+        assert abs(modes[0][0] - 40) < 2
+        assert abs(modes[1][0] - 60) < 2
+
+    def test_large_bandwidth_merges_close_clusters(self):
+        rng = np.random.default_rng(0)
+        points = np.vstack([blob((40, 50), 150, 1.5, rng), blob((60, 50), 150, 1.5, rng)])
+        weights = np.ones(len(points))
+        seeds = np.array([[38.0, 50.0], [62.0, 50.0]])
+        modes, _ = mean_shift_modes(seeds, points, weights, bandwidth=30.0)
+        # Both seeds converge to (nearly) the same central mode.
+        assert np.linalg.norm(modes[0] - modes[1]) < 3.0
+        assert abs(modes[0][0] - 50) < 3.0
+
+
+class TestWeightedModes:
+    def test_weights_shift_the_mode(self):
+        rng = np.random.default_rng(1)
+        points = np.vstack([blob((40, 50), 100, 2, rng), blob((60, 50), 100, 2, rng)])
+        weights = np.concatenate([np.full(100, 10.0), np.full(100, 0.1)])
+        mode = mean_shift(np.array([50.0, 50.0]), points, weights, bandwidth=15.0)
+        # The heavy cluster wins the tug-of-war from the midpoint.
+        assert mode[0] < 45.0
+
+    def test_density_reflects_weights(self):
+        points = np.array([[0.0, 0.0], [100.0, 100.0]])
+        weights = np.array([5.0, 1.0])
+        densities = _density_at(points, points, weights, bandwidth=5.0)
+        assert densities[0] > densities[1]
+
+
+class TestConvergenceControls:
+    def test_max_iter_caps_work(self):
+        rng = np.random.default_rng(2)
+        points = blob((50, 50), 200, 3, rng)
+        weights = np.ones(200)
+        # One iteration only: the far seed cannot reach the cluster.
+        modes_capped, _ = mean_shift_modes(
+            np.array([[10.0, 10.0]]), points, weights, bandwidth=30.0, max_iter=1
+        )
+        modes_full, _ = mean_shift_modes(
+            np.array([[10.0, 10.0]]), points, weights, bandwidth=30.0, max_iter=200
+        )
+        d_capped = np.linalg.norm(modes_capped[0] - [50, 50])
+        d_full = np.linalg.norm(modes_full[0] - [50, 50])
+        assert d_full < d_capped
+
+    def test_tolerance_bounds_final_precision(self):
+        rng = np.random.default_rng(3)
+        points = blob((50, 50), 200, 3, rng)
+        weights = np.ones(200)
+        tight, _ = mean_shift_modes(
+            np.array([[30.0, 30.0]]), points, weights, bandwidth=10.0, tol=1e-6
+        )
+        loose, _ = mean_shift_modes(
+            np.array([[30.0, 30.0]]), points, weights, bandwidth=10.0, tol=5.0
+        )
+        # Tight tolerance polishes to the mode; loose may stop up to one
+        # last sub-tolerance step away from wherever it was.
+        assert np.linalg.norm(tight[0] - [50, 50]) < 1.5
+        assert np.linalg.norm(loose[0] - [50, 50]) < 1.5 + 5.0
+
+
+class TestSeedSelection:
+    def test_seed_count_with_rng(self):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 100, (200, 2))
+        weights = rng.uniform(0, 1, 200)
+        seeds = select_seeds(points, weights, 24, rng=np.random.default_rng(1))
+        assert 1 <= len(seeds) <= 24
+
+    def test_all_equal_weights_still_covers(self):
+        points = np.random.default_rng(0).uniform(0, 100, (100, 2))
+        seeds = select_seeds(points, np.ones(100), 20)
+        # Strided subsample spans the index range.
+        assert len(seeds) >= 10

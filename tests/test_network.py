@@ -1,0 +1,186 @@
+"""Unit tests for the repro.network transport substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.link import (
+    ExponentialLatencyLink,
+    LossyLink,
+    PerfectLink,
+    UniformLatencyLink,
+)
+from repro.network.scheduler import EventQueue
+from repro.network.transport import (
+    InOrderDelivery,
+    OutOfOrderDelivery,
+    ShuffledDelivery,
+    deliver,
+)
+from repro.sensors.measurement import Measurement
+
+
+def make_batches(n_steps: int, n_sensors: int):
+    batches = []
+    seq = 0
+    for t in range(n_steps):
+        batch = []
+        for i in range(n_sensors):
+            batch.append(Measurement(i, float(i), 0.0, 10.0, t, seq))
+            seq += 1
+        batches.append(batch)
+    return batches
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(3.0, "c")
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        assert [q.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_tiebreak(self):
+        q = EventQueue()
+        q.push(1.0, "first")
+        q.push(1.0, "second")
+        assert q.pop().payload == "first"
+        assert q.pop().payload == "second"
+
+    def test_drain_until(self):
+        q = EventQueue()
+        for t in (0.5, 1.5, 2.5):
+            q.push(t, t)
+        drained = [e.payload for e in q.drain_until(2.0)]
+        assert drained == [0.5, 1.5]
+        assert len(q) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(7.0, "x")
+        assert q.peek_time() == 7.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, "x")
+
+    def test_bool_and_len(self):
+        q = EventQueue()
+        assert not q
+        q.push(0.0, "x")
+        assert q and len(q) == 1
+
+
+class TestLinks:
+    def test_perfect_link_is_instant(self):
+        rng = np.random.default_rng(0)
+        assert PerfectLink().delivery_time(3.5, rng) == 3.5
+
+    def test_uniform_latency_within_bounds(self):
+        link = UniformLatencyLink(0.5, 2.0)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            arrival = link.delivery_time(1.0, rng)
+            assert 1.5 <= arrival <= 3.0
+
+    def test_uniform_bounds_validated(self):
+        with pytest.raises(ValueError):
+            UniformLatencyLink(2.0, 1.0)
+        with pytest.raises(ValueError):
+            UniformLatencyLink(-1.0, 1.0)
+
+    def test_exponential_latency_positive(self):
+        link = ExponentialLatencyLink(0.5)
+        rng = np.random.default_rng(0)
+        assert all(link.delivery_time(0.0, rng) >= 0 for _ in range(50))
+
+    def test_exponential_mean_validated(self):
+        with pytest.raises(ValueError):
+            ExponentialLatencyLink(0.0)
+
+    def test_lossy_link_drops(self):
+        link = LossyLink(PerfectLink(), 0.5)
+        rng = np.random.default_rng(0)
+        outcomes = [link.delivery_time(0.0, rng) for _ in range(400)]
+        dropped = sum(1 for o in outcomes if o is None)
+        assert 120 < dropped < 280  # ~50% with wide tolerance
+
+    def test_lossy_probability_validated(self):
+        with pytest.raises(ValueError):
+            LossyLink(PerfectLink(), 1.0)
+        with pytest.raises(ValueError):
+            LossyLink(PerfectLink(), -0.1)
+
+
+class TestInOrderDelivery:
+    def test_preserves_everything(self):
+        batches = make_batches(3, 4)
+        rng = np.random.default_rng(0)
+        arrived = deliver(batches, InOrderDelivery(), rng)
+        assert arrived == batches
+
+
+class TestShuffledDelivery:
+    def test_same_membership_per_step(self):
+        batches = make_batches(2, 10)
+        rng = np.random.default_rng(0)
+        arrived = deliver(batches, ShuffledDelivery(), rng)
+        for original, shuffled in zip(batches, arrived):
+            assert sorted(m.sequence for m in shuffled) == [
+                m.sequence for m in original
+            ]
+
+    def test_actually_shuffles(self):
+        batches = make_batches(1, 20)
+        rng = np.random.default_rng(0)
+        arrived = deliver(batches, ShuffledDelivery(), rng)
+        assert [m.sequence for m in arrived[0]] != [m.sequence for m in batches[0]]
+
+
+class TestOutOfOrderDelivery:
+    def test_perfect_link_loses_nothing(self):
+        batches = make_batches(5, 6)
+        rng = np.random.default_rng(0)
+        arrived = deliver(batches, OutOfOrderDelivery(PerfectLink()), rng)
+        total_in = sum(len(b) for b in batches)
+        total_out = sum(len(b) for b in arrived)
+        assert total_out == total_in
+
+    def test_latency_reorders_across_steps(self):
+        batches = make_batches(6, 8)
+        rng = np.random.default_rng(3)
+        model = OutOfOrderDelivery(UniformLatencyLink(0.0, 2.0))
+        arrived = deliver(batches, model, rng)
+        flat = [m.sequence for batch in arrived for m in batch]
+        assert sorted(flat) == list(range(48))  # nothing lost
+        assert flat != sorted(flat)  # but genuinely out of order
+
+    def test_lossy_link_drops_messages(self):
+        batches = make_batches(5, 10)
+        rng = np.random.default_rng(1)
+        model = OutOfOrderDelivery(LossyLink(PerfectLink(), 0.3))
+        arrived = deliver(batches, model, rng)
+        assert sum(len(b) for b in arrived) < 50
+
+    def test_straggler_tail_batch(self):
+        batches = make_batches(2, 4)
+        rng = np.random.default_rng(0)
+        model = OutOfOrderDelivery(UniformLatencyLink(1.5, 3.0))
+        arrived = deliver(batches, model, rng)
+        # High latency guarantees arrivals after the last generation round.
+        assert len(arrived) >= 3
+        assert sum(len(b) for b in arrived) == 8
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_conservation_under_any_seed(self, seed):
+        batches = make_batches(4, 5)
+        model = OutOfOrderDelivery(UniformLatencyLink(0.0, 1.5))
+        arrived = deliver(batches, model, np.random.default_rng(seed))
+        flat = sorted(m.sequence for batch in arrived for m in batch)
+        assert flat == list(range(20))

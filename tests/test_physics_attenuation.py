@@ -1,0 +1,75 @@
+"""Unit tests for repro.physics.attenuation."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.physics.attenuation import (
+    MATERIALS,
+    Material,
+    attenuation_coefficient,
+    half_value_thickness,
+    mu_for_half_value,
+)
+
+
+class TestMaterialTable:
+    def test_paper_obstacle_mu(self):
+        # The evaluation's mu = 0.0693 halves intensity every 10 units.
+        assert MATERIALS["paper_obstacle"].mu == pytest.approx(0.0693, rel=1e-3)
+
+    def test_lead_vs_concrete_ratio(self):
+        # The paper: 1 cm of lead absorbs as much as ~6 cm of concrete.
+        ratio = MATERIALS["lead"].mu / MATERIALS["concrete"].mu
+        assert 5.0 <= ratio <= 7.0
+
+    def test_denser_materials_attenuate_more(self):
+        assert MATERIALS["lead"].mu > MATERIALS["steel"].mu > MATERIALS["concrete"].mu
+        assert MATERIALS["concrete"].mu > MATERIALS["wood"].mu
+
+    def test_lookup_by_name(self):
+        assert attenuation_coefficient("lead") == MATERIALS["lead"].mu
+
+    def test_unknown_material_lists_known(self):
+        with pytest.raises(KeyError, match="known materials"):
+            attenuation_coefficient("unobtainium")
+
+
+class TestMaterial:
+    def test_half_value_layer(self):
+        material = Material("test", mu=math.log(2) / 5.0, density=1.0)
+        assert material.half_value_layer() == pytest.approx(5.0)
+
+    def test_transmission_at_half_value(self):
+        material = MATERIALS["paper_obstacle"]
+        assert material.transmission(material.half_value_layer()) == pytest.approx(0.5)
+
+    def test_transmission_zero_thickness(self):
+        assert MATERIALS["lead"].transmission(0.0) == 1.0
+
+    def test_transmission_negative_thickness_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MATERIALS["lead"].transmission(-1.0)
+
+    @given(st.floats(min_value=0, max_value=100), st.floats(min_value=0, max_value=100))
+    def test_transmission_multiplicative(self, t1, t2):
+        material = MATERIALS["concrete"]
+        combined = material.transmission(t1 + t2)
+        product = material.transmission(t1) * material.transmission(t2)
+        assert combined == pytest.approx(product, rel=1e-9)
+
+
+class TestHalfValueHelpers:
+    def test_roundtrip(self):
+        assert half_value_thickness(mu_for_half_value(10.0)) == pytest.approx(10.0)
+
+    def test_paper_construction(self):
+        # mu chosen so intensity halves every 10 units -> 0.0693.
+        assert mu_for_half_value(10.0) == pytest.approx(0.0693, rel=1e-3)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            half_value_thickness(0.0)
+        with pytest.raises(ValueError):
+            mu_for_half_value(-1.0)

@@ -1,0 +1,171 @@
+"""Unit and property tests for repro.physics.intensity (Eq. 1-4)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.shapes import rectangle
+from repro.physics.attenuation import MATERIALS
+from repro.physics.intensity import (
+    RadiationField,
+    expected_cpm,
+    expected_cpm_free_space,
+    expected_cpm_grid,
+    free_space_intensity,
+    shielded_intensity,
+    transport_intensity,
+)
+from repro.physics.obstacle import Obstacle
+from repro.physics.source import RadiationSource
+from repro.physics.units import CPM_PER_MICROCURIE
+
+
+class TestFreeSpaceIntensity:
+    def test_at_source_position(self):
+        # Eq. (1): at r = 0 the intensity equals the strength.
+        assert free_space_intensity(5, 5, 5, 5, 10.0) == pytest.approx(10.0)
+
+    def test_unit_distance_halves(self):
+        assert free_space_intensity(1, 0, 0, 0, 10.0) == pytest.approx(5.0)
+
+    def test_known_value(self):
+        # r^2 = 3^2 + 4^2 = 25 -> I = 10 / 26.
+        assert free_space_intensity(3, 4, 0, 0, 10.0) == pytest.approx(10.0 / 26.0)
+
+    def test_vectorized_over_sources(self):
+        xs = np.array([0.0, 0.0])
+        ys = np.array([0.0, 1.0])
+        result = free_space_intensity(0.0, 0.0, xs, ys, np.array([10.0, 10.0]))
+        assert result == pytest.approx([10.0, 5.0])
+
+    @given(
+        st.floats(-100, 100), st.floats(-100, 100),
+        st.floats(-100, 100), st.floats(-100, 100),
+        st.floats(0, 1000),
+    )
+    def test_never_exceeds_strength(self, x, y, sx, sy, strength):
+        assert free_space_intensity(x, y, sx, sy, strength) <= strength
+
+    @given(st.floats(0.1, 100), st.floats(0.1, 1000))
+    def test_monotone_decay_with_distance(self, r, strength):
+        near = free_space_intensity(r, 0, 0, 0, strength)
+        far = free_space_intensity(r * 2, 0, 0, 0, strength)
+        assert far <= near
+
+
+class TestShieldedIntensity:
+    def test_zero_thickness(self):
+        assert shielded_intensity(10.0, 0.0693, 0.0) == pytest.approx(10.0)
+
+    def test_half_value(self):
+        # Eq. (2): 10 units at mu = ln(2)/10 halves the intensity.
+        mu = math.log(2) / 10.0
+        assert shielded_intensity(10.0, mu, 10.0) == pytest.approx(5.0)
+
+    def test_negative_thickness_rejected(self):
+        with pytest.raises(ValueError):
+            shielded_intensity(10.0, 0.1, -1.0)
+
+
+class TestTransportIntensity:
+    def test_no_obstacles_equals_free_space(self):
+        source = RadiationSource(10, 10, 50.0)
+        assert transport_intensity(20, 10, source) == pytest.approx(
+            free_space_intensity(20, 10, 10, 10, 50.0)
+        )
+
+    def test_obstacle_blocks_ray(self):
+        # Source at (0, 5), sensor at (20, 5), wall spanning x in [9, 11].
+        source = RadiationSource(0, 5, 100.0)
+        wall_obstacle = Obstacle(rectangle(9, 0, 11, 10), mu=math.log(2) / 2.0)
+        # Thickness 2 at half-value 2 -> exactly halved.
+        clear = transport_intensity(20, 5, source)
+        shielded = transport_intensity(20, 5, source, [wall_obstacle])
+        assert shielded == pytest.approx(clear / 2.0)
+
+    def test_obstacle_not_on_ray_has_no_effect(self):
+        source = RadiationSource(0, 5, 100.0)
+        off_ray = Obstacle(rectangle(9, 20, 11, 30), mu=1.0)
+        assert transport_intensity(20, 5, source, [off_ray]) == pytest.approx(
+            transport_intensity(20, 5, source)
+        )
+
+    def test_two_obstacles_multiply(self):
+        source = RadiationSource(0, 5, 100.0)
+        mu = math.log(2) / 2.0
+        wall_a = Obstacle(rectangle(4, 0, 6, 10), mu=mu)
+        wall_b = Obstacle(rectangle(14, 0, 16, 10), mu=mu)
+        clear = transport_intensity(20, 5, source)
+        both = transport_intensity(20, 5, source, [wall_a, wall_b])
+        assert both == pytest.approx(clear / 4.0)
+
+
+class TestExpectedCpm:
+    def test_background_only(self):
+        assert expected_cpm(0, 0, [], background_cpm=7.0) == pytest.approx(7.0)
+
+    def test_eq4_composition(self):
+        source = RadiationSource(0, 0, 10.0)
+        cpm = expected_cpm(3, 4, [source], efficiency=1e-4, background_cpm=5.0)
+        expected = CPM_PER_MICROCURIE * 1e-4 * 10.0 / 26.0 + 5.0
+        assert cpm == pytest.approx(expected)
+
+    def test_superposition_of_sources(self):
+        s1 = RadiationSource(0, 0, 10.0)
+        s2 = RadiationSource(10, 0, 20.0)
+        combined = expected_cpm(5, 0, [s1, s2], efficiency=1e-4)
+        individual = expected_cpm(5, 0, [s1], efficiency=1e-4) + expected_cpm(
+            5, 0, [s2], efficiency=1e-4
+        )
+        assert combined == pytest.approx(individual)
+
+    def test_vectorized_matches_scalar(self):
+        xs = np.array([10.0, 30.0, 50.0])
+        ys = np.array([20.0, 40.0, 60.0])
+        strengths = np.array([5.0, 10.0, 20.0])
+        vector = expected_cpm_free_space(25.0, 25.0, xs, ys, strengths, 1e-4, 5.0)
+        for i in range(3):
+            scalar = expected_cpm(
+                25.0,
+                25.0,
+                [RadiationSource(xs[i], ys[i], strengths[i])],
+                efficiency=1e-4,
+                background_cpm=5.0,
+            )
+            assert vector[i] == pytest.approx(scalar)
+
+
+class TestRadiationField:
+    def test_with_and_without_obstacles(self):
+        source = RadiationSource(0, 5, 100.0)
+        wall_obstacle = Obstacle(rectangle(9, 0, 11, 10), mu=0.3)
+        field = RadiationField([source], [wall_obstacle])
+        assert field.expected_cpm_at(20, 5) < field.without_obstacles().expected_cpm_at(20, 5)
+
+    def test_with_obstacles_copy(self):
+        source = RadiationSource(0, 5, 100.0)
+        field = RadiationField([source])
+        wall_obstacle = Obstacle(rectangle(9, 0, 11, 10), mu=0.3)
+        shielded = field.with_obstacles([wall_obstacle])
+        assert len(field.obstacles) == 0
+        assert len(shielded.obstacles) == 1
+
+    def test_intensity_at_sums_sources(self):
+        sources = [RadiationSource(0, 0, 10.0), RadiationSource(4, 0, 10.0)]
+        field = RadiationField(sources)
+        expected = sum(transport_intensity(2, 0, s) for s in sources)
+        assert field.intensity_at(2, 0) == pytest.approx(expected)
+
+    def test_grid_shape_and_values(self):
+        source = RadiationSource(5, 5, 10.0)
+        grid = expected_cpm_grid(
+            np.array([0.0, 5.0, 10.0]),
+            np.array([5.0]),
+            [source],
+            efficiency=1e-4,
+        )
+        assert grid.shape == (1, 3)
+        assert grid[0, 1] == pytest.approx(CPM_PER_MICROCURIE * 1e-4 * 10.0)
+        assert grid[0, 0] == pytest.approx(grid[0, 2])

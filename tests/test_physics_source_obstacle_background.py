@@ -1,0 +1,90 @@
+"""Unit tests for sources, obstacles, and background models."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.shapes import rectangle
+from repro.physics.background import ConstantBackground, SpatialGradientBackground
+from repro.physics.obstacle import Obstacle
+from repro.physics.source import RadiationSource
+
+
+class TestRadiationSource:
+    def test_parameter_vector(self):
+        source = RadiationSource(47, 71, 10.0)
+        assert source.position == (47, 71)
+        np.testing.assert_allclose(source.as_array(), [47, 71, 10.0])
+        np.testing.assert_allclose(source.position_array(), [47, 71])
+
+    def test_negative_strength_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            RadiationSource(0, 0, -5.0)
+
+    def test_distance_to(self):
+        assert RadiationSource(0, 0, 1.0).distance_to(3, 4) == pytest.approx(5.0)
+
+    def test_moved_to_preserves_strength_and_label(self):
+        source = RadiationSource(0, 0, 7.0, label="S1")
+        moved = source.moved_to(10, 20)
+        assert moved.position == (10, 20)
+        assert moved.strength == 7.0
+        assert moved.label == "S1"
+
+    def test_label_not_part_of_equality(self):
+        assert RadiationSource(1, 2, 3.0, label="a") == RadiationSource(1, 2, 3.0, label="b")
+
+    def test_str_includes_label(self):
+        assert "S9" in str(RadiationSource(1, 2, 3.0, label="S9"))
+
+
+class TestObstacle:
+    def test_path_thickness_through_wall(self):
+        obstacle = Obstacle(rectangle(9, 0, 11, 10), mu=0.1)
+        assert obstacle.path_thickness(0, 5, 20, 5) == pytest.approx(2.0)
+
+    def test_path_thickness_miss(self):
+        obstacle = Obstacle(rectangle(9, 0, 11, 10), mu=0.1)
+        assert obstacle.path_thickness(0, 20, 20, 20) == pytest.approx(0.0)
+
+    def test_attenuation_exponent(self):
+        obstacle = Obstacle(rectangle(9, 0, 11, 10), mu=0.25)
+        assert obstacle.attenuation_exponent(0, 5, 20, 5) == pytest.approx(0.5)
+
+    def test_contains(self):
+        obstacle = Obstacle(rectangle(0, 0, 10, 10), mu=0.1)
+        assert obstacle.contains(5, 5)
+        assert not obstacle.contains(15, 5)
+
+    def test_negative_mu_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Obstacle(rectangle(0, 0, 1, 1), mu=-0.1)
+
+
+class TestConstantBackground:
+    def test_uniform_everywhere(self):
+        background = ConstantBackground(5.0)
+        assert background.rate_at(0, 0) == 5.0
+        assert background.rate_at(100, 100) == 5.0
+        assert background.mean_rate() == 5.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantBackground(-1.0)
+
+
+class TestSpatialGradientBackground:
+    def test_gradient(self):
+        background = SpatialGradientBackground(5.0, gx=0.1)
+        assert background.rate_at(0, 0) == pytest.approx(5.0)
+        assert background.rate_at(10, 0) == pytest.approx(6.0)
+
+    def test_clipped_at_zero(self):
+        background = SpatialGradientBackground(5.0, gx=-1.0)
+        assert background.rate_at(100, 0) == 0.0
+
+    def test_mean_rate_is_base(self):
+        assert SpatialGradientBackground(7.0, gx=0.5, gy=-0.5).mean_rate() == 7.0
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialGradientBackground(-5.0)

@@ -1,0 +1,134 @@
+"""Tests for energy-dependent attenuation."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.physics.attenuation import MATERIALS
+from repro.physics.spectrum import (
+    DENSITIES,
+    EnergySpectrum,
+    ISOTOPE_ENERGIES_MEV,
+    MASS_ATTENUATION,
+    SPECTRA,
+    effective_mu_for_spectrum,
+    half_value_layer,
+    linear_attenuation_coefficient,
+    mass_attenuation_coefficient,
+)
+
+
+class TestTableConsistency:
+    def test_all_materials_have_densities(self):
+        assert set(MASS_ATTENUATION) == set(DENSITIES)
+
+    def test_consistent_with_1mev_scalar_table(self):
+        # The static MATERIALS table is the 1 MeV column of the spectral
+        # table (within rounding of the published values).
+        for name in ("lead", "steel", "concrete", "water", "wood"):
+            spectral = linear_attenuation_coefficient(name, 1.0)
+            static = MATERIALS[name].mu
+            assert spectral == pytest.approx(static, rel=0.25), name
+
+    def test_attenuation_decreases_with_energy(self):
+        # In the 0.1-5 MeV window Compton scattering dominates and mu/rho
+        # falls with energy for every material.
+        for name, values in MASS_ATTENUATION.items():
+            assert list(values) == sorted(values, reverse=True), name
+
+
+class TestInterpolation:
+    def test_exact_at_table_points(self):
+        assert mass_attenuation_coefficient("water", 1.0) == pytest.approx(0.0707)
+
+    def test_interpolated_between_points(self):
+        lo = mass_attenuation_coefficient("lead", 0.5)
+        hi = mass_attenuation_coefficient("lead", 0.662)
+        mid = mass_attenuation_coefficient("lead", 0.58)
+        assert hi < mid < lo
+
+    def test_clamped_outside_range(self):
+        below = mass_attenuation_coefficient("water", 0.01)
+        assert below == pytest.approx(mass_attenuation_coefficient("water", 0.1))
+
+    def test_unknown_material(self):
+        with pytest.raises(KeyError, match="known materials"):
+            mass_attenuation_coefficient("adamantium", 1.0)
+
+    def test_invalid_energy(self):
+        with pytest.raises(ValueError):
+            mass_attenuation_coefficient("water", 0.0)
+
+    @given(st.floats(0.1, 5.0))
+    def test_monotone_for_lead(self, energy):
+        # Spot property: lead's mu/rho at any energy in range lies between
+        # the table's extremes.
+        value = mass_attenuation_coefficient("lead", energy)
+        assert MASS_ATTENUATION["lead"][-1] <= value <= MASS_ATTENUATION["lead"][0]
+
+
+class TestIsotopes:
+    def test_cs137_harder_to_shield_than_100kev(self):
+        cs137 = linear_attenuation_coefficient("lead", ISOTOPE_ENERGIES_MEV["Cs-137"])
+        soft = linear_attenuation_coefficient("lead", 0.1)
+        assert cs137 < soft
+
+    def test_half_value_layer_lead_cs137(self):
+        # Published HVL of lead for Cs-137 is ~0.55-0.65 cm.
+        hvl = half_value_layer("lead", 0.662)
+        assert 0.4 < hvl < 0.8
+
+    def test_half_value_layer_concrete_co60(self):
+        # Published HVL of concrete for Co-60 is ~4.5-6.5 cm.
+        hvl = half_value_layer("concrete", 1.25)
+        assert 4.0 < hvl < 7.0
+
+
+class TestEnergySpectrum:
+    def test_normalized_weights(self):
+        spectrum = EnergySpectrum((1.17, 1.33), (2.0, 2.0))
+        assert spectrum.normalized_weights() == (0.5, 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergySpectrum((), ())
+        with pytest.raises(ValueError):
+            EnergySpectrum((1.0,), (1.0, 2.0))
+        with pytest.raises(ValueError):
+            EnergySpectrum((-1.0,), (1.0,))
+        with pytest.raises(ValueError):
+            EnergySpectrum((1.0,), (0.0,))
+
+    def test_canonical_spectra_present(self):
+        assert "Cs-137" in SPECTRA and "Co-60" in SPECTRA
+
+
+class TestEffectiveMu:
+    def test_single_line_matches_linear(self):
+        mu = effective_mu_for_spectrum("concrete", SPECTRA["Cs-137"], thickness=10.0)
+        assert mu == pytest.approx(
+            linear_attenuation_coefficient("concrete", 0.662), rel=1e-9
+        )
+
+    def test_multi_line_between_extremes(self):
+        spectrum = SPECTRA["Co-60"]
+        mu = effective_mu_for_spectrum("concrete", spectrum, thickness=10.0)
+        mu_soft = linear_attenuation_coefficient("concrete", 1.17)
+        mu_hard = linear_attenuation_coefficient("concrete", 1.33)
+        assert mu_hard <= mu <= mu_soft
+
+    def test_effective_mu_reproduces_transmission(self):
+        spectrum = SPECTRA["Co-60"]
+        thickness = 15.0
+        mu = effective_mu_for_spectrum("water", spectrum, thickness=thickness)
+        weights = spectrum.normalized_weights()
+        true_transmission = sum(
+            w * math.exp(-linear_attenuation_coefficient("water", e) * thickness)
+            for e, w in zip(spectrum.energies_mev, weights)
+        )
+        assert math.exp(-mu * thickness) == pytest.approx(true_transmission)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            effective_mu_for_spectrum("water", SPECTRA["Cs-137"], thickness=0.0)

@@ -1,0 +1,57 @@
+"""Unit tests for repro.physics.units."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.physics.units import (
+    CPM_PER_MICROCURIE,
+    cpm_to_microcurie,
+    microcurie_to_cpm,
+)
+
+
+class TestConversionConstant:
+    def test_paper_value(self):
+        # Eq. (4): 2.22e6 CPM per uCi (3.7e4 decays/s * 60 s).
+        assert CPM_PER_MICROCURIE == pytest.approx(2.22e6)
+
+    def test_derivation_from_curie(self):
+        decays_per_second_per_uci = 3.7e10 * 1e-6
+        assert CPM_PER_MICROCURIE == pytest.approx(decays_per_second_per_uci * 60)
+
+
+class TestMicrocurieToCpm:
+    def test_unit_strength(self):
+        assert microcurie_to_cpm(1.0) == pytest.approx(2.22e6)
+
+    def test_efficiency_scales(self):
+        assert microcurie_to_cpm(1.0, efficiency=1e-4) == pytest.approx(222.0)
+
+    def test_zero_strength(self):
+        assert microcurie_to_cpm(0.0) == 0.0
+
+    def test_negative_strength_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            microcurie_to_cpm(-1.0)
+
+    def test_negative_efficiency_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            microcurie_to_cpm(1.0, efficiency=-0.5)
+
+
+class TestRoundTrip:
+    @given(
+        st.floats(min_value=1e-3, max_value=1e4),
+        st.floats(min_value=1e-6, max_value=1.0),
+    )
+    def test_cpm_roundtrip(self, strength, efficiency):
+        cpm = microcurie_to_cpm(strength, efficiency)
+        assert cpm_to_microcurie(cpm, efficiency) == pytest.approx(strength)
+
+    def test_zero_efficiency_inverse_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            cpm_to_microcurie(100.0, efficiency=0.0)
+
+    def test_negative_cpm_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            cpm_to_microcurie(-5.0)

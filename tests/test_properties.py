@@ -1,0 +1,110 @@
+"""Hypothesis property tests on whole-pipeline invariants.
+
+These drive the localizer with arbitrary (but physical) measurement
+sequences and check the invariants that must hold regardless of input:
+population size constant, weights a probability distribution, hypotheses
+inside the physical domain, estimate counts bounded, determinism.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import LocalizerConfig
+from repro.core.localizer import MultiSourceLocalizer
+
+AREA = (100.0, 100.0)
+
+
+def make_localizer(seed: int, n_particles: int = 400) -> MultiSourceLocalizer:
+    config = LocalizerConfig(
+        n_particles=n_particles,
+        area=AREA,
+        assumed_efficiency=1e-4,
+        assumed_background_cpm=5.0,
+        meanshift_seeds=32,
+    )
+    return MultiSourceLocalizer(config, rng=np.random.default_rng(seed))
+
+
+readings = st.lists(
+    st.tuples(
+        st.floats(0.0, 100.0),        # sensor x
+        st.floats(0.0, 100.0),        # sensor y
+        st.floats(0.0, 1e6),          # observed CPM
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(readings, st.integers(0, 2**31 - 1))
+def test_population_invariants_under_arbitrary_readings(sequence, seed):
+    localizer = make_localizer(seed)
+    config = localizer.config
+    for x, y, cpm in sequence:
+        localizer.observe_reading(x, y, cpm)
+    particles = localizer.particles
+    # Size never changes.
+    assert len(particles) == config.n_particles
+    # Weights form a probability distribution.
+    assert particles.total_weight() == pytest.approx(1.0)
+    assert np.all(particles.weights >= 0)
+    # Hypotheses stay inside the physical domain.
+    assert np.all((particles.xs >= 0) & (particles.xs <= AREA[0]))
+    assert np.all((particles.ys >= 0) & (particles.ys <= AREA[1]))
+    assert np.all(particles.strengths >= config.strength_min)
+    assert np.all(particles.strengths <= config.strength_max)
+    # Iteration counter matches input length.
+    assert localizer.iteration == len(sequence)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(readings, st.integers(0, 2**31 - 1))
+def test_estimates_well_formed(sequence, seed):
+    localizer = make_localizer(seed)
+    for x, y, cpm in sequence:
+        localizer.observe_reading(x, y, cpm)
+    estimates = localizer.estimates()
+    # Bounded by the number of mean-shift seeds.
+    assert len(estimates) <= localizer.config.meanshift_seeds
+    for estimate in estimates:
+        assert 0 <= estimate.x <= AREA[0]
+        assert 0 <= estimate.y <= AREA[1]
+        assert estimate.strength >= localizer.config.min_estimate_strength
+        assert 0 <= estimate.mass <= 1.0 + 1e-9
+        assert estimate.mass_ratio >= localizer.config.mode_mass_ratio
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(readings, st.integers(0, 2**31 - 1))
+def test_determinism_for_fixed_seed(sequence, seed):
+    a = make_localizer(seed)
+    b = make_localizer(seed)
+    for x, y, cpm in sequence:
+        a.observe_reading(x, y, cpm)
+        b.observe_reading(x, y, cpm)
+    np.testing.assert_array_equal(a.particles.xs, b.particles.xs)
+    np.testing.assert_array_equal(a.particles.weights, b.particles.weights)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.floats(0.0, 100.0),
+    st.floats(0.0, 100.0),
+    st.floats(0.0, 1e5),
+    st.integers(0, 2**31 - 1),
+)
+def test_single_observation_touches_only_the_disc(x, y, cpm, seed):
+    localizer = make_localizer(seed)
+    before = localizer.particles.copy()
+    localizer.observe_reading(x, y, cpm)
+    after = localizer.particles
+    d = localizer.config.fusion_range
+    dist = np.hypot(before.xs - x, before.ys - y)
+    outside = dist > d
+    # Particles outside the fusion disc are untouched (Eq. 5's contract).
+    np.testing.assert_array_equal(after.xs[outside], before.xs[outside])
+    np.testing.assert_array_equal(after.ys[outside], before.ys[outside])
+    np.testing.assert_array_equal(after.strengths[outside], before.strengths[outside])

@@ -1,0 +1,93 @@
+"""Extra scenario-construction checks tied to the paper's narrative."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import Point, Segment
+from repro.sim.scenarios import (
+    PAPER_MU,
+    SCENARIO_B_SOURCES,
+    SENSOR_EFFICIENCY,
+    scenario_a,
+    scenario_b,
+    scenario_c,
+)
+
+
+class TestCalibrationConstants:
+    def test_paper_mu_half_value(self):
+        # mu = 0.0693 halves the intensity every 10 length units.
+        assert np.exp(-PAPER_MU * 10.0) == pytest.approx(0.5, rel=1e-3)
+
+    def test_efficiency_regime(self):
+        """The unstated-but-pinned-down E_i (DESIGN.md section 5.1):
+        4 uCi ~ background beyond a grid spacing; 100 uCi visible at 50."""
+        cpm = 2.22e6 * SENSOR_EFFICIENCY
+        weak_at_spacing = cpm * 4.0 / (1 + 20.0**2)
+        assert weak_at_spacing < 5.0  # below the 5 CPM background
+        strong_far = cpm * 100.0 / (1 + 50.0**2)
+        assert strong_far > 5.0  # above background at 50 units
+
+
+class TestScenarioBNarrative:
+    def test_nonuniform_strengths_in_range(self):
+        strengths = [s for _x, _y, s in SCENARIO_B_SOURCES]
+        assert len(set(strengths)) == len(strengths)  # non-uniform
+        assert min(strengths) == 10.0 or min(strengths) >= 10.0
+        assert max(strengths) <= 100.0
+
+    def test_obstacles_have_uneven_thickness(self):
+        scenario = scenario_b()
+        # Thickness along each blocked pair's ray differs across obstacles.
+        pairs = ((0, 1, 2), (1, 5, 6), (2, 7, 8))
+        thicknesses = []
+        for obstacle_idx, i, j in pairs:
+            si, sj = scenario.sources[i], scenario.sources[j]
+            ray = Segment(Point(si.x, si.y), Point(sj.x, sj.y))
+            thicknesses.append(
+                round(scenario.obstacles[obstacle_idx].polygon.chord_length(ray), 1)
+            )
+        assert len(set(thicknesses)) >= 2
+
+    def test_sources_inside_area(self):
+        scenario = scenario_b()
+        for source in scenario.sources:
+            assert 0 <= source.x <= 260 and 0 <= source.y <= 260
+
+    def test_sensor_grid_spacing(self):
+        scenario = scenario_b()
+        xs = sorted({s.x for s in scenario.sensors})
+        assert len(xs) == 14
+        assert xs[1] - xs[0] == pytest.approx(20.0)
+
+
+class TestScenarioVariants:
+    def test_a_with_and_without_obstacle_differ_only_in_obstacles(self):
+        plain = scenario_a()
+        walled = scenario_a(with_obstacle=True)
+        assert plain.sources == walled.sources
+        assert [s.position for s in plain.sensors] == [
+            s.position for s in walled.sensors
+        ]
+        assert len(walled.obstacles) == 1 and plain.obstacles == []
+
+    def test_c_different_seeds_different_layouts(self):
+        a = scenario_c(seed=1)
+        b = scenario_c(seed=2)
+        assert [(s.x, s.y) for s in a.sensors] != [(s.x, s.y) for s in b.sensors]
+
+    def test_c_shares_b_ground_truth(self):
+        b = scenario_b()
+        c = scenario_c()
+        assert [s.position for s in b.sources] == [s.position for s in c.sources]
+        assert len(b.obstacles) == len(c.obstacles)
+
+    def test_particle_budget_scales_with_area(self):
+        # The paper: 15000 particles "proportional to the area increase".
+        a = scenario_a()
+        b = scenario_b()
+        area_ratio = (260.0 * 260.0) / (100.0 * 100.0)
+        particle_ratio = (
+            b.localizer_config.n_particles / a.localizer_config.n_particles
+        )
+        assert particle_ratio == pytest.approx(area_ratio, rel=0.35)

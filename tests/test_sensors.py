@@ -1,0 +1,221 @@
+"""Unit tests for the repro.sensors package."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.physics.background import SpatialGradientBackground
+from repro.physics.intensity import RadiationField
+from repro.physics.source import RadiationSource
+from repro.sensors.measurement import Measurement
+from repro.sensors.network import SensorNetwork
+from repro.sensors.placement import (
+    fail_sensors,
+    grid_placement,
+    grid_spacing,
+    poisson_placement,
+    uniform_random_placement,
+)
+from repro.sensors.sensor import Sensor
+
+
+class TestSensor:
+    def test_basic_attributes(self):
+        sensor = Sensor(3, 10.0, 20.0, efficiency=1e-4, background_cpm=5.0)
+        assert sensor.position == (10.0, 20.0)
+        assert sensor.distance_to(13, 24) == pytest.approx(5.0)
+
+    def test_invalid_efficiency(self):
+        with pytest.raises(ValueError, match="efficiency"):
+            Sensor(0, 0, 0, efficiency=0.0)
+
+    def test_invalid_background(self):
+        with pytest.raises(ValueError, match="background"):
+            Sensor(0, 0, 0, background_cpm=-1.0)
+
+    def test_failed_flag_in_str(self):
+        sensor = Sensor(0, 0, 0, failed=True)
+        assert "FAILED" in str(sensor)
+
+
+class TestGridPlacement:
+    def test_count(self):
+        assert len(grid_placement(6, 6, 100, 100)) == 36
+
+    def test_flush_grid_coordinates(self):
+        sensors = grid_placement(6, 6, 100, 100, margin_fraction=0.0)
+        xs = sorted({s.x for s in sensors})
+        assert xs == pytest.approx([0, 20, 40, 60, 80, 100])
+
+    def test_centered_grid_inside_area(self):
+        sensors = grid_placement(6, 6, 100, 100, margin_fraction=0.5)
+        assert all(0 < s.x < 100 and 0 < s.y < 100 for s in sensors)
+
+    def test_unique_ids(self):
+        sensors = grid_placement(4, 5, 50, 50)
+        assert len({s.sensor_id for s in sensors}) == 20
+
+    def test_single_row(self):
+        sensors = grid_placement(1, 3, 90, 30, margin_fraction=0.0)
+        assert all(s.y == pytest.approx(15.0) for s in sensors)
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            grid_placement(0, 5, 10, 10)
+        with pytest.raises(ValueError):
+            grid_placement(2, 2, -1, 10)
+
+    def test_efficiency_propagated(self):
+        sensors = grid_placement(2, 2, 10, 10, efficiency=1e-4)
+        assert all(s.efficiency == 1e-4 for s in sensors)
+
+
+class TestPoissonPlacement:
+    def test_exact_count(self):
+        rng = np.random.default_rng(0)
+        sensors = poisson_placement(195, 260, 260, rng, exact_count=True)
+        assert len(sensors) == 195
+
+    def test_poisson_count_varies(self):
+        counts = {
+            len(poisson_placement(50, 100, 100, np.random.default_rng(seed)))
+            for seed in range(8)
+        }
+        assert len(counts) > 1
+
+    def test_all_inside_area(self):
+        rng = np.random.default_rng(1)
+        sensors = poisson_placement(100, 50, 80, rng, exact_count=True)
+        assert all(0 <= s.x <= 50 and 0 <= s.y <= 80 for s in sensors)
+
+    def test_deterministic_for_seed(self):
+        a = poisson_placement(30, 100, 100, np.random.default_rng(7), exact_count=True)
+        b = poisson_placement(30, 100, 100, np.random.default_rng(7), exact_count=True)
+        assert [(s.x, s.y) for s in a] == [(s.x, s.y) for s in b]
+
+    def test_uniform_random_is_exact(self):
+        rng = np.random.default_rng(2)
+        assert len(uniform_random_placement(17, 10, 10, rng)) == 17
+
+
+class TestGridSpacing:
+    def test_uniform_grid(self):
+        sensors = grid_placement(6, 6, 100, 100, margin_fraction=0.0)
+        dx, dy = grid_spacing(sensors)
+        assert (dx, dy) == pytest.approx((20.0, 20.0))
+
+    def test_needs_two_sensors(self):
+        with pytest.raises(ValueError):
+            grid_spacing([Sensor(0, 0, 0)])
+
+
+class TestFailSensors:
+    def test_fraction(self):
+        sensors = grid_placement(6, 6, 100, 100)
+        failed = fail_sensors(sensors, 0.25, np.random.default_rng(0))
+        assert len(failed) == 9
+        assert sum(s.failed for s in sensors) == 9
+
+    def test_zero_fraction(self):
+        sensors = grid_placement(2, 2, 10, 10)
+        assert fail_sensors(sensors, 0.0, np.random.default_rng(0)) == []
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            fail_sensors([], 1.5, np.random.default_rng(0))
+
+
+class TestMeasurement:
+    def test_attributes(self):
+        m = Measurement(3, 1.0, 2.0, 42.0, time_step=5, sequence=100)
+        assert m.position == (1.0, 2.0)
+        assert "seq=100" in str(m)
+
+    def test_negative_cpm_rejected(self):
+        with pytest.raises(ValueError):
+            Measurement(0, 0, 0, -1.0, 0, 0)
+
+
+class TestSensorNetwork:
+    def _network(self, seed=0, background=None):
+        sensors = grid_placement(
+            3, 3, 100, 100, efficiency=1e-4, background_cpm=5.0, margin_fraction=0.0
+        )
+        field = RadiationField([RadiationSource(50, 50, 100.0)])
+        return SensorNetwork(sensors, field, np.random.default_rng(seed), background)
+
+    def test_one_measurement_per_live_sensor(self):
+        network = self._network()
+        measurements = network.measure_time_step(0)
+        assert len(measurements) == 9
+
+    def test_failed_sensors_produce_nothing(self):
+        network = self._network()
+        network.sensors[0].failed = True
+        network.sensors[5].failed = True
+        assert len(network.measure_time_step(0)) == 7
+        assert len(network.live_sensors()) == 7
+
+    def test_sequence_numbers_strictly_increase(self):
+        network = self._network()
+        batch1 = network.measure_time_step(0)
+        batch2 = network.measure_time_step(1)
+        seqs = [m.sequence for m in batch1 + batch2]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_rates_match_eq4(self):
+        network = self._network()
+        rates = network.expected_rates()
+        center_idx = [
+            i for i, s in enumerate(network.sensors) if s.position == (50.0, 50.0)
+        ][0]
+        assert rates[center_idx] == pytest.approx(2.22e6 * 1e-4 * 100.0 + 5.0)
+
+    def test_measurement_mean_approaches_rate(self):
+        network = self._network(seed=42)
+        rates = network.expected_rates()
+        totals = np.zeros(len(network.sensors))
+        n_steps = 200
+        for t in range(n_steps):
+            for m in network.measure_time_step(t):
+                totals[m.sensor_id] += m.cpm
+        means = totals / n_steps
+        # Poisson mean error ~ sqrt(rate / n); allow 5 sigma.
+        for mean, rate in zip(means, rates):
+            assert abs(mean - rate) < 5 * np.sqrt(rate / n_steps) + 1e-9
+
+    def test_background_model_overrides_sensor_background(self):
+        gradient = SpatialGradientBackground(0.0, gx=1.0)
+        network = self._network(background=gradient)
+        rates = network.expected_rates()
+        # Sensor at x=0 has background 0; sensor at x=100 has 100 extra.
+        xs = np.array([s.x for s in network.sensors])
+        left = rates[xs == 0.0]
+        right = rates[xs == 100.0]
+        assert right.mean() - left.mean() == pytest.approx(100.0, rel=0.01)
+
+    def test_duplicate_ids_rejected(self):
+        sensors = [Sensor(1, 0, 0), Sensor(1, 10, 10)]
+        field = RadiationField([RadiationSource(5, 5, 1.0)])
+        with pytest.raises(ValueError, match="unique"):
+            SensorNetwork(sensors, field, np.random.default_rng(0))
+
+    def test_empty_network_rejected(self):
+        field = RadiationField([RadiationSource(5, 5, 1.0)])
+        with pytest.raises(ValueError):
+            SensorNetwork([], field, np.random.default_rng(0))
+
+    def test_measure_stream_yields_batches(self):
+        network = self._network()
+        batches = list(network.measure_stream(4))
+        assert len(batches) == 4
+        assert all(len(b) == 9 for b in batches)
+
+    def test_rate_cache_invalidation(self):
+        network = self._network()
+        before = network.expected_rates().copy()
+        network.field.sources[0] = RadiationSource(50, 50, 200.0)
+        assert np.allclose(network.expected_rates(), before)  # cached
+        network.invalidate_rate_cache()
+        assert network.expected_rates().max() > before.max()

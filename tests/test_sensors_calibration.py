@@ -1,0 +1,130 @@
+"""Tests for the sensor calibration procedure."""
+
+import numpy as np
+import pytest
+
+from repro.physics.source import RadiationSource
+from repro.sensors.calibration import (
+    CalibrationResult,
+    apply_calibration,
+    calibrate_network,
+    calibration_minutes_for_error,
+    estimate_background,
+    estimate_efficiency,
+)
+from repro.sensors.placement import grid_placement
+
+
+class TestEstimateBackground:
+    def test_mean(self):
+        mean, stderr = estimate_background([4.0, 6.0, 5.0])
+        assert mean == pytest.approx(5.0)
+        assert stderr == pytest.approx(np.sqrt(5.0 / 3.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_background([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_background([5.0, -1.0])
+
+
+class TestEstimateEfficiency:
+    def test_exact_recovery_noiseless(self):
+        source = RadiationSource(0.0, 0.0, 10.0)
+        # Sensor at distance 10, true efficiency 1e-4, background 5.
+        unit_rate = 2.22e6 * 10.0 / 101.0
+        readings = [5.0 + 1e-4 * unit_rate] * 5
+        efficiency, _stderr = estimate_efficiency(readings, 5.0, source, 10.0, 0.0)
+        assert efficiency == pytest.approx(1e-4, rel=1e-9)
+
+    def test_background_over_reading_clamps_to_zero(self):
+        source = RadiationSource(0.0, 0.0, 10.0)
+        efficiency, _ = estimate_efficiency([3.0], 5.0, source, 10.0, 0.0)
+        assert efficiency == 0.0
+
+    def test_no_signal_rejected(self):
+        dead_source = RadiationSource(0.0, 0.0, 0.0)
+        with pytest.raises(ValueError, match="no signal"):
+            estimate_efficiency([5.0], 5.0, dead_source, 10.0, 0.0)
+
+
+class TestCalibrateNetwork:
+    def test_recovers_constants_with_enough_data(self):
+        sensors = grid_placement(
+            2, 2, 20, 20, efficiency=1e-4, background_cpm=5.0, margin_fraction=0.0
+        )
+        # Strong, close check source so the excess dominates the noise.
+        check = RadiationSource(10.0, 10.0, 500.0)
+        results = calibrate_network(
+            sensors, check, np.random.default_rng(0),
+            background_minutes=200, source_minutes=200,
+        )
+        assert set(results) == {s.sensor_id for s in sensors}
+        for sensor in sensors:
+            result = results[sensor.sensor_id]
+            assert result.background_cpm == pytest.approx(5.0, abs=1.0)
+            assert result.efficiency == pytest.approx(1e-4, rel=0.2)
+
+    def test_stderr_shrinks_with_minutes(self):
+        sensors = grid_placement(1, 1, 10, 10, efficiency=1e-4, background_cpm=5.0)
+        check = RadiationSource(5.0, 5.0, 100.0)
+        short = calibrate_network(
+            sensors, check, np.random.default_rng(0),
+            background_minutes=10, source_minutes=10,
+        )
+        long = calibrate_network(
+            sensors, check, np.random.default_rng(0),
+            background_minutes=1000, source_minutes=1000,
+        )
+        sid = sensors[0].sensor_id
+        assert long[sid].background_stderr < short[sid].background_stderr
+        assert long[sid].efficiency_stderr < short[sid].efficiency_stderr
+
+    def test_minutes_validated(self):
+        sensors = grid_placement(1, 1, 10, 10)
+        with pytest.raises(ValueError):
+            calibrate_network(
+                sensors, RadiationSource(5, 5, 10.0), np.random.default_rng(0),
+                background_minutes=0,
+            )
+
+
+class TestApplyCalibration:
+    def test_sensors_carry_estimates(self):
+        sensors = grid_placement(1, 2, 20, 20, efficiency=1e-4, background_cpm=5.0)
+        results = {
+            sensors[0].sensor_id: CalibrationResult(
+                sensors[0].sensor_id, 4.5, 0.1, 1.2e-4, 1e-6
+            )
+        }
+        calibrated = apply_calibration(sensors, results)
+        assert calibrated[0].background_cpm == 4.5
+        assert calibrated[0].efficiency == 1.2e-4
+        # Sensor without a result keeps its constants.
+        assert calibrated[1].efficiency == sensors[1].efficiency
+
+
+class TestMinutesForError:
+    def test_formula(self):
+        # 10% relative error on a 100 CPM rate: n >= 1/(0.01 * 100) = 1.
+        assert calibration_minutes_for_error(0.1, 100.0) == 1
+        # 1% on 5 CPM: n >= 1/(1e-4 * 5) = 2000.
+        assert calibration_minutes_for_error(0.01, 5.0) == 2000
+
+    def test_achieved_error_matches_prediction(self):
+        rate = 50.0
+        minutes = calibration_minutes_for_error(0.05, rate)
+        rng = np.random.default_rng(0)
+        estimates = [
+            rng.poisson(rate, size=minutes).mean() for _ in range(300)
+        ]
+        relative_error = np.std(estimates) / rate
+        assert relative_error == pytest.approx(0.05, rel=0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibration_minutes_for_error(0.0, 5.0)
+        with pytest.raises(ValueError):
+            calibration_minutes_for_error(0.1, 0.0)

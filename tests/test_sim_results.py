@@ -1,0 +1,88 @@
+"""Tests for the result containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import SourceEstimate
+from repro.eval.metrics import StepMetrics
+from repro.sim.results import RepeatedRunResult, RunResult, StepRecord
+
+
+def est(x, y):
+    return SourceEstimate(x, y, 10.0, mass=0.1, mass_ratio=2.0, seed_count=3)
+
+
+def record(step, errors, fp=0, fn=0, estimates=(), seconds=0.001):
+    return StepRecord(
+        metrics=StepMetrics(
+            time_step=step,
+            errors=tuple(errors),
+            false_positives=fp,
+            false_negatives=fn,
+            n_estimates=len(estimates),
+        ),
+        estimates=list(estimates),
+        mean_iteration_seconds=seconds,
+        n_measurements=36,
+    )
+
+
+def two_step_result():
+    return RunResult(
+        scenario_name="test",
+        source_labels=["S1", "S2"],
+        steps=[
+            record(0, (10.0, float("inf")), fp=1, fn=1, seconds=0.002),
+            record(1, (2.0, 3.0), estimates=[est(1, 1), est(2, 2)], seconds=0.004),
+        ],
+    )
+
+
+class TestRunResult:
+    def test_error_series(self):
+        result = two_step_result()
+        assert result.error_series(0) == [10.0, 2.0]
+        assert result.error_series(1) == [float("inf"), 3.0]
+
+    def test_false_series(self):
+        result = two_step_result()
+        assert result.false_positive_series() == [1.0, 0.0]
+        assert result.false_negative_series() == [1.0, 0.0]
+
+    def test_estimate_count_series(self):
+        assert two_step_result().estimate_count_series() == [0.0, 2.0]
+
+    def test_mean_iteration_seconds(self):
+        assert two_step_result().mean_iteration_seconds() == pytest.approx(0.003)
+
+    def test_mean_iteration_seconds_empty(self):
+        empty = RunResult("x", ["S1"])
+        assert np.isnan(empty.mean_iteration_seconds())
+
+    def test_final_estimates(self):
+        result = two_step_result()
+        assert len(result.final_estimates()) == 2
+        assert RunResult("x", ["S1"]).final_estimates() == []
+
+    def test_n_steps(self):
+        assert two_step_result().n_steps == 2
+
+
+class TestRepeatedRunResult:
+    def test_mean_series_caps_inf(self):
+        runs = [two_step_result(), two_step_result()]
+        agg = RepeatedRunResult("test", ["S1", "S2"], runs)
+        # Source 2's step-0 error is inf in both runs -> capped at 40.
+        assert agg.mean_error_series(1)[0] == 40.0
+        assert agg.mean_error_series(1)[1] == 3.0
+
+    def test_all_mean_series_structure(self):
+        agg = RepeatedRunResult("test", ["S1", "S2"], [two_step_result()])
+        series = agg.all_mean_series()
+        assert set(series) == {"err[S1]", "err[S2]", "FP", "FN"}
+        assert all(len(v) == 2 for v in series.values())
+
+    def test_empty_runs_rejected(self):
+        agg = RepeatedRunResult("test", ["S1"], [])
+        with pytest.raises(ValueError):
+            agg.mean_error_series(0)

@@ -1,0 +1,109 @@
+"""Tests for scenario JSON serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.network.link import LossyLink, UniformLatencyLink
+from repro.network.transport import InOrderDelivery, OutOfOrderDelivery, ShuffledDelivery
+from repro.sim.runner import run_scenario
+from repro.sim.scenarios import scenario_a, scenario_b, scenario_c
+from repro.sim.serialization import (
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: scenario_a(strengths=(10.0, 50.0), with_obstacle=True),
+            lambda: scenario_b(n_particles=2000),
+            lambda: scenario_c(n_particles=2000),
+        ],
+        ids=["a+obstacle", "b", "c"],
+    )
+    def test_round_trip_preserves_structure(self, factory):
+        original = factory()
+        restored = scenario_from_dict(scenario_to_dict(original))
+        assert restored.name == original.name
+        assert restored.area == original.area
+        assert restored.n_time_steps == original.n_time_steps
+        assert len(restored.sources) == len(original.sources)
+        assert len(restored.sensors) == len(original.sensors)
+        assert len(restored.obstacles) == len(original.obstacles)
+        for a, b in zip(restored.sources, original.sources):
+            assert (a.x, a.y, a.strength, a.label) == (b.x, b.y, b.strength, b.label)
+        for a, b in zip(restored.sensors, original.sensors):
+            assert (a.sensor_id, a.x, a.y, a.efficiency) == (
+                b.sensor_id, b.x, b.y, b.efficiency,
+            )
+        assert restored.localizer_config == original.localizer_config
+
+    def test_round_trip_preserves_obstacle_geometry(self):
+        original = scenario_a(with_obstacle=True)
+        restored = scenario_from_dict(scenario_to_dict(original))
+        assert restored.obstacles[0].polygon.area() == pytest.approx(
+            original.obstacles[0].polygon.area()
+        )
+        assert restored.obstacles[0].mu == original.obstacles[0].mu
+
+    def test_round_trip_delivery_models(self):
+        for delivery in (
+            InOrderDelivery(),
+            ShuffledDelivery(),
+            OutOfOrderDelivery(UniformLatencyLink(0.0, 2.0)),
+            OutOfOrderDelivery(LossyLink(UniformLatencyLink(0.5, 1.0), 0.2)),
+        ):
+            scenario = scenario_a().with_delivery(delivery)
+            restored = scenario_from_dict(scenario_to_dict(scenario))
+            assert type(restored.delivery) is type(delivery)
+            if isinstance(delivery, OutOfOrderDelivery):
+                assert type(restored.delivery.link) is type(delivery.link)
+
+    def test_document_is_json_serializable(self):
+        doc = scenario_to_dict(scenario_a(with_obstacle=True))
+        text = json.dumps(doc)
+        assert "format_version" in text
+
+    def test_restored_scenario_runs_identically(self):
+        original = scenario_a(strengths=(50.0, 50.0), n_time_steps=5)
+        restored = scenario_from_dict(scenario_to_dict(original))
+        a = run_scenario(original, seed=3)
+        b = run_scenario(restored, seed=3)
+        assert a.error_series(0) == b.error_series(0)
+        assert a.false_positive_series() == b.false_positive_series()
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        original = scenario_a(with_obstacle=True)
+        save_scenario(original, path)
+        restored = load_scenario(path)
+        assert restored.name == original.name
+        assert len(restored.obstacles) == 1
+
+    def test_future_version_rejected(self):
+        doc = scenario_to_dict(scenario_a())
+        doc["format_version"] = 999
+        with pytest.raises(ValueError, match="newer"):
+            scenario_from_dict(doc)
+
+    def test_hand_written_minimal_document(self):
+        doc = {
+            "name": "hand",
+            "area": [50, 50],
+            "sources": [{"x": 25, "y": 25, "strength": 10.0}],
+            "sensors": [
+                {"id": 0, "x": 10, "y": 10},
+                {"id": 1, "x": 40, "y": 40},
+            ],
+        }
+        scenario = scenario_from_dict(doc)
+        assert scenario.name == "hand"
+        assert scenario.localizer_config is not None  # default built

@@ -1,0 +1,113 @@
+"""Additional transport-layer behaviours."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.link import (
+    ExponentialLatencyLink,
+    LossyLink,
+    PerfectLink,
+    UniformLatencyLink,
+)
+from repro.network.transport import InOrderDelivery, OutOfOrderDelivery, deliver
+from repro.sensors.measurement import Measurement
+
+
+def batches_of(n_steps, n_sensors):
+    out, seq = [], 0
+    for t in range(n_steps):
+        batch = []
+        for i in range(n_sensors):
+            batch.append(Measurement(i, float(i), 0.0, 1.0, t, seq))
+            seq += 1
+        out.append(batch)
+    return out
+
+
+class TestReprs:
+    def test_link_reprs(self):
+        assert "PerfectLink" in repr(PerfectLink())
+        assert "0.5" in repr(UniformLatencyLink(0.5, 1.0))
+        assert "mean" in repr(ExponentialLatencyLink(0.7))
+        assert "loss" in repr(LossyLink(PerfectLink(), 0.2))
+
+    def test_delivery_reprs(self):
+        assert "InOrder" in repr(InOrderDelivery())
+        assert "OutOfOrder" in repr(OutOfOrderDelivery())
+
+
+class TestLatencyOrdering:
+    def test_zero_latency_preserves_order(self):
+        batches = batches_of(3, 4)
+        model = OutOfOrderDelivery(PerfectLink())
+        arrived = deliver(batches, model, np.random.default_rng(0))
+        flat = [m.sequence for batch in arrived for m in batch]
+        assert flat == sorted(flat)
+
+    def test_reordering_rate_grows_with_latency_spread(self):
+        def inversions(spread, seed=0):
+            batches = batches_of(8, 10)
+            model = OutOfOrderDelivery(UniformLatencyLink(0.0, spread))
+            arrived = deliver(batches, model, np.random.default_rng(seed))
+            flat = [m.sequence for batch in arrived for m in batch]
+            return sum(
+                1
+                for i in range(len(flat))
+                for j in range(i + 1, len(flat))
+                if flat[i] > flat[j]
+            )
+
+        assert inversions(0.2) < inversions(3.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(0.0, 0.9), st.integers(0, 2**31 - 1))
+    def test_loss_rate_statistics(self, loss, seed):
+        batches = batches_of(10, 10)
+        model = OutOfOrderDelivery(LossyLink(PerfectLink(), loss))
+        arrived = deliver(batches, model, np.random.default_rng(seed))
+        delivered = sum(len(b) for b in arrived)
+        # 100 messages; the delivered count should be near (1-loss)*100.
+        expected = (1.0 - loss) * 100
+        assert abs(delivered - expected) < 35  # 3+ sigma slack
+
+    def test_empty_batches_handled(self):
+        model = OutOfOrderDelivery(PerfectLink())
+        arrived = deliver([[], [], []], model, np.random.default_rng(0))
+        assert [len(b) for b in arrived] == [0, 0, 0]
+
+
+class TestLocalizationUnderExtremeLoss:
+    def test_70_percent_loss_still_converges_slowly(self):
+        """Extreme packet loss delays but does not break convergence --
+        the strongest form of the paper's robustness claim we assert."""
+        from repro.core.config import LocalizerConfig
+        from repro.core.localizer import MultiSourceLocalizer
+        from repro.physics.intensity import RadiationField
+        from repro.physics.source import RadiationSource
+        from repro.sensors.network import SensorNetwork
+        from repro.sensors.placement import grid_placement
+
+        sensors = grid_placement(
+            6, 6, 100, 100, efficiency=1e-4, background_cpm=5.0, margin_fraction=0.0
+        )
+        network = SensorNetwork(
+            sensors,
+            RadiationField([RadiationSource(47, 71, 100.0)]),
+            np.random.default_rng(0),
+        )
+        localizer = MultiSourceLocalizer(
+            LocalizerConfig(
+                n_particles=2000, area=(100, 100),
+                assumed_efficiency=1e-4, assumed_background_cpm=5.0,
+            ),
+            rng=np.random.default_rng(1),
+        )
+        model = OutOfOrderDelivery(LossyLink(UniformLatencyLink(0.0, 1.0), 0.7))
+        batches = [network.measure_time_step(t) for t in range(25)]
+        for batch in model.deliver(batches, np.random.default_rng(2)):
+            for measurement in batch:
+                localizer.observe(measurement)
+        estimates = localizer.estimates()
+        assert estimates
+        assert min(e.distance_to(47, 71) for e in estimates) < 8.0

@@ -1,0 +1,87 @@
+"""Tests for the ASCII visualization."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import SourceEstimate
+from repro.core.particles import ParticleSet
+from repro.geometry.shapes import rectangle
+from repro.physics.obstacle import Obstacle
+from repro.physics.source import RadiationSource
+from repro.sensors.sensor import Sensor
+from repro.viz.ascii_map import AsciiMap, render_particles, render_scenario
+
+
+class TestAsciiMap:
+    def test_dimensions(self):
+        canvas = AsciiMap((100, 100), cols=40, rows=20)
+        text = canvas.render()
+        lines = text.splitlines()
+        assert len(lines) == 22  # 20 rows + 2 borders
+        assert all(len(line) == 42 for line in lines)
+
+    def test_put_and_flip(self):
+        canvas = AsciiMap((100, 100), cols=10, rows=10)
+        canvas.put(5, 95, "S")  # near top-left in map coordinates
+        lines = canvas.render().splitlines()
+        assert lines[1][1] == "S"  # row 1 (top), col 1 (after border)
+
+    def test_put_outside_is_noop(self):
+        canvas = AsciiMap((100, 100), cols=10, rows=10)
+        canvas.put(150, 50, "X")
+        assert "X" not in canvas.render()
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            AsciiMap((100, 100), cols=1, rows=10)
+        with pytest.raises(ValueError):
+            AsciiMap((0, 100))
+
+    def test_density_shading(self):
+        rng = np.random.default_rng(0)
+        particles = ParticleSet(
+            xs=rng.normal(50, 3, 500).clip(0, 100),
+            ys=rng.normal(50, 3, 500).clip(0, 100),
+            strengths=np.ones(500),
+        )
+        canvas = AsciiMap((100, 100), cols=20, rows=20)
+        canvas.draw_density(particles)
+        text = canvas.render()
+        assert "@" in text  # the dense center reaches the ramp top
+
+    def test_obstacle_glyphs(self):
+        canvas = AsciiMap((100, 100), cols=20, rows=20)
+        canvas.draw_obstacle(Obstacle(rectangle(30, 30, 70, 70), mu=0.1))
+        text = canvas.render()
+        assert "[" in text and "]" in text
+
+
+class TestRenderHelpers:
+    def test_render_scenario_all_layers(self):
+        text = render_scenario(
+            (100, 100),
+            sensors=[Sensor(0, 20, 20), Sensor(1, 80, 80, failed=True)],
+            sources=[RadiationSource(50, 50, 10.0)],
+            obstacles=[Obstacle(rectangle(40, 10, 60, 20), mu=0.1)],
+            estimates=[
+                SourceEstimate(52, 50, 10.0, mass=0.1, mass_ratio=2.0, seed_count=3)
+            ],
+        )
+        assert "o" in text   # live sensor
+        assert "x" in text   # failed sensor
+        assert "S" in text
+        assert "E" in text
+        assert "legend" not in text  # legend text is descriptive words
+        assert "sensor" in text      # legend present
+
+    def test_render_particles(self):
+        rng = np.random.default_rng(0)
+        particles = ParticleSet(
+            xs=rng.uniform(0, 100, 100),
+            ys=rng.uniform(0, 100, 100),
+            strengths=np.ones(100),
+        )
+        text = render_particles(
+            particles, (100, 100), sources=[RadiationSource(50, 50, 5.0)]
+        )
+        assert "S" in text

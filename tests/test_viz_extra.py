@@ -1,0 +1,65 @@
+"""Additional visualization edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.core.particles import ParticleSet
+from repro.viz.ascii_map import DENSITY_RAMP, AsciiMap
+
+
+class TestDensityEdgeCases:
+    def test_zero_weight_population_draws_nothing(self):
+        particles = ParticleSet(
+            xs=np.array([50.0]), ys=np.array([50.0]), strengths=np.array([1.0]),
+            weights=np.array([0.0]),
+        )
+        canvas = AsciiMap((100, 100), cols=10, rows=10)
+        canvas.draw_density(particles)
+        interior = "".join(
+            line[1:-1] for line in canvas.render().splitlines()[1:-1]
+        )
+        assert all(ch not in interior for ch in DENSITY_RAMP.strip())
+
+    def test_out_of_area_particles_ignored(self):
+        particles = ParticleSet(
+            xs=np.array([500.0, 50.0]),
+            ys=np.array([500.0, 50.0]),
+            strengths=np.ones(2),
+        )
+        canvas = AsciiMap((100, 100), cols=10, rows=10)
+        canvas.draw_density(particles)  # must not raise
+        assert "@" in canvas.render()  # the in-area particle is the peak
+
+    def test_single_hot_cell_gets_ramp_top(self):
+        particles = ParticleSet(
+            xs=np.full(10, 55.0), ys=np.full(10, 55.0), strengths=np.ones(10)
+        )
+        canvas = AsciiMap((100, 100), cols=10, rows=10)
+        canvas.draw_density(particles)
+        assert "@" in canvas.render()
+
+    def test_boundary_particle_lands_in_edge_cell(self):
+        particles = ParticleSet(
+            xs=np.array([100.0]), ys=np.array([0.0]), strengths=np.ones(1)
+        )
+        canvas = AsciiMap((100, 100), cols=10, rows=10)
+        canvas.draw_density(particles)
+        lines = canvas.render().splitlines()
+        # Bottom-right interior cell (row before the border, last column).
+        assert lines[-2][-2] == "@"
+
+
+class TestPutSemantics:
+    def test_glyph_truncated_to_one_char(self):
+        canvas = AsciiMap((10, 10), cols=5, rows=5)
+        canvas.put(5, 5, "XYZ")
+        assert "X" in canvas.render()
+        assert "XYZ" not in canvas.render()
+
+    def test_y_axis_points_up(self):
+        canvas = AsciiMap((10, 10), cols=5, rows=5)
+        canvas.put(0.5, 9.5, "T")   # top-left in world coordinates
+        canvas.put(0.5, 0.5, "B")   # bottom-left
+        lines = canvas.render().splitlines()
+        assert lines[1][1] == "T"
+        assert lines[-2][1] == "B"

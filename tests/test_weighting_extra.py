@@ -1,0 +1,123 @@
+"""Deeper property tests on the weighting math."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.particles import ParticleSet
+from repro.core.weighting import (
+    expected_rates_for_particles,
+    poisson_log_pmf,
+    reweight_in_place,
+    tempered_poisson_log_likelihood,
+)
+
+
+class TestExpectedRates:
+    def test_matches_manual_computation(self):
+        particles = ParticleSet(
+            xs=np.array([10.0, 20.0]),
+            ys=np.array([0.0, 0.0]),
+            strengths=np.array([5.0, 50.0]),
+        )
+        rates = expected_rates_for_particles(
+            particles, np.array([0, 1]), 0.0, 0.0, efficiency=1e-4,
+            background_cpm=3.0,
+        )
+        expected_0 = 2.22e6 * 1e-4 * 5.0 / 101.0 + 3.0
+        expected_1 = 2.22e6 * 1e-4 * 50.0 / 401.0 + 3.0
+        np.testing.assert_allclose(rates, [expected_0, expected_1])
+
+    def test_subset_selection(self):
+        particles = ParticleSet(
+            xs=np.arange(5.0), ys=np.zeros(5), strengths=np.ones(5)
+        )
+        rates = expected_rates_for_particles(
+            particles, np.array([2, 4]), 0.0, 0.0, 1.0, 0.0
+        )
+        assert len(rates) == 2
+
+
+class TestTemperedProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(1, 5000),
+        st.floats(0.1, 5000.0),
+        st.floats(0.0, 1.0),
+    )
+    def test_never_exceeds_peak(self, count, rate, alpha):
+        # Tempered likelihood is bounded by the likelihood at rate=count.
+        value = tempered_poisson_log_likelihood(
+            float(count), np.array([rate]), alpha
+        )[0]
+        peak = poisson_log_pmf(float(count), np.array([float(count)]))[0]
+        assert value <= peak + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 1000), st.floats(0.1, 1000.0))
+    def test_tempering_never_decreases_likelihood(self, count, rate):
+        # The tempered value is always >= the symmetric value (penalties
+        # can only shrink).
+        symmetric = tempered_poisson_log_likelihood(
+            float(count), np.array([rate]), 1.0
+        )[0]
+        tempered = tempered_poisson_log_likelihood(
+            float(count), np.array([rate]), 0.25
+        )[0]
+        assert tempered >= symmetric - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(0, 500),
+        st.lists(st.floats(0.01, 1000.0), min_size=2, max_size=10),
+    )
+    def test_monotone_in_alpha(self, count, rates):
+        rates_arr = np.array(rates)
+        low = tempered_poisson_log_likelihood(float(count), rates_arr, 0.1)
+        high = tempered_poisson_log_likelihood(float(count), rates_arr, 0.9)
+        # Lower alpha = weaker under-prediction penalty = higher values.
+        assert np.all(low >= high - 1e-9)
+
+
+class TestReweightProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.floats(0.0, 10000.0),
+    )
+    def test_mass_preservation_under_any_reading(self, seed, cpm):
+        rng = np.random.default_rng(seed)
+        particles = ParticleSet(
+            xs=rng.uniform(0, 100, 60),
+            ys=rng.uniform(0, 100, 60),
+            strengths=rng.uniform(1, 100, 60),
+        )
+        particles.normalize()
+        idx = np.arange(30)
+        before = particles.weights[idx].sum()
+        reweight_in_place(
+            particles, idx, cpm, 50.0, 50.0,
+            efficiency=1e-4, background_cpm=5.0,
+            under_prediction_tempering=0.25,
+        )
+        assert particles.weights[idx].sum() == pytest.approx(before)
+        assert np.all(particles.weights >= 0)
+
+    def test_repeated_consistent_evidence_sharpens(self):
+        """Feeding the same reading repeatedly concentrates weight on the
+        matching hypothesis (likelihood accumulation across iterations)."""
+        particles = ParticleSet(
+            xs=np.array([10.0, 30.0]),
+            ys=np.array([0.0, 0.0]),
+            strengths=np.array([20.0, 20.0]),
+        )
+        observed = 2.22e6 * 1e-4 * 20.0 / 101.0 + 5.0  # matches particle 0
+        ratios = []
+        for _ in range(3):
+            reweight_in_place(
+                particles, np.array([0, 1]), observed, 0.0, 0.0,
+                efficiency=1e-4, background_cpm=5.0,
+            )
+            ratios.append(particles.weights[0] / particles.weights[1])
+        assert ratios[0] > 1.0
+        assert ratios[2] > ratios[0]
