@@ -17,7 +17,7 @@ from benchmarks.conftest import BENCH_SEED
 from repro.eval.aggregate import mean_over_steps
 from repro.eval.reporting import format_table
 from repro.sim.runner import run_scenario
-from repro.sim.scenarios import scenario_a, scenario_a_three_sources
+from repro.sim.scenarios import scenario_a_three_sources
 
 N_SEEDS = 3
 

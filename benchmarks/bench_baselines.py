@@ -96,7 +96,7 @@ def test_baselines_accuracy_vs_k(report, benchmark):
                         AREA, max_sources=5, rng=np.random.default_rng(2), **kw
                     ).localize(flat)
                 ]),
-                (f"joint PF (K given)", lambda: [
+                ("joint PF (K given)", lambda: [
                     (e.x, e.y) for e in JointParticleFilter(
                         k, AREA, n_particles=3000,
                         rng=np.random.default_rng(3), **kw

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Traced run: watch inside the filter loop with the observability layer.
+
+Runs Scenario A with a JSONL tracer and a metrics registry attached, then
+summarizes the trace programmatically -- the same pipeline as::
+
+    python -m repro run a --trace trace.jsonl --metrics
+    python -m repro report trace.jsonl
+
+Run with::
+
+    python examples/traced_run.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    MetricsRegistry,
+    format_trace_report,
+    jsonl_tracer,
+    run_scenario,
+    scenario_a,
+    summarize_trace,
+)
+from repro.obs.metrics import format_metrics
+
+
+def main() -> None:
+    trace_path = Path(tempfile.mkdtemp()) / "trace.jsonl"
+    scenario = scenario_a(strengths=(50.0, 50.0), n_time_steps=8)
+
+    tracer = jsonl_tracer(trace_path)
+    registry = MetricsRegistry()
+    try:
+        result = run_scenario(scenario, seed=7, tracer=tracer, metrics=registry)
+        registry.flush_to(tracer.sink)
+    finally:
+        tracer.close()
+
+    print(f"ran {scenario.name!r}: {result.n_steps} steps, "
+          f"converged at step {result.converged_at}")
+    for step, health in enumerate(result.health_series()):
+        print(f"  T={step}: ESS {health.effective_sample_size:7.1f}  "
+              f"spread {health.spatial_spread:5.2f}  "
+              f"estimates {len(result.steps[step].estimates)}")
+
+    print(f"\ntrace written to {trace_path}")
+    summary = summarize_trace(str(trace_path))
+    print(f"{summary.n_events} events, phase coverage "
+          f"{summary.phase_coverage:.1%}\n")
+    print(format_trace_report(summary))
+    print()
+    print(format_metrics(registry.snapshot(), title="registry snapshot"))
+
+
+if __name__ == "__main__":
+    main()

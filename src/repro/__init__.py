@@ -31,6 +31,13 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
+import logging as _logging
+
+# Library convention: never configure handlers here.  The CLI (or the
+# embedding application) decides where log records go; without that, the
+# NullHandler keeps "No handlers could be found" noise away.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
+
 from repro.core import (
     AutoFusionRange,
     ConvergenceMonitor,
@@ -62,6 +69,18 @@ from repro.network import (
     PerfectLink,
     ShuffledDelivery,
     UniformLatencyLink,
+)
+from repro.obs import (
+    InMemorySink,
+    JsonlSink,
+    MetricsRegistry,
+    NullSink,
+    PhaseTimer,
+    Stopwatch,
+    Tracer,
+    format_trace_report,
+    jsonl_tracer,
+    summarize_trace,
 )
 from repro.physics import (
     ConstantBackground,
@@ -120,6 +139,16 @@ __all__ = [
     "StepMetrics",
     "evaluate_step",
     "match_estimates",
+    "Tracer",
+    "NullSink",
+    "InMemorySink",
+    "JsonlSink",
+    "MetricsRegistry",
+    "PhaseTimer",
+    "Stopwatch",
+    "jsonl_tracer",
+    "summarize_trace",
+    "format_trace_report",
     "ExponentialLatencyLink",
     "InOrderDelivery",
     "LossyLink",

@@ -7,25 +7,37 @@ Commands
 ``sweep``     Sweep source strength or background over Scenario A.
 ``export``    Write a paper scenario to a JSON document.
 ``run-file``  Run a scenario loaded from a JSON document.
+``report``    Summarize a JSONL trace written by ``run --trace``.
 
 Examples::
 
     python -m repro run a --strength 50 --repeats 3
     python -m repro run b --seed 7
+    python -m repro run a --trace trace.jsonl --metrics --health
+    python -m repro report trace.jsonl
     python -m repro layout b
     python -m repro sweep strength --values 4 10 50 100
     python -m repro export a --out my_scenario.json
     python -m repro run-file my_scenario.json --repeats 3
+
+Every command accepts ``--verbose``/``-v`` (repeatable: ``-vv`` for debug)
+and ``--quiet``/``-q`` to control the library's stdlib logging; the
+library itself never configures handlers (NullHandler only) -- only this
+CLI does.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
 from repro.eval.aggregate import mean_over_steps
-from repro.eval.reporting import format_series, format_table
+from repro.eval.reporting import format_health_series, format_series, format_table
+from repro.obs.metrics import MetricsRegistry, format_metrics
+from repro.obs.report import format_trace_report, summarize_trace
+from repro.obs.trace import Tracer, jsonl_tracer
 from repro.sim.runner import run_repeated
 from repro.sim.scenario import Scenario
 from repro.sim.scenarios import (
@@ -36,6 +48,26 @@ from repro.sim.scenarios import (
     scenario_c_fusion_policy,
 )
 from repro.viz.ascii_map import render_scenario
+
+logger = logging.getLogger(__name__)
+
+
+def configure_logging(verbose: int = 0, quiet: bool = False) -> None:
+    """Wire stdlib logging for CLI use (the library never does this)."""
+    if quiet:
+        level = logging.ERROR
+    elif verbose >= 2:
+        level = logging.DEBUG
+    elif verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    logging.basicConfig(
+        level=level,
+        format="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+        datefmt="%H:%M:%S",
+    )
+    logging.getLogger("repro").setLevel(level)
 
 
 def _build_scenario(args) -> tuple:
@@ -82,9 +114,26 @@ def _build_scenario(args) -> tuple:
 def cmd_run(args) -> int:
     scenario, policy = _build_scenario(args)
     print(scenario.describe())
-    agg = run_repeated(
-        scenario, n_repeats=args.repeats, base_seed=args.seed, fusion_policy=policy
+    tracer: Optional[Tracer] = jsonl_tracer(args.trace) if args.trace else None
+    registry: Optional[MetricsRegistry] = (
+        MetricsRegistry() if args.metrics else None
     )
+    try:
+        agg = run_repeated(
+            scenario,
+            n_repeats=args.repeats,
+            base_seed=args.seed,
+            fusion_policy=policy,
+            tracer=tracer,
+            metrics=registry,
+        )
+        if tracer is not None and registry is not None:
+            # The trace carries the final metrics snapshot too, so a
+            # single file round-trips through ``repro report``.
+            registry.flush_to(tracer.sink)
+    finally:
+        if tracer is not None:
+            tracer.close()
     print(format_series(agg.all_mean_series(), index_name="T"))
     print()
     skip = min(5, scenario.n_time_steps - 1)
@@ -96,6 +145,39 @@ def cmd_run(args) -> int:
     fp = mean_over_steps(agg.mean_false_positive_series(), skip)
     fn = mean_over_steps(agg.mean_false_negative_series(), skip)
     print(f"\nsteady state: FP {fp:.2f}/step, FN {fn:.2f}/step")
+    if args.health:
+        first = agg.runs[0]
+        print()
+        print(
+            format_health_series(
+                first.health_series(),
+                [s.converged for s in first.steps],
+                title=f"population health (run 1 of {agg.n_repeats}, "
+                f"seed {args.seed})",
+            )
+        )
+    if registry is not None:
+        print()
+        print(format_metrics(registry.snapshot(), title="run metrics"))
+    if args.trace:
+        print(f"\nwrote trace to {args.trace} "
+              f"(summarize with: python -m repro report {args.trace})")
+    return 0
+
+
+def cmd_report(args) -> int:
+    try:
+        summary = summarize_trace(args.path)
+    except OSError as exc:
+        print(f"{args.path}: {exc.strerror or exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if summary.n_events == 0:
+        print(f"{args.path}: no trace events found", file=sys.stderr)
+        return 1
+    print(format_trace_report(summary))
     return 0
 
 
@@ -193,7 +275,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def logging_flags(p):
+        group = p.add_mutually_exclusive_group()
+        group.add_argument(
+            "-v", "--verbose", action="count", default=0,
+            help="log progress (-v info, -vv debug)",
+        )
+        group.add_argument(
+            "-q", "--quiet", action="store_true",
+            help="only log errors",
+        )
+
     def common(p):
+        logging_flags(p)
         p.add_argument("--steps", type=int, default=30, help="time steps (default 30)")
         p.add_argument("--seed", type=int, default=0, help="base seed (default 0)")
         p.add_argument("--strength", type=float, default=10.0,
@@ -207,8 +301,21 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("scenario", help="a, a3, b, or c")
     run_parser.add_argument("--repeats", type=int, default=3,
                             help="runs to average (default 3; paper uses 10)")
+    run_parser.add_argument("--trace", metavar="PATH", default=None,
+                            help="write a JSONL trace of every pipeline phase")
+    run_parser.add_argument("--metrics", action="store_true",
+                            help="aggregate and print run metrics")
+    run_parser.add_argument("--health", action="store_true",
+                            help="print the per-step population-health table")
     common(run_parser)
     run_parser.set_defaults(func=cmd_run)
+
+    report_parser = sub.add_parser(
+        "report", help="summarize a JSONL trace (phase times, health, counts)"
+    )
+    report_parser.add_argument("path", help="trace JSONL path (from run --trace)")
+    logging_flags(report_parser)
+    report_parser.set_defaults(func=cmd_report)
 
     layout_parser = sub.add_parser("layout", help="render a scenario layout")
     layout_parser.add_argument("scenario", help="a, a3, b, or c")
@@ -235,12 +342,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_file_parser.add_argument("path", help="scenario JSON path")
     run_file_parser.add_argument("--repeats", type=int, default=3)
     run_file_parser.add_argument("--seed", type=int, default=0)
+    logging_flags(run_file_parser)
     run_file_parser.set_defaults(func=cmd_run_file)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(
+        verbose=getattr(args, "verbose", 0), quiet=getattr(args, "quiet", False)
+    )
     return args.func(args)
 
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from time import perf_counter
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -31,6 +32,7 @@ from repro.core.clustering import Mode, merge_modes
 from repro.core.config import LocalizerConfig
 from repro.core.meanshift import mean_shift_modes, select_seeds
 from repro.core.particles import ParticleSet
+from repro.obs.trace import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True)
@@ -116,18 +118,35 @@ def extract_estimates(
     particles: ParticleSet,
     config: LocalizerConfig,
     rng: Optional[np.random.Generator] = None,
+    tracer: Optional[Tracer] = None,
 ) -> List[SourceEstimate]:
     """The full Section V-D step: mean-shift, merge, filter, estimate.
 
     Never needs (or produces) an assumed number of sources: every mode
     that survives the mass and strength filters is one estimated source.
+
+    With an enabled ``tracer``, one ``extract`` event is emitted carrying
+    seed / sweep / mode counts and per-phase wall-clock seconds
+    (``seed``, ``shift``, ``merge``, ``filter``).
     """
+    tracer = NULL_TRACER if tracer is None else tracer
+    traced = tracer.enabled
     positions = particles.positions
     weights = particles.weights
     if weights.sum() <= 0:
         return []
 
+    if traced:
+        phases = {}
+        t_start = t_prev = perf_counter()
+        shift_stats: Optional[dict] = {}
+    else:
+        shift_stats = None
     seeds = select_seeds(positions, weights, config.meanshift_seeds, rng)
+    if traced:
+        t_now = perf_counter()
+        phases["seed"] = t_now - t_prev
+        t_prev = t_now
     converged, _densities = mean_shift_modes(
         seeds,
         positions,
@@ -135,8 +154,17 @@ def extract_estimates(
         bandwidth=config.bandwidth,
         tol=config.meanshift_tol,
         max_iter=config.meanshift_max_iter,
+        stats=shift_stats,
     )
+    if traced:
+        t_now = perf_counter()
+        phases["shift"] = t_now - t_prev
+        t_prev = t_now
     modes: List[Mode] = merge_modes(converged, _densities, config.mode_merge_radius)
+    if traced:
+        t_now = perf_counter()
+        phases["merge"] = t_now - t_prev
+        t_prev = t_now
 
     area = config.area[0] * config.area[1]
     # One bandwidth, not more: a converged cluster is bandwidth-tight, and
@@ -163,5 +191,17 @@ def extract_estimates(
                 mass_ratio=ratio,
                 seed_count=mode.seed_count,
             )
+        )
+    if traced:
+        t_end = perf_counter()
+        phases["filter"] = t_end - t_prev
+        tracer.emit(
+            "extract",
+            n_seeds=int(shift_stats.get("n_seeds", len(seeds))),
+            meanshift_sweeps=int(shift_stats.get("sweeps", 0)),
+            n_modes=len(modes),
+            n_estimates=len(estimates),
+            phases=phases,
+            total_seconds=t_end - t_start,
         )
     return estimates

@@ -19,6 +19,7 @@ the paper's Table I accounting).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -27,8 +28,10 @@ from repro.core.config import LocalizerConfig
 from repro.core.estimator import SourceEstimate, extract_estimates
 from repro.core.fusion import FixedFusionRange, FusionRangePolicy
 from repro.core.particles import ParticleSet
-from repro.core.resampling import resample_subset
+from repro.core.resampling import NO_RESAMPLE, resample_subset
 from repro.core.weighting import reweight_in_place
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sensors.measurement import Measurement
 
 #: A movement model maps (xs, ys, strengths, rng) of the touched subset to
@@ -50,6 +53,8 @@ class MultiSourceLocalizer:
         rng: Optional[np.random.Generator] = None,
         movement_model: Optional[MovementModel] = None,
         particles: Optional[ParticleSet] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.config = config
         self.fusion_policy = (
@@ -72,6 +77,18 @@ class MultiSourceLocalizer:
                 self.rng,
                 strength_init=config.strength_init,
             )
+        #: Structured trace-event emitter; the default NULL_TRACER keeps
+        #: the hot loop free of any instrumentation cost (no clock reads,
+        #: no ESS computation) -- every instrumented block is gated on
+        #: ``tracer.enabled``.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Aggregating metrics registry (counters / gauges / histograms);
+        #: disabled by default for the same zero-overhead reason.
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        # Suppresses nested extract events while inside observe_reading
+        # (the interference refresh runs mean-shift mid-iteration; its cost
+        # is already accounted to the ``weight`` phase).
+        self._in_observe = False
         self.iteration = 0
         #: Size of the touched subset in the most recent iteration.
         self.last_touched = 0
@@ -102,86 +119,183 @@ class MultiSourceLocalizer:
         cpm: float,
         sensor_id: int = -1,
     ) -> None:
-        """Like :meth:`observe` but from raw values (no Measurement object)."""
+        """Like :meth:`observe` but from raw values (no Measurement object).
+
+        With an enabled tracer, one ``iteration`` event is emitted per call
+        carrying the touched-subset size, ESS before/after, resampling
+        counts, and per-phase wall-clock seconds.  The instrumentation is
+        gated on ``tracer.enabled`` so the default (null) path reads no
+        clocks and computes no diagnostics.
+        """
         if cpm < 0:
             raise ValueError(f"measurement CPM must be non-negative, got {cpm}")
         config = self.config
-        fusion_range = self.fusion_policy.range_for(sensor_id, sensor_x, sensor_y)
+        tracer = self.tracer
+        traced = tracer.enabled
+        if traced:
+            # ESS before any clock read: diagnostics stay out of the
+            # phase timings, so the phases sum to total_seconds exactly.
+            ess_before = self.particles.effective_sample_size()
+            phases: dict = {}
+            t_start = t_prev = perf_counter()
+        self._in_observe = True
+        try:
+            fusion_range = self.fusion_policy.range_for(sensor_id, sensor_x, sensor_y)
 
-        # Track a smoothed reading per sensor location for the echo filter.
-        key = (round(sensor_x, 6), round(sensor_y, 6))
-        previous = self._reading_ema.get(key)
-        if previous is None:
-            self._reading_ema[key] = cpm
-        else:
-            self._reading_ema[key] = (
-                self._ema_alpha * cpm + (1.0 - self._ema_alpha) * previous
+            # Track a smoothed reading per sensor location for the echo filter.
+            key = (round(sensor_x, 6), round(sensor_y, 6))
+            previous = self._reading_ema.get(key)
+            if previous is None:
+                self._reading_ema[key] = cpm
+            else:
+                self._reading_ema[key] = (
+                    self._ema_alpha * cpm + (1.0 - self._ema_alpha) * previous
+                )
+
+            # 1. Selection (Eq. 5): P' = particles within the fusion range.
+            if np.isinf(fusion_range):
+                indices = np.arange(len(self.particles))
+            else:
+                indices = self.particles.indices_within(
+                    sensor_x, sensor_y, fusion_range
+                )
+            self.last_touched = len(indices)
+            self.iteration += 1
+            if traced:
+                t_now = perf_counter()
+                phases["select"] = t_now - t_prev
+                t_prev = t_now
+            if len(indices) == 0:
+                # Nothing hypothesized near this sensor (its region was
+                # written off); random injection elsewhere is what re-seeds
+                # such areas.
+                if traced:
+                    self._emit_iteration(
+                        sensor_id, sensor_x, sensor_y, cpm, fusion_range,
+                        touched=0, ess_before=ess_before, ess_after=ess_before,
+                        stats=NO_RESAMPLE, phases=phases,
+                        total_seconds=t_prev - t_start,
+                    )
+                if self.metrics.enabled:
+                    self.metrics.counter("localizer.iterations").inc()
+                    self.metrics.counter("localizer.empty_subsets").inc()
+                    self.metrics.histogram("localizer.touched").observe(0)
+                return
+
+            # 2. Prediction: static sources -> identity, unless a movement
+            # model was supplied.
+            if self.movement_model is not None:
+                xs, ys, strengths = self.movement_model(
+                    self.particles.xs[indices],
+                    self.particles.ys[indices],
+                    self.particles.strengths[indices],
+                    self.rng,
+                )
+                self.particles.xs[indices] = xs
+                self.particles.ys[indices] = ys
+                self.particles.strengths[indices] = strengths
+                self.particles.clip_to_area(config.area)
+            if traced:
+                t_now = perf_counter()
+                phases["predict"] = t_now - t_prev
+                t_prev = t_now
+
+            # 3. Weighting: Poisson likelihood of the reading under each
+            # particle's single-source free-space hypothesis, plus the
+            # predicted contribution of other known sources at this sensor.
+            interference = self._interference_for(sensor_x, sensor_y, fusion_range)
+            reweight_in_place(
+                self.particles,
+                indices,
+                cpm,
+                sensor_x,
+                sensor_y,
+                efficiency=config.assumed_efficiency,
+                background_cpm=config.assumed_background_cpm,
+                under_prediction_tempering=config.under_prediction_tempering,
+                interference_cpm=interference,
             )
+            self.particles.normalize()
+            if traced:
+                t_now = perf_counter()
+                phases["weight"] = t_now - t_prev
+                t_prev = t_now
 
-        # 1. Selection (Eq. 5): P' = particles within the fusion range.
-        if np.isinf(fusion_range):
-            indices = np.arange(len(self.particles))
-        else:
-            indices = self.particles.indices_within(sensor_x, sensor_y, fusion_range)
-        self.last_touched = len(indices)
-        self.iteration += 1
-        if len(indices) == 0:
-            # Nothing hypothesized near this sensor (its region was written
-            # off); random injection elsewhere is what re-seeds such areas.
-            return
-
-        # 2. Prediction: static sources -> identity, unless a movement
-        # model was supplied.
-        if self.movement_model is not None:
-            xs, ys, strengths = self.movement_model(
-                self.particles.xs[indices],
-                self.particles.ys[indices],
-                self.particles.strengths[indices],
+            # 4. Selective resampling, confined to the inner part of the disc:
+            # weighting locality (full fusion range) collects all evidence,
+            # but redistribution stays near the sensor so a disc spanning two
+            # source clusters cannot teleport one cluster onto the other.
+            if np.isinf(fusion_range):
+                resample_indices = indices
+                resample_radius = None
+            else:
+                resample_radius = config.resample_range_fraction * fusion_range
+                resample_indices = self.particles.indices_within(
+                    sensor_x, sensor_y, resample_radius
+                )
+            stats = resample_subset(
+                self.particles,
+                resample_indices,
+                config,
                 self.rng,
+                injection_center=(sensor_x, sensor_y),
+                injection_radius=resample_radius,
             )
-            self.particles.xs[indices] = xs
-            self.particles.ys[indices] = ys
-            self.particles.strengths[indices] = strengths
-            self.particles.clip_to_area(config.area)
+            self.particles.normalize()
+            if traced:
+                t_end = perf_counter()
+                phases["resample"] = t_end - t_prev
+                self._emit_iteration(
+                    sensor_id, sensor_x, sensor_y, cpm, fusion_range,
+                    touched=len(indices), ess_before=ess_before,
+                    ess_after=self.particles.effective_sample_size(),
+                    stats=stats, phases=phases, total_seconds=t_end - t_start,
+                )
+            if self.metrics.enabled:
+                metrics = self.metrics
+                metrics.counter("localizer.iterations").inc()
+                metrics.counter("localizer.resampled_particles").inc(
+                    stats.n_resampled
+                )
+                metrics.counter("localizer.injected_particles").inc(stats.n_injected)
+                metrics.histogram("localizer.touched").observe(len(indices))
+                metrics.gauge("localizer.ess").set(
+                    self.particles.effective_sample_size()
+                )
+        finally:
+            self._in_observe = False
 
-        # 3. Weighting: Poisson likelihood of the reading under each
-        # particle's single-source free-space hypothesis, plus the
-        # predicted contribution of other known sources at this sensor.
-        interference = self._interference_for(sensor_x, sensor_y, fusion_range)
-        reweight_in_place(
-            self.particles,
-            indices,
-            cpm,
-            sensor_x,
-            sensor_y,
-            efficiency=config.assumed_efficiency,
-            background_cpm=config.assumed_background_cpm,
-            under_prediction_tempering=config.under_prediction_tempering,
-            interference_cpm=interference,
+    def _emit_iteration(
+        self,
+        sensor_id: int,
+        sensor_x: float,
+        sensor_y: float,
+        cpm: float,
+        fusion_range: float,
+        touched: int,
+        ess_before: float,
+        ess_after: float,
+        stats,
+        phases: dict,
+        total_seconds: float,
+    ) -> None:
+        self.tracer.emit(
+            "iteration",
+            iteration=self.iteration,
+            sensor_id=int(sensor_id),
+            sensor_x=float(sensor_x),
+            sensor_y=float(sensor_y),
+            cpm=float(cpm),
+            fusion_range=float(fusion_range),
+            touched=int(touched),
+            ess_before=float(ess_before),
+            ess_after=float(ess_after),
+            resampled=int(stats.n_resampled),
+            duplicates=int(stats.n_duplicates),
+            injected=int(stats.n_injected),
+            phases=phases,
+            total_seconds=float(total_seconds),
         )
-        self.particles.normalize()
-
-        # 4. Selective resampling, confined to the inner part of the disc:
-        # weighting locality (full fusion range) collects all evidence,
-        # but redistribution stays near the sensor so a disc spanning two
-        # source clusters cannot teleport one cluster onto the other.
-        if np.isinf(fusion_range):
-            resample_indices = indices
-            resample_radius = None
-        else:
-            resample_radius = config.resample_range_fraction * fusion_range
-            resample_indices = self.particles.indices_within(
-                sensor_x, sensor_y, resample_radius
-            )
-        resample_subset(
-            self.particles,
-            resample_indices,
-            config,
-            self.rng,
-            injection_center=(sensor_x, sensor_y),
-            injection_radius=resample_radius,
-        )
-        self.particles.normalize()
 
     def _interference_for(
         self,
@@ -241,7 +355,14 @@ class MultiSourceLocalizer:
         explain-away echo filter; the length of the list is the
         algorithm's belief about the number of sources K.
         """
-        candidates = extract_estimates(self.particles, self.config, self.rng)
+        # The interference refresh calls estimates() from inside
+        # observe_reading; suppress the nested extract event there so the
+        # trace's phase accounting never counts the same wall-clock twice
+        # (that extraction is already inside the iteration's weight phase).
+        tracer = NULL_TRACER if self._in_observe else self.tracer
+        candidates = extract_estimates(
+            self.particles, self.config, self.rng, tracer=tracer
+        )
         return self._filter_echoes(candidates)
 
     def _filter_echoes(

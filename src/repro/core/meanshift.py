@@ -69,6 +69,7 @@ def mean_shift_modes(
     bandwidth: float,
     tol: float = 1e-2,
     max_iter: int = 100,
+    stats: Optional[dict] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Batch mean-shift: ascend from every seed simultaneously.
 
@@ -78,6 +79,8 @@ def mean_shift_modes(
     points : (N, D) particle coordinates.
     weights : (N,) non-negative particle weights.
     bandwidth : Gaussian kernel bandwidth.
+    stats : optional dict that, when supplied, receives instrumentation
+        fields: ``sweeps`` (ascent iterations executed) and ``n_seeds``.
 
     Returns
     -------
@@ -99,9 +102,11 @@ def mean_shift_modes(
 
     active = np.ones(len(seeds), dtype=bool)
     inv_two_h_sq = 0.5 / (bandwidth * bandwidth)
+    sweeps = 0
     for _ in range(max_iter):
         if not np.any(active):
             break
+        sweeps += 1
         current = seeds[active]
         # (A, N) squared distances from active seeds to all points.
         sq = (
@@ -124,6 +129,9 @@ def mean_shift_modes(
         active_indices = np.nonzero(active)[0]
         active[active_indices[~still_active]] = False
 
+    if stats is not None:
+        stats["sweeps"] = sweeps
+        stats["n_seeds"] = len(seeds)
     densities = _density_at(seeds, points, weights, bandwidth) / total_weight
     return seeds, densities
 

@@ -12,12 +12,27 @@ in previously written-off regions.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import NamedTuple, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import LocalizerConfig
 from repro.core.particles import ParticleSet
+
+
+class ResampleStats(NamedTuple):
+    """What one :func:`resample_subset` call did (for instrumentation)."""
+
+    #: Particles redrawn (the size of the resampled subset).
+    n_resampled: int
+    #: Resampled slots that were duplicates and received jitter.
+    n_duplicates: int
+    #: Slots replaced by fresh uniform-random particles.
+    n_injected: int
+
+
+#: The no-op result (empty subset).
+NO_RESAMPLE = ResampleStats(0, 0, 0)
 
 
 def systematic_resample_indices(
@@ -49,7 +64,7 @@ def resample_subset(
     rng: np.random.Generator,
     injection_center: Optional[Tuple[float, float]] = None,
     injection_radius: Optional[float] = None,
-) -> None:
+) -> ResampleStats:
     """Resample the particles at ``indices`` in place.
 
     * Draws ``len(indices)`` replacements from the subset with probability
@@ -64,10 +79,13 @@ def resample_subset(
     * Weights are reset uniformly: to the global mean for
       ``resample_weight_mode="reset"`` (default), or to an equal share of
       the subset's current mass for ``"preserve"``.
+
+    Returns a :class:`ResampleStats` with the resample / jitter / injection
+    counts of this call (callers that don't care can ignore it).
     """
     m = len(indices)
     if m == 0:
-        return
+        return NO_RESAMPLE
 
     subset_weights = particles.weights[indices]
     subset_mass = float(subset_weights.sum())
@@ -134,3 +152,4 @@ def resample_subset(
         particles.weights[indices] = subset_mass / m
     else:
         particles.weights[indices] = 1.0 / len(particles)
+    return ResampleStats(n_resampled=m, n_duplicates=n_dup, n_injected=n_inject)

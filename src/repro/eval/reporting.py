@@ -51,6 +51,43 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_health_series(
+    health: Sequence,
+    converged: Sequence[bool] = (),
+    title: str = "population health",
+) -> str:
+    """Render per-step :class:`~repro.core.diagnostics.PopulationHealth`.
+
+    ``health`` is a sequence of PopulationHealth (or None for steps where
+    recording was off, rendered as dashes); ``converged`` optionally adds
+    the convergence-monitor flag per step.  Duck-typed so the formatting
+    layer stays import-light.
+    """
+    rows: List[List] = []
+    flags = list(converged) if converged else [None] * len(health)
+    for step, snapshot in enumerate(health):
+        flag = flags[step] if step < len(flags) else None
+        flag_text = "-" if flag is None else ("yes" if flag else "no")
+        if snapshot is None:
+            rows.append([step, "-", "-", "-", "-", flag_text])
+        else:
+            rows.append(
+                [
+                    step,
+                    round(snapshot.effective_sample_size, 1),
+                    round(snapshot.ess_fraction, 3),
+                    round(snapshot.spatial_spread, 2),
+                    round(snapshot.strength_median, 2),
+                    flag_text,
+                ]
+            )
+    return format_table(
+        ["T", "ESS", "ESS/N", "spread", "strength p50", "converged"],
+        rows,
+        title=title,
+    )
+
+
 def format_series(
     series: Dict[str, Sequence[float]],
     index_name: str = "step",

@@ -1,0 +1,60 @@
+"""Observability: structured tracing, metrics, and profiling timers.
+
+The instrumentation layer for the localizer pipeline (see
+docs/OBSERVABILITY.md for the event schema and overhead numbers):
+
+* :class:`Tracer` + sinks (:class:`NullSink`, :class:`InMemorySink`,
+  :class:`JsonlSink`) -- per-event structured tracing of every pipeline
+  phase.  The default :data:`NULL_TRACER` is guaranteed zero-overhead:
+  instrumented code does no clock reads or diagnostics when disabled.
+* :class:`MetricsRegistry` -- counters, gauges, histograms, snapshotable
+  and flushable to any sink.
+* :class:`Stopwatch` / :class:`PhaseTimer` -- profiling timers for
+  runner- and benchmark-level breakdowns.
+* :func:`summarize_trace` / :func:`format_trace_report` -- turn a trace
+  back into phase-time tables and health series
+  (``python -m repro report``).
+"""
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_metrics,
+)
+from repro.obs.report import (
+    EXTRACT_PHASES,
+    ITERATION_PHASES,
+    TraceSummary,
+    format_trace_report,
+    summarize_trace,
+)
+from repro.obs.sinks import InMemorySink, JsonlSink, NullSink, Sink, read_jsonl
+from repro.obs.timers import PhaseTimer, Stopwatch
+from repro.obs.trace import NULL_TRACER, Tracer, jsonl_tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "format_metrics",
+    "TraceSummary",
+    "ITERATION_PHASES",
+    "EXTRACT_PHASES",
+    "summarize_trace",
+    "format_trace_report",
+    "Sink",
+    "NullSink",
+    "InMemorySink",
+    "JsonlSink",
+    "read_jsonl",
+    "PhaseTimer",
+    "Stopwatch",
+    "Tracer",
+    "NULL_TRACER",
+    "jsonl_tracer",
+]

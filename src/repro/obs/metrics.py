@@ -1,0 +1,220 @@
+"""A small in-process metrics registry: counters, gauges, histograms.
+
+The registry is the *aggregating* half of the observability layer (the
+tracer in :mod:`repro.obs.trace` is the per-event half).  Instruments are
+created on first use and keyed by name::
+
+    registry = MetricsRegistry()
+    registry.counter("localizer.iterations").inc()
+    registry.histogram("localizer.touched").observe(412)
+    registry.gauge("localizer.ess").set(1532.8)
+    registry.snapshot()   # {"localizer.iterations": {...}, ...}
+
+The module-level :data:`NULL_REGISTRY` is disabled: it hands out shared
+no-op instruments, and instrumented code guards update batches with
+``if registry.enabled:`` so the default path stays free of per-call cost.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.obs.sinks import Sink
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+    def snapshot(self) -> Dict:
+        return {"kind": "counter", "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = math.nan
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> Dict:
+        return {"kind": "gauge", "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """A distribution of observed values.
+
+    Keeps every observation (runs here are at most tens of thousands of
+    iterations, so the memory cost is a few hundred KB at worst) and
+    summarizes with count / sum / min / max / selected percentiles.
+    """
+
+    __slots__ = ("name", "values")
+
+    PERCENTILES = (50.0, 90.0, 99.0)
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> float:
+        return float(sum(self.values))
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (nearest-rank), NaN when empty."""
+        if not self.values:
+            return math.nan
+        ordered = sorted(self.values)
+        rank = min(len(ordered) - 1, max(0, math.ceil(q / 100.0 * len(ordered)) - 1))
+        return ordered[rank]
+
+    def snapshot(self) -> Dict:
+        if not self.values:
+            return {"kind": "histogram", "count": 0}
+        return {
+            "kind": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.sum / self.count,
+            "min": min(self.values),
+            "max": max(self.values),
+            **{f"p{int(q)}": self.percentile(q) for q in self.PERCENTILES},
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class _NullCounter(Counter):
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    def observe(self, value: float) -> None:
+        pass
+
+
+class MetricsRegistry:
+    """Creates and holds named instruments; snapshots them on demand."""
+
+    def __init__(self, enabled: bool = True):
+        #: Instrumented code batches its updates behind this flag, so a
+        #: disabled registry costs one attribute read per batch.
+        self.enabled = enabled
+        self._instruments: Dict[str, object] = {}
+        if not enabled:
+            self._null_counter = _NullCounter("<null>")
+            self._null_gauge = _NullGauge("<null>")
+            self._null_histogram = _NullHistogram("<null>")
+
+    def _get(self, name: str, factory, expected_type):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory(name)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, expected_type):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {expected_type.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return self._null_counter
+        return self._get(name, Counter, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return self._null_gauge
+        return self._get(name, Gauge, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        if not self.enabled:
+            return self._null_histogram
+        return self._get(name, Histogram, Histogram)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """All instruments, as plain dicts keyed by metric name."""
+        return {
+            name: self._instruments[name].snapshot() for name in self.names()
+        }
+
+    def flush_to(self, sink: Sink) -> None:
+        """Write one ``metrics`` record (the full snapshot) to a sink."""
+        sink.write({"type": "metrics", "metrics": self.snapshot()})
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"MetricsRegistry({state}, {len(self._instruments)} instruments)"
+
+
+#: Shared disabled registry -- the default for all instrumented components.
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+
+def format_metrics(snapshot: Dict[str, Dict], title: str = "metrics") -> str:
+    """Render a registry snapshot as a fixed-width table."""
+    from repro.eval.reporting import format_table
+
+    rows = []
+    for name, data in sorted(snapshot.items()):
+        kind = data.get("kind", "?")
+        if kind == "histogram":
+            if data.get("count", 0) == 0:
+                rows.append([name, kind, 0, "-", "-", "-"])
+            else:
+                rows.append(
+                    [
+                        name,
+                        kind,
+                        data["count"],
+                        round(data["mean"], 6),
+                        round(data["p50"], 6),
+                        round(data["max"], 6),
+                    ]
+                )
+        else:
+            rows.append([name, kind, "-", round(data["value"], 6), "-", "-"])
+    return format_table(
+        ["metric", "kind", "count", "value/mean", "p50", "max"], rows, title=title
+    )

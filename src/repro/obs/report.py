@@ -1,0 +1,273 @@
+"""Summarize a trace: phase-time tables, health series, event counts.
+
+This is the consumer side of the trace-event schema: load a JSONL trace
+(or an :class:`~repro.obs.sinks.InMemorySink`'s records), reduce it to a
+:class:`TraceSummary`, and render the Table-1-style breakdown::
+
+    events = read_jsonl("trace.jsonl")
+    summary = summarize_trace(events)
+    print(format_trace_report(summary))
+
+The same code backs ``python -m repro report <trace.jsonl>``.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+logger = logging.getLogger(__name__)
+
+#: Phases of one localizer iteration, in pipeline order.
+ITERATION_PHASES = ("select", "predict", "weight", "resample")
+#: Phases of one mean-shift estimate extraction, in pipeline order.
+EXTRACT_PHASES = ("seed", "shift", "merge", "filter")
+
+
+@dataclass
+class StepSummary:
+    """Aggregate of one time-step index across runs."""
+
+    step: int
+    ess: List[float] = field(default_factory=list)
+    ess_fraction: List[float] = field(default_factory=list)
+    spatial_spread: List[float] = field(default_factory=list)
+    n_estimates: List[int] = field(default_factory=list)
+    converged: List[bool] = field(default_factory=list)
+
+    @staticmethod
+    def _mean(values: Sequence[float]) -> float:
+        return sum(values) / len(values) if values else float("nan")
+
+    def mean_row(self) -> List:
+        return [
+            self.step,
+            round(self._mean(self.ess), 1),
+            round(self._mean(self.ess_fraction), 3),
+            round(self._mean(self.spatial_spread), 2),
+            round(self._mean(self.n_estimates), 2),
+            sum(self.converged),
+        ]
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``repro report`` prints, as plain data."""
+
+    n_events: int = 0
+    n_runs: int = 0
+    n_iterations: int = 0
+    n_extracts: int = 0
+    n_steps: int = 0
+    #: Accumulated seconds per phase; extraction phases are prefixed
+    #: ``extract.`` so one table covers the whole pipeline.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Sum of per-event ``total_seconds`` over iteration + extract events.
+    total_measured_seconds: float = 0.0
+    iterations_with_phases: int = 0
+    iterations_with_touched: int = 0
+    iterations_with_ess: int = 0
+    empty_subsets: int = 0
+    touched_total: int = 0
+    touched_max: int = 0
+    particles_resampled: int = 0
+    particles_injected: int = 0
+    steps: Dict[int, StepSummary] = field(default_factory=dict)
+    run_meta: List[Dict] = field(default_factory=list)
+    metrics_snapshots: List[Dict] = field(default_factory=list)
+
+    @property
+    def phase_total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    @property
+    def phase_coverage(self) -> float:
+        """sum-of-phases / total measured runtime (1.0 = full coverage)."""
+        if self.total_measured_seconds <= 0:
+            return float("nan")
+        return self.phase_total_seconds / self.total_measured_seconds
+
+    @property
+    def mean_touched(self) -> float:
+        if self.n_iterations == 0:
+            return float("nan")
+        return self.touched_total / self.n_iterations
+
+    def validate(self) -> List[str]:
+        """Schema-completeness problems, empty when the trace is healthy."""
+        problems: List[str] = []
+        if self.n_iterations == 0:
+            problems.append("trace contains no iteration events")
+        for label, count in (
+            ("phase timings", self.iterations_with_phases),
+            ("touched-subset size", self.iterations_with_touched),
+            ("ESS before/after", self.iterations_with_ess),
+        ):
+            if count != self.n_iterations:
+                problems.append(
+                    f"only {count}/{self.n_iterations} iterations carry {label}"
+                )
+        return problems
+
+
+def _add_phases(
+    summary: TraceSummary, phases: Dict, known: Sequence[str], prefix: str = ""
+) -> None:
+    for name, seconds in phases.items():
+        key = prefix + name
+        summary.phase_seconds[key] = summary.phase_seconds.get(key, 0.0) + float(
+            seconds
+        )
+    del known  # order is cosmetic; unknown phase names are kept as-is
+
+
+def _ingest_iteration(summary: TraceSummary, event: Dict) -> None:
+    summary.n_iterations += 1
+    phases = event.get("phases")
+    if phases:
+        summary.iterations_with_phases += 1
+        _add_phases(summary, phases, ITERATION_PHASES)
+    summary.total_measured_seconds += float(event.get("total_seconds", 0.0))
+    touched = event.get("touched")
+    if touched is not None:
+        summary.iterations_with_touched += 1
+        touched = int(touched)
+        summary.touched_total += touched
+        summary.touched_max = max(summary.touched_max, touched)
+        if touched == 0:
+            summary.empty_subsets += 1
+    if event.get("ess_before") is not None and event.get("ess_after") is not None:
+        summary.iterations_with_ess += 1
+    summary.particles_resampled += int(event.get("resampled", 0))
+    summary.particles_injected += int(event.get("injected", 0))
+
+
+def _ingest_extract(summary: TraceSummary, event: Dict) -> None:
+    summary.n_extracts += 1
+    phases = event.get("phases")
+    if phases:
+        _add_phases(summary, phases, EXTRACT_PHASES, prefix="extract.")
+    summary.total_measured_seconds += float(event.get("total_seconds", 0.0))
+
+
+def _ingest_step(summary: TraceSummary, event: Dict) -> None:
+    summary.n_steps += 1
+    step = int(event.get("step", -1))
+    record = summary.steps.setdefault(step, StepSummary(step=step))
+    for attr, key in (
+        ("ess", "ess"),
+        ("ess_fraction", "ess_fraction"),
+        ("spatial_spread", "spatial_spread"),
+    ):
+        value = event.get(key)
+        if value is not None:
+            getattr(record, attr).append(float(value))
+    if event.get("n_estimates") is not None:
+        record.n_estimates.append(int(event["n_estimates"]))
+    record.converged.append(bool(event.get("converged", False)))
+
+
+def summarize_trace(events: Union[Sequence[Dict], str]) -> TraceSummary:
+    """Reduce trace events (a list, or a JSONL path) to a summary."""
+    if isinstance(events, str) or hasattr(events, "__fspath__"):
+        from repro.obs.sinks import read_jsonl
+
+        events = read_jsonl(events)
+    summary = TraceSummary()
+    for event in events:
+        summary.n_events += 1
+        event_type = event.get("type")
+        if event_type == "iteration":
+            _ingest_iteration(summary, event)
+        elif event_type == "extract":
+            _ingest_extract(summary, event)
+        elif event_type == "step":
+            _ingest_step(summary, event)
+        elif event_type == "run_start":
+            summary.n_runs += 1
+            summary.run_meta.append(
+                {k: v for k, v in event.items() if k not in ("type", "seq")}
+            )
+        elif event_type == "metrics":
+            summary.metrics_snapshots.append(event.get("metrics", {}))
+    logger.debug(
+        "summarized %d events: %d runs, %d iterations",
+        summary.n_events,
+        summary.n_runs,
+        summary.n_iterations,
+    )
+    return summary
+
+
+def phase_table(summary: TraceSummary) -> str:
+    """The Table-1-style phase-time breakdown."""
+    from repro.eval.reporting import format_table
+
+    grand = summary.phase_total_seconds
+    rows = [
+        [name, round(seconds, 4), f"{seconds / grand:.1%}" if grand > 0 else "-"]
+        for name, seconds in sorted(
+            summary.phase_seconds.items(), key=lambda item: item[1], reverse=True
+        )
+    ]
+    rows.append(["(sum of phases)", round(summary.phase_total_seconds, 4), ""])
+    rows.append(
+        [
+            "(total measured)",
+            round(summary.total_measured_seconds, 4),
+            f"coverage {summary.phase_coverage:.1%}"
+            if summary.total_measured_seconds > 0
+            else "-",
+        ]
+    )
+    return format_table(
+        ["phase", "seconds", "share"], rows, title="Phase-time breakdown"
+    )
+
+
+def health_table(summary: TraceSummary) -> Optional[str]:
+    """Per-step ESS / health time series, averaged over runs."""
+    from repro.eval.reporting import format_table
+
+    if not summary.steps:
+        return None
+    rows = [summary.steps[step].mean_row() for step in sorted(summary.steps)]
+    return format_table(
+        ["T", "ESS", "ESS/N", "spread", "estimates", "converged"],
+        rows,
+        title=f"Population health per step (mean over {summary.n_runs} runs)",
+    )
+
+
+def counts_table(summary: TraceSummary) -> str:
+    from repro.eval.reporting import format_table
+
+    rows = [
+        ["runs", summary.n_runs],
+        ["iterations", summary.n_iterations],
+        ["estimate extractions", summary.n_extracts],
+        ["time steps", summary.n_steps],
+        ["empty fusion subsets", summary.empty_subsets],
+        ["mean touched subset", round(summary.mean_touched, 1)],
+        ["max touched subset", summary.touched_max],
+        ["particles resampled", summary.particles_resampled],
+        ["particles injected", summary.particles_injected],
+    ]
+    return format_table(["quantity", "value"], rows, title="Event counts")
+
+
+def format_trace_report(summary: TraceSummary) -> str:
+    """The full plain-text report for ``python -m repro report``."""
+    sections = [counts_table(summary), phase_table(summary)]
+    health = health_table(summary)
+    if health is not None:
+        sections.append(health)
+    for snapshot in summary.metrics_snapshots:
+        from repro.obs.metrics import format_metrics
+
+        sections.append(format_metrics(snapshot, title="Metrics snapshot"))
+    problems = summary.validate()
+    if problems:
+        sections.append("trace problems:\n" + "\n".join(f"- {p}" for p in problems))
+    return "\n\n".join(sections)

@@ -1,0 +1,149 @@
+"""Pluggable record sinks for trace events and metric snapshots.
+
+A sink consumes flat dict records (one per trace event or metrics flush).
+Three implementations cover the deployment spectrum:
+
+* :class:`NullSink` -- drops everything; the zero-overhead default.  The
+  instrumented code paths check ``tracer.enabled`` before doing any work,
+  so a null-sinked tracer costs nothing in the hot loop.
+* :class:`InMemorySink` -- appends records to a list; for tests and
+  programmatic analysis within one process.
+* :class:`JsonlSink` -- one JSON object per line; the on-disk trace format
+  consumed by ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import IO, Dict, List, Optional, Union
+
+logger = logging.getLogger(__name__)
+
+
+class Sink(ABC):
+    """Consumes one flat dict record at a time."""
+
+    @abstractmethod
+    def write(self, record: Dict) -> None:
+        """Consume one record.  Must not mutate it."""
+
+    def flush(self) -> None:  # pragma: no cover - trivial default
+        """Push buffered records to their destination (no-op by default)."""
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release resources; the sink must not be written to afterwards."""
+
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullSink(Sink):
+    """Discards every record (the zero-overhead default)."""
+
+    def write(self, record: Dict) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NullSink()"
+
+
+class InMemorySink(Sink):
+    """Keeps every record in a list for in-process inspection."""
+
+    def __init__(self):
+        self.records: List[Dict] = []
+
+    def write(self, record: Dict) -> None:
+        self.records.append(record)
+
+    def of_type(self, event_type: str) -> List[Dict]:
+        """All records whose ``type`` field equals ``event_type``."""
+        return [r for r in self.records if r.get("type") == event_type]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return f"InMemorySink({len(self.records)} records)"
+
+
+def _jsonable(value):
+    """Fallback converter for numpy scalars and other non-JSON types."""
+    for caster in (float, int):
+        try:
+            return caster(value)
+        except (TypeError, ValueError):
+            continue
+    return str(value)
+
+
+class JsonlSink(Sink):
+    """Writes one compact JSON object per line to a file.
+
+    Accepts a path (opened lazily, closed by :meth:`close`) or an already
+    open text handle (left open -- the caller owns it).
+    """
+
+    def __init__(self, destination: Union[str, Path, IO[str]]):
+        self._owns_handle = isinstance(destination, (str, Path))
+        if self._owns_handle:
+            self.path: Optional[Path] = Path(destination)
+            self._handle: Optional[IO[str]] = None
+        else:
+            self.path = None
+            self._handle = destination
+        self.records_written = 0
+
+    def write(self, record: Dict) -> None:
+        if self._handle is None:
+            if self.path is None:
+                raise ValueError("JsonlSink has been closed")
+            self._handle = open(self.path, "w", encoding="utf-8")
+            logger.debug("opened trace file %s", self.path)
+        self._handle.write(
+            json.dumps(record, separators=(",", ":"), default=_jsonable)
+        )
+        self._handle.write("\n")
+        self.records_written += 1
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None and self._owns_handle:
+            self._handle.close()
+            self._handle = None
+            logger.debug(
+                "closed trace file %s (%d records)", self.path, self.records_written
+            )
+
+    def __repr__(self) -> str:
+        target = self.path if self.path is not None else "<handle>"
+        return f"JsonlSink({target}, {self.records_written} records)"
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict]:
+    """Load every record from a JSONL trace file (blank lines skipped)."""
+    records: List[Dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: not valid JSON: {error}"
+                ) from error
+    return records

@@ -1,0 +1,111 @@
+"""Profiling timers: a stopwatch and a named-phase accumulator.
+
+These replace the ad-hoc ``time.perf_counter`` arithmetic that used to
+live in the simulation runner, and they are what benchmark code should
+reach for when it wants a Table-1-style phase breakdown::
+
+    timer = PhaseTimer()
+    with timer.phase("weight"):
+        reweight(...)
+    with timer.phase("resample"):
+        resample(...)
+    timer.total("weight")      # accumulated seconds
+    timer.rows()               # [[phase, seconds, share], ...]
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterator, List
+
+
+class Stopwatch:
+    """Accumulating wall-clock stopwatch (perf_counter based)."""
+
+    __slots__ = ("_started_at", "elapsed")
+
+    def __init__(self):
+        self._started_at: float = -1.0
+        #: Total seconds accumulated over all start/stop intervals.
+        self.elapsed: float = 0.0
+
+    @property
+    def running(self) -> bool:
+        return self._started_at >= 0.0
+
+    def start(self) -> "Stopwatch":
+        if self.running:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop and return the length of the interval just ended."""
+        if not self.running:
+            raise RuntimeError("stopwatch not running")
+        interval = perf_counter() - self._started_at
+        self._started_at = -1.0
+        self.elapsed += interval
+        return interval
+
+    def reset(self) -> None:
+        self._started_at = -1.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return f"Stopwatch({state}, elapsed={self.elapsed:.6f}s)"
+
+
+class PhaseTimer:
+    """Accumulates wall-clock time into named phases."""
+
+    def __init__(self):
+        self.totals: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, perf_counter() - start)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record ``seconds`` against ``name`` without timing anything."""
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        return self.totals.get(name, 0.0)
+
+    @property
+    def grand_total(self) -> float:
+        return sum(self.totals.values())
+
+    def rows(self) -> List[List]:
+        """``[phase, seconds, share]`` rows, largest first (for tables)."""
+        grand = self.grand_total
+        return [
+            [name, round(seconds, 6), round(seconds / grand, 4) if grand > 0 else 0.0]
+            for name, seconds in sorted(
+                self.totals.items(), key=lambda item: item[1], reverse=True
+            )
+        ]
+
+    def merge(self, other: "PhaseTimer") -> None:
+        """Fold another timer's accumulations into this one."""
+        for name, seconds in other.totals.items():
+            self.totals[name] = self.totals.get(name, 0.0) + seconds
+            self.counts[name] = self.counts.get(name, 0) + other.counts[name]
+
+    def __repr__(self) -> str:
+        return f"PhaseTimer({len(self.totals)} phases, {self.grand_total:.6f}s)"

@@ -7,6 +7,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.core.diagnostics import PopulationHealth
 from repro.core.estimator import SourceEstimate
 from repro.core.particles import ParticleSet
 from repro.eval.aggregate import mean_series
@@ -25,6 +26,12 @@ class StepRecord:
     n_measurements: int
     #: Optional particle snapshot (only for steps the caller asked for).
     snapshot: Optional[ParticleSet] = None
+    #: Population health (ESS, spread, strength stats) at the end of the
+    #: step; recorded by the runner unless health recording is disabled.
+    health: Optional[PopulationHealth] = None
+    #: Whether the run's ConvergenceMonitor had declared convergence by
+    #: the end of this step.
+    converged: bool = False
 
 
 @dataclass
@@ -57,6 +64,25 @@ class RunResult:
         if not self.steps:
             return float("nan")
         return float(np.mean([s.mean_iteration_seconds for s in self.steps]))
+
+    def ess_series(self) -> List[float]:
+        """Per-step effective sample size (NaN where health was not kept)."""
+        return [
+            s.health.effective_sample_size if s.health is not None else float("nan")
+            for s in self.steps
+        ]
+
+    def health_series(self) -> List[Optional[PopulationHealth]]:
+        """Per-step population-health snapshots (None where not kept)."""
+        return [s.health for s in self.steps]
+
+    @property
+    def converged_at(self) -> Optional[int]:
+        """First step index at which the run was converged, or None."""
+        for i, record in enumerate(self.steps):
+            if record.converged:
+                return i
+        return None
 
     def final_estimates(self) -> List[SourceEstimate]:
         if not self.steps:

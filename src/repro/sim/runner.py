@@ -7,21 +7,35 @@ Wires together ground truth (RadiationField + SensorNetwork), transport
 * the delivery model decides the arrival order (and losses);
 * the localizer consumes one measurement per iteration;
 * at the end of each step, mean-shift estimates are extracted and scored
-  against the true sources.
+  against the true sources, population health is snapshotted, and the
+  convergence monitor is updated.
+
+Observability: pass a :class:`~repro.obs.trace.Tracer` to record
+``run_start`` / ``step`` / ``run_end`` events (plus the localizer's own
+``iteration`` / ``extract`` events) and a
+:class:`~repro.obs.metrics.MetricsRegistry` to aggregate counters and
+histograms.  Both default to their null implementations, which keep the
+run cost identical to an uninstrumented one.
 """
 
 from __future__ import annotations
 
-import time
+import logging
 from typing import Iterable, List, Optional, Sequence
 
+from repro.core.diagnostics import ConvergenceMonitor, population_health
 from repro.core.fusion import FusionRangePolicy
 from repro.core.localizer import MultiSourceLocalizer
 from repro.eval.metrics import MATCH_RADIUS, evaluate_step
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.timers import Stopwatch
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sensors.network import SensorNetwork
 from repro.sim.results import RepeatedRunResult, RunResult, StepRecord
 from repro.sim.rng import spawn_rngs
 from repro.sim.scenario import Scenario
+
+logger = logging.getLogger(__name__)
 
 
 class SimulationRunner:
@@ -34,12 +48,22 @@ class SimulationRunner:
         fusion_policy: Optional[FusionRangePolicy] = None,
         snapshot_steps: Sequence[int] = (),
         match_radius: float = MATCH_RADIUS,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        record_health: bool = True,
+        convergence_tolerance: float = 3.0,
+        convergence_checks: int = 3,
     ):
         self.scenario = scenario
         self.seed = seed
         self.fusion_policy = fusion_policy
         self.snapshot_steps = set(snapshot_steps)
         self.match_radius = match_radius
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.record_health = record_health
+        self.convergence_tolerance = convergence_tolerance
+        self.convergence_checks = convergence_checks
 
     def run(self) -> RunResult:
         scenario = self.scenario
@@ -54,6 +78,25 @@ class SimulationRunner:
             scenario.localizer_config,
             fusion_policy=self.fusion_policy,
             rng=filter_rng,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
+        monitor = ConvergenceMonitor(
+            position_tolerance=self.convergence_tolerance,
+            stable_checks=self.convergence_checks,
+        )
+        logger.info(
+            "run start: scenario=%s seed=%d sensors=%d steps=%d particles=%d",
+            scenario.name, self.seed, len(scenario.sensors),
+            scenario.n_time_steps, scenario.localizer_config.n_particles,
+        )
+        self.tracer.emit(
+            "run_start",
+            scenario=scenario.name,
+            seed=self.seed,
+            n_sensors=len(scenario.sensors),
+            n_steps=scenario.n_time_steps,
+            n_particles=scenario.localizer_config.n_particles,
         )
 
         result = RunResult(
@@ -66,6 +109,7 @@ class SimulationRunner:
         batches = network.measure_stream(scenario.n_time_steps)
         arrival_batches = scenario.delivery.deliver(batches, transport_rng)
 
+        run_watch = Stopwatch().start()
         for step, batch in enumerate(arrival_batches):
             if step >= scenario.n_time_steps:
                 # Straggler tail from an out-of-order link: fold it into the
@@ -73,26 +117,49 @@ class SimulationRunner:
                 self._consume(localizer, batch)
                 if result.steps:
                     result.steps[-1] = self._record(
-                        scenario, localizer, scenario.n_time_steps - 1, len(batch), 0.0
+                        scenario, localizer, monitor,
+                        scenario.n_time_steps - 1, len(batch), 0.0,
                     )
                 continue
             elapsed = self._consume(localizer, batch)
             per_iteration = elapsed / max(1, len(batch))
-            result.steps.append(
-                self._record(scenario, localizer, step, len(batch), per_iteration)
+            record = self._record(
+                scenario, localizer, monitor, step, len(batch), per_iteration
             )
+            result.steps.append(record)
+            self._emit_step(step, len(batch), elapsed, record)
+        total_seconds = run_watch.stop()
+
+        logger.info(
+            "run end: scenario=%s seed=%d iterations=%d converged_at=%s "
+            "total=%.3fs",
+            scenario.name, self.seed, localizer.iteration,
+            monitor.converged_at, total_seconds,
+        )
+        self.tracer.emit(
+            "run_end",
+            scenario=scenario.name,
+            seed=self.seed,
+            n_iterations=localizer.iteration,
+            converged_at=monitor.converged_at,
+            total_seconds=total_seconds,
+        )
+        if self.metrics.enabled:
+            self.metrics.counter("runner.runs").inc()
+            self.metrics.histogram("runner.run_seconds").observe(total_seconds)
         return result
 
     def _consume(self, localizer: MultiSourceLocalizer, batch: Iterable) -> float:
-        start = time.perf_counter()
+        watch = Stopwatch().start()
         for measurement in batch:
             localizer.observe(measurement)
-        return time.perf_counter() - start
+        return watch.stop()
 
     def _record(
         self,
         scenario: Scenario,
         localizer: MultiSourceLocalizer,
+        monitor: ConvergenceMonitor,
         step: int,
         n_measurements: int,
         per_iteration_seconds: float,
@@ -104,12 +171,45 @@ class SimulationRunner:
         snapshot = (
             localizer.particle_snapshot() if step in self.snapshot_steps else None
         )
+        health = population_health(localizer) if self.record_health else None
+        converged = monitor.update(estimates)
         return StepRecord(
             metrics=metrics,
             estimates=estimates,
             mean_iteration_seconds=per_iteration_seconds,
             n_measurements=n_measurements,
             snapshot=snapshot,
+            health=health,
+            converged=converged,
+        )
+
+    def _emit_step(
+        self, step: int, n_measurements: int, elapsed: float, record: StepRecord
+    ) -> None:
+        if not self.tracer.enabled:
+            return
+        health = record.health
+        health_fields = (
+            {
+                "ess": health.effective_sample_size,
+                "ess_fraction": health.ess_fraction,
+                "spatial_spread": health.spatial_spread,
+                "strength_median": health.strength_median,
+                "strength_iqr": health.strength_iqr,
+            }
+            if health is not None
+            else {}
+        )
+        self.tracer.emit(
+            "step",
+            step=step,
+            n_measurements=n_measurements,
+            elapsed_seconds=elapsed,
+            n_estimates=len(record.estimates),
+            false_positives=record.metrics.false_positives,
+            false_negatives=record.metrics.false_negatives,
+            converged=record.converged,
+            **health_fields,
         )
 
 
@@ -118,10 +218,17 @@ def run_scenario(
     seed: int = 0,
     fusion_policy: Optional[FusionRangePolicy] = None,
     snapshot_steps: Sequence[int] = (),
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> RunResult:
     """Convenience wrapper: run a scenario once."""
     return SimulationRunner(
-        scenario, seed=seed, fusion_policy=fusion_policy, snapshot_steps=snapshot_steps
+        scenario,
+        seed=seed,
+        fusion_policy=fusion_policy,
+        snapshot_steps=snapshot_steps,
+        tracer=tracer,
+        metrics=metrics,
     ).run()
 
 
@@ -130,18 +237,27 @@ def run_repeated(
     n_repeats: int = 10,
     base_seed: int = 0,
     fusion_policy: Optional[FusionRangePolicy] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> RepeatedRunResult:
     """Run a scenario ``n_repeats`` times with distinct seeds and aggregate.
 
     This is the paper's protocol ("each simulation is repeated 10 times and
-    the average results are reported").
+    the average results are reported").  A supplied tracer records all
+    repeats into one stream (each bracketed by run_start / run_end).
     """
     if n_repeats < 1:
         raise ValueError(f"n_repeats must be >= 1, got {n_repeats}")
     runs: List[RunResult] = []
     for r in range(n_repeats):
         runs.append(
-            run_scenario(scenario, seed=base_seed + 1000 * r, fusion_policy=fusion_policy)
+            run_scenario(
+                scenario,
+                seed=base_seed + 1000 * r,
+                fusion_policy=fusion_policy,
+                tracer=tracer,
+                metrics=metrics,
+            )
         )
     return RepeatedRunResult(
         scenario_name=scenario.name,

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.config import LocalizerConfig
 from repro.core.estimator import SourceEstimate
-from repro.core.fusion import FixedFusionRange
 from repro.core.localizer import MultiSourceLocalizer
 
 EFFICIENCY = 1e-4

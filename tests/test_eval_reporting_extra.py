@@ -1,6 +1,5 @@
 """Additional edge-case tests for the reporting module."""
 
-import pytest
 
 from repro.eval.reporting import format_series, format_table
 

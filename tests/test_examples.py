@@ -5,7 +5,6 @@ scripts take minutes and are exercised by the benchmark suite); the rest
 are import-checked so a syntax or API drift fails loudly.
 """
 
-import importlib.util
 import subprocess
 import sys
 from pathlib import Path

@@ -1,12 +1,10 @@
 """Unit and property tests for repro.geometry.primitives."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.geometry.primitives import (
-    EPS,
     Point,
     Segment,
     distance,

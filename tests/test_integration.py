@@ -7,7 +7,6 @@ numbers live in benchmarks/.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.fusion import InfiniteFusionRange
 from repro.eval.aggregate import mean_over_steps

@@ -1,7 +1,6 @@
 """Additional mean-shift behaviours: weighted modes, bandwidth effects."""
 
 import numpy as np
-import pytest
 
 from repro.core.meanshift import (
     _density_at,

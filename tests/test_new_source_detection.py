@@ -7,7 +7,6 @@ mid-run in a region whose particles have long since collapsed elsewhere.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.config import LocalizerConfig
 from repro.core.localizer import MultiSourceLocalizer

@@ -1,0 +1,81 @@
+"""Instrumentation must not perturb the filter (determinism regression).
+
+A run with tracing and metrics enabled must produce bit-identical
+estimates and StepRecords to the same seed with instrumentation disabled:
+the tracer only reads clocks and emits events, never touches the RNG or
+the particle arrays.
+"""
+
+import numpy as np
+
+from repro.core.config import LocalizerConfig
+from repro.core.localizer import MultiSourceLocalizer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import InMemorySink
+from repro.obs.trace import Tracer
+from repro.sim.runner import run_scenario
+from repro.sim.scenarios import scenario_a
+
+SEED = 17
+
+
+def _run(tracer=None, metrics=None):
+    scenario = scenario_a(strengths=(50.0, 50.0), n_time_steps=5)
+    return run_scenario(scenario, seed=SEED, tracer=tracer, metrics=metrics)
+
+
+def assert_runs_identical(plain, instrumented):
+    assert plain.n_steps == instrumented.n_steps
+    for a, b in zip(plain.steps, instrumented.steps):
+        assert a.metrics == b.metrics
+        assert a.estimates == b.estimates
+        assert a.n_measurements == b.n_measurements
+        assert a.converged == b.converged
+        assert a.health == b.health
+
+
+def test_traced_run_bit_identical_to_plain():
+    plain = _run()
+    instrumented = _run(tracer=Tracer(InMemorySink()), metrics=MetricsRegistry())
+    assert_runs_identical(plain, instrumented)
+
+
+def test_jsonl_traced_run_bit_identical_to_plain(tmp_path):
+    from repro.obs.trace import jsonl_tracer
+
+    plain = _run()
+    tracer = jsonl_tracer(tmp_path / "t.jsonl")
+    try:
+        instrumented = _run(tracer=tracer)
+    finally:
+        tracer.close()
+    assert_runs_identical(plain, instrumented)
+
+
+def test_localizer_population_identical_with_tracing():
+    """Beyond estimates: the raw particle arrays must match exactly."""
+
+    def consume(localizer):
+        rng = np.random.default_rng(99)
+        for _ in range(40):
+            x, y = rng.uniform(0, 100, size=2)
+            cpm = float(rng.poisson(20.0))
+            localizer.observe_reading(x, y, cpm)
+
+    config = LocalizerConfig(
+        area=(100.0, 100.0), n_particles=500, assumed_background_cpm=5.0
+    )
+    plain = MultiSourceLocalizer(config, rng=np.random.default_rng(SEED))
+    traced = MultiSourceLocalizer(
+        config,
+        rng=np.random.default_rng(SEED),
+        tracer=Tracer(InMemorySink()),
+        metrics=MetricsRegistry(),
+    )
+    consume(plain)
+    consume(traced)
+    np.testing.assert_array_equal(plain.particles.xs, traced.particles.xs)
+    np.testing.assert_array_equal(plain.particles.ys, traced.particles.ys)
+    np.testing.assert_array_equal(plain.particles.strengths, traced.particles.strengths)
+    np.testing.assert_array_equal(plain.particles.weights, traced.particles.weights)
+    assert plain.estimates() == traced.estimates()

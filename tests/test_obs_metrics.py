@@ -1,0 +1,163 @@
+"""Tests for the metrics registry, instruments, and profiling timers."""
+
+import math
+import time
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_metrics,
+)
+from repro.obs.sinks import InMemorySink
+from repro.obs.timers import PhaseTimer, Stopwatch
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        assert c.snapshot() == {"kind": "counter", "value": 3.5}
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Counter("hits").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("ess")
+        assert math.isnan(g.value)
+        g.set(10)
+        g.set(7.5)
+        assert g.value == 7.5
+
+    def test_histogram_summary(self):
+        h = Histogram("touched")
+        for v in [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]:
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 10
+        assert snap["sum"] == 55
+        assert snap["min"] == 1 and snap["max"] == 10
+        assert snap["p50"] == 5
+        assert snap["p99"] == 10
+
+    def test_histogram_empty(self):
+        assert Histogram("x").snapshot() == {"kind": "histogram", "count": 0}
+        assert math.isnan(Histogram("x").percentile(50))
+
+
+class TestRegistry:
+    def test_instruments_created_once(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        r.counter("a").inc()
+        r.counter("a").inc()
+        assert r.counter("a").value == 2
+
+    def test_kind_collision_rejected(self):
+        r = MetricsRegistry()
+        r.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            r.gauge("a")
+
+    def test_snapshot_covers_all_names(self):
+        r = MetricsRegistry()
+        r.counter("c").inc()
+        r.gauge("g").set(1)
+        r.histogram("h").observe(2)
+        snap = r.snapshot()
+        assert sorted(snap) == ["c", "g", "h"]
+        assert snap["c"]["kind"] == "counter"
+        assert snap["h"]["count"] == 1
+
+    def test_null_registry_is_inert(self):
+        NULL_REGISTRY.counter("x").inc()
+        NULL_REGISTRY.gauge("y").set(3)
+        NULL_REGISTRY.histogram("z").observe(4)
+        assert NULL_REGISTRY.enabled is False
+        assert NULL_REGISTRY.snapshot() == {}
+
+    def test_flush_to_sink(self):
+        r = MetricsRegistry()
+        r.counter("iterations").inc(5)
+        sink = InMemorySink()
+        r.flush_to(sink)
+        [record] = sink.records
+        assert record["type"] == "metrics"
+        assert record["metrics"]["iterations"]["value"] == 5
+
+    def test_format_metrics_renders_all(self):
+        r = MetricsRegistry()
+        r.counter("c").inc()
+        r.histogram("h").observe(1.0)
+        r.histogram("empty")
+        text = format_metrics(r.snapshot())
+        assert "c" in text and "counter" in text
+        assert "histogram" in text
+
+
+class TestStopwatch:
+    def test_accumulates_intervals(self):
+        w = Stopwatch()
+        with w:
+            time.sleep(0.01)
+        first = w.elapsed
+        assert first >= 0.005
+        with w:
+            pass
+        assert w.elapsed >= first
+
+    def test_start_stop_guards(self):
+        w = Stopwatch()
+        with pytest.raises(RuntimeError, match="not running"):
+            w.stop()
+        w.start()
+        with pytest.raises(RuntimeError, match="already running"):
+            w.start()
+        interval = w.stop()
+        assert interval == pytest.approx(w.elapsed)
+
+    def test_reset(self):
+        w = Stopwatch().start()
+        w.stop()
+        w.reset()
+        assert w.elapsed == 0.0 and not w.running
+
+
+class TestPhaseTimer:
+    def test_phases_accumulate(self):
+        t = PhaseTimer()
+        with t.phase("a"):
+            time.sleep(0.005)
+        with t.phase("a"):
+            pass
+        with t.phase("b"):
+            pass
+        assert t.counts["a"] == 2
+        assert t.total("a") >= 0.004
+        assert t.grand_total == pytest.approx(t.total("a") + t.total("b"))
+
+    def test_rows_sorted_with_shares(self):
+        t = PhaseTimer()
+        t.add("big", 0.75)
+        t.add("small", 0.25)
+        rows = t.rows()
+        assert rows[0][0] == "big"
+        assert rows[0][2] == pytest.approx(0.75)
+        assert sum(r[2] for r in rows) == pytest.approx(1.0)
+
+    def test_merge(self):
+        a, b = PhaseTimer(), PhaseTimer()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        b.add("y", 3.0)
+        a.merge(b)
+        assert a.total("x") == 3.0
+        assert a.total("y") == 3.0
+        assert a.counts["x"] == 2

@@ -7,7 +7,6 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.geometry.shapes import rectangle
-from repro.physics.attenuation import MATERIALS
 from repro.physics.intensity import (
     RadiationField,
     expected_cpm,

@@ -1,10 +1,9 @@
 """Unit and integration tests for the repro.sim package."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import LocalizerConfig
-from repro.network.transport import InOrderDelivery, OutOfOrderDelivery
+from repro.network.transport import OutOfOrderDelivery
 from repro.physics.source import RadiationSource
 from repro.sensors.placement import grid_placement
 from repro.sim.rng import seeded_rng, spawn_rngs

@@ -1,7 +1,6 @@
 """Additional transport-layer behaviours."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.network.link import (

@@ -1,7 +1,6 @@
 """Additional visualization edge cases."""
 
 import numpy as np
-import pytest
 
 from repro.core.particles import ParticleSet
 from repro.viz.ascii_map import DENSITY_RAMP, AsciiMap
