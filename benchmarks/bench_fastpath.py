@@ -1,0 +1,203 @@
+"""Fast-path compute layer: speedup and parity on the Table I scenario.
+
+Compares the default configuration (grid selection + estimate cache +
+truncated-kernel mean-shift) against ``config.without_fast_paths()`` --
+the reference implementations every fast path is parity-tested against --
+on the paper's hardest Table I cell: 15000 particles, N = 196 sensors.
+
+Two artifacts come out of the full run:
+
+* ``benchmarks/results/BENCH_fastpath.json`` -- machine-readable timing
+  and parity summary (consumed by CI / tracking scripts);
+* the usual text report next to it.
+
+The ``smoke`` test runs the same comparison on a reduced scenario and
+asserts parity only (never wall-clock), so CI can catch fast-path
+regressions on shared runners without flaking on timing.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, RESULTS_DIR
+from repro.core.estimator import extract_estimates
+from repro.core.localizer import MultiSourceLocalizer
+from repro.eval.reporting import format_table
+from repro.sensors.network import SensorNetwork
+from repro.sim.rng import spawn_rngs
+from repro.sim.scenarios import scenario_b
+
+WARMUP_STEPS = 2
+TIMED_ITERATIONS = 12
+
+#: Estimates from the truncated kernel must land within this distance of
+#: the dense-kernel reference (the downstream merge radius is the
+#: bandwidth, 8.0 in scenario B; drift is typically < 0.01).
+PARITY_TOLERANCE = 0.5
+
+#: Seed for the parity extraction rngs (select_seeds draws from it; both
+#: extractions must see identical draws to compare like with like).
+PARITY_SEED = 7
+
+
+def _run(config, n_particles, n_iterations):
+    """Observe+estimate iterations under ``config``.
+
+    Returns (seconds/iteration, final localizer).  Every run rebuilds the
+    scenario from the same seeds, so the fast and reference configurations
+    consume an identical measurement stream.
+    """
+    scenario = scenario_b(n_particles=n_particles)
+    measurement_rng, _t, filter_rng = spawn_rngs(BENCH_SEED, 3)
+    network = SensorNetwork(
+        scenario.sensors, scenario.field_with_obstacles(), measurement_rng
+    )
+    with MultiSourceLocalizer(config, rng=filter_rng) as localizer:
+        for t in range(WARMUP_STEPS):
+            for measurement in network.measure_time_step(t):
+                localizer.observe(measurement)
+        measurements = network.measure_time_step(WARMUP_STEPS)
+        start = time.perf_counter()
+        for i in range(n_iterations):
+            localizer.observe(measurements[i % len(measurements)])
+            localizer.estimates()
+        elapsed = time.perf_counter() - start
+    return elapsed / n_iterations, localizer
+
+
+def _extraction_parity(localizer, config, tolerance=PARITY_TOLERANCE):
+    """Fast vs reference extraction on the SAME final population.
+
+    End-to-end trajectories legitimately drift apart between the two
+    configurations (the truncated kernel feeds marginally different
+    interference corrections back into the weighting), so the meaningful
+    parity check is on identical inputs: run the fast and the dense
+    reference extraction over the same particles with identical seed rngs
+    and require the same candidate count with matching positions.
+    Returns the per-candidate deviations.
+    """
+    particles = localizer.particles
+    fast = extract_estimates(
+        particles, config, np.random.default_rng(PARITY_SEED)
+    )
+    reference = extract_estimates(
+        particles,
+        config.without_fast_paths(),
+        np.random.default_rng(PARITY_SEED),
+    )
+    assert len(fast) == len(reference), (
+        f"fast extraction found {len(fast)} candidates, "
+        f"reference found {len(reference)}"
+    )
+    deltas = []
+    for ref in reference:
+        delta = min(float(np.hypot(e.x - ref.x, e.y - ref.y)) for e in fast)
+        assert delta < tolerance, (
+            f"reference candidate ({ref.x:.2f}, {ref.y:.2f}) has no fast-path "
+            f"match within {tolerance} (nearest: {delta:.3f})"
+        )
+        deltas.append(delta)
+    return deltas
+
+
+def test_fastpath_speedup_table1(report, benchmark):
+    """The headline number: >= 2x on the 15000-particle / N=196 cell."""
+    n_particles = 15000
+
+    def measure():
+        scenario_config = scenario_b(n_particles=n_particles).localizer_config
+        ref_seconds, _ref = _run(
+            scenario_config.without_fast_paths(), n_particles, TIMED_ITERATIONS
+        )
+        fast_seconds, fast_localizer = _run(
+            scenario_config, n_particles, TIMED_ITERATIONS
+        )
+        deltas = _extraction_parity(fast_localizer, scenario_config)
+        return ref_seconds, fast_seconds, deltas
+
+    ref_seconds, fast_seconds, deltas = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    speedup = ref_seconds / fast_seconds
+
+    report.add(
+        format_table(
+            ["path", "ms/iter", "speedup"],
+            [
+                ["reference", round(ref_seconds * 1000, 2), 1.0],
+                [
+                    "fast (grid+cache+truncated)",
+                    round(fast_seconds * 1000, 2),
+                    round(speedup, 2),
+                ],
+            ],
+            title=f"Full observe+estimate iteration, {n_particles} particles, N=196",
+        )
+    )
+    report.add(
+        f"extraction parity: {len(deltas)} candidates on both paths, "
+        f"max deviation {max(deltas):.4f} (tolerance {PARITY_TOLERANCE})"
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "scenario": {
+            "n_particles": n_particles,
+            "n_sensors": 196,
+            "seed": BENCH_SEED,
+            "timed_iterations": TIMED_ITERATIONS,
+        },
+        "reference_ms_per_iteration": ref_seconds * 1000,
+        "fast_ms_per_iteration": fast_seconds * 1000,
+        "speedup": speedup,
+        "parity": {
+            "n_candidates": len(deltas),
+            "max_position_deviation": max(deltas),
+            "tolerance": PARITY_TOLERANCE,
+        },
+    }
+    (RESULTS_DIR / "BENCH_fastpath.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    assert speedup >= 2.0, (
+        f"fast path is only {speedup:.2f}x the reference "
+        f"({fast_seconds * 1000:.1f} vs {ref_seconds * 1000:.1f} ms/iter)"
+    )
+
+
+def test_fastpath_smoke_parity(report, benchmark):
+    """Reduced-scenario parity check for CI: no wall-clock assertions.
+
+    2000 particles with the truncation gate lowered so every fast path
+    (grid, cache, truncated kernel) actually executes; the reference run
+    must agree on the source count and positions.
+    """
+    n_particles = 2000
+
+    def measure():
+        scenario_config = scenario_b(
+            n_particles=n_particles
+        ).localizer_config.with_overrides(meanshift_truncation_min_particles=256)
+        ref_seconds, _ref = _run(
+            scenario_config.without_fast_paths(), n_particles, 4
+        )
+        fast_seconds, fast_localizer = _run(scenario_config, n_particles, 4)
+        deltas = _extraction_parity(fast_localizer, scenario_config)
+        return ref_seconds, fast_seconds, deltas
+
+    ref_seconds, fast_seconds, deltas = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    report.add(
+        f"smoke parity: {len(deltas)} candidates on both paths, "
+        f"max deviation {max(deltas):.4f}; "
+        f"ref {ref_seconds * 1000:.1f} ms/iter, fast {fast_seconds * 1000:.1f} ms/iter "
+        "(informational only)"
+    )
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-v", "-s", "--benchmark-disable"])

@@ -22,6 +22,7 @@ iteration** with no ordering requirement:
 """
 
 from repro.core.config import LocalizerConfig
+from repro.core.grid import SpatialGridIndex
 from repro.core.particles import ParticleSet
 from repro.core.fusion import (
     FusionRangePolicy,
@@ -30,7 +31,12 @@ from repro.core.fusion import (
     InfiniteFusionRange,
 )
 from repro.core.weighting import poisson_log_pmf, reweight_in_place
-from repro.core.meanshift import mean_shift, mean_shift_modes
+from repro.core.meanshift import (
+    mean_shift,
+    mean_shift_modes,
+    truncated_mean_shift_modes,
+)
+from repro.core.parallel import MeanShiftPool
 from repro.core.clustering import merge_modes, Mode
 from repro.core.estimator import SourceEstimate, extract_estimates
 from repro.core.resampling import resample_subset
@@ -51,10 +57,13 @@ __all__ = [
     "FixedFusionRange",
     "AutoFusionRange",
     "InfiniteFusionRange",
+    "SpatialGridIndex",
+    "MeanShiftPool",
     "poisson_log_pmf",
     "reweight_in_place",
     "mean_shift",
     "mean_shift_modes",
+    "truncated_mean_shift_modes",
     "merge_modes",
     "Mode",
     "SourceEstimate",

@@ -137,6 +137,41 @@ class LocalizerConfig:
     #: treated as background artifacts and dropped.
     min_estimate_strength: float = 1.5
 
+    # --- compute fast path -------------------------------------------------------
+    # Every knob below selects between a reference implementation and an
+    # accelerated one; the defaults enable the fast paths.  Grid selection
+    # and estimate caching are *exact* (bit-identical results); kernel
+    # truncation is a tight approximation gated on population size.  See
+    # docs/PERFORMANCE.md.
+    #: Route fusion-range selection and the estimator's disc queries
+    #: through the uniform spatial grid index instead of brute-force
+    #: scans.  Exact: the selected index sets are identical.
+    use_grid_index: bool = True
+    #: Grid cell size (length units); None derives ``fusion_range / 2``,
+    #: which keeps a fusion-disc query within a handful of cells.
+    grid_cell_size: float | None = None
+    #: Cache the mean-shift extraction keyed on the particle revision, so
+    #: repeated ``estimates()`` calls on an unmutated population (the
+    #: interference refresh, per-step diagnostics) reuse the result.
+    estimate_cache: bool = True
+    #: Truncate the mean-shift Gaussian kernel at this many bandwidths:
+    #: each ascent step gathers only grid-local particles instead of the
+    #: full population.  At 4 sigma the discarded kernel mass is < 3.4e-4
+    #: relative, so modes match the dense sweep to well under the merge
+    #: radius.  0 disables truncation (always dense).
+    meanshift_truncation_sigmas: float = 4.0
+    #: Populations smaller than this use the dense mean-shift even when
+    #: truncation is enabled (the gather bookkeeping only pays off once
+    #: the kernel matrix is large).
+    meanshift_truncation_min_particles: int = 4096
+    #: Peak-memory bound for the truncated path: active seeds are
+    #: processed in tiles of at most this many gathered candidate points.
+    meanshift_tile_candidates: int = 200_000
+    #: Worker processes for mean-shift extraction.  1 runs in-process;
+    #: > 1 shards seeds across a persistent, lazily-built pool owned by
+    #: the localizer (exact: workers run the dense reference kernel).
+    meanshift_workers: int = 1
+
     # --- area ----------------------------------------------------------------
     #: Surveillance area (width, height); particles live in [0,w] x [0,h].
     area: Tuple[float, float] = (100.0, 100.0)
@@ -233,7 +268,51 @@ class LocalizerConfig:
             )
         if self.area[0] <= 0 or self.area[1] <= 0:
             raise ValueError(f"area must be positive, got {self.area}")
+        if self.grid_cell_size is not None and self.grid_cell_size <= 0:
+            raise ValueError(
+                f"grid_cell_size must be positive, got {self.grid_cell_size}"
+            )
+        if self.meanshift_truncation_sigmas < 0:
+            raise ValueError(
+                f"meanshift_truncation_sigmas must be non-negative, "
+                f"got {self.meanshift_truncation_sigmas}"
+            )
+        if self.meanshift_truncation_min_particles < 0:
+            raise ValueError(
+                f"meanshift_truncation_min_particles must be non-negative, "
+                f"got {self.meanshift_truncation_min_particles}"
+            )
+        if self.meanshift_tile_candidates < 1:
+            raise ValueError(
+                f"meanshift_tile_candidates must be >= 1, "
+                f"got {self.meanshift_tile_candidates}"
+            )
+        if self.meanshift_workers < 1:
+            raise ValueError(
+                f"meanshift_workers must be >= 1, got {self.meanshift_workers}"
+            )
+
+    def grid_cell(self) -> float:
+        """The effective grid cell size (explicit, or fusion_range / 2)."""
+        if self.grid_cell_size is not None:
+            return self.grid_cell_size
+        return 0.5 * self.fusion_range
 
     def with_overrides(self, **kwargs) -> "LocalizerConfig":
         """A copy with the given fields replaced (validated again)."""
         return replace(self, **kwargs)
+
+    def without_fast_paths(self) -> "LocalizerConfig":
+        """A copy running only the reference implementations.
+
+        Disables grid selection, estimate caching, kernel truncation and
+        the worker pool -- the configuration every fast path is
+        parity-tested against (and the baseline of ``bench_fastpath``).
+        """
+        return replace(
+            self,
+            use_grid_index=False,
+            estimate_cache=False,
+            meanshift_truncation_sigmas=0.0,
+            meanshift_workers=1,
+        )

@@ -30,7 +30,11 @@ import numpy as np
 
 from repro.core.clustering import Mode, merge_modes
 from repro.core.config import LocalizerConfig
-from repro.core.meanshift import mean_shift_modes, select_seeds
+from repro.core.meanshift import (
+    mean_shift_modes,
+    select_seeds,
+    truncated_mean_shift_modes,
+)
 from repro.core.particles import ParticleSet
 from repro.obs.trace import NULL_TRACER, Tracer
 
@@ -72,12 +76,18 @@ def disc_mass(
     x: float,
     y: float,
     radius: float,
+    indices: Optional[np.ndarray] = None,
 ) -> float:
-    """Normalized particle weight within ``radius`` of (x, y)."""
+    """Normalized particle weight within ``radius`` of (x, y).
+
+    Pass ``indices`` (a precomputed ``indices_within`` result for the same
+    disc) to skip the selection scan -- the estimator shares one query per
+    mode between this and :func:`local_strength`.
+    """
     total = particles.weights.sum()
     if total <= 0:
         return 0.0
-    idx = particles.indices_within(x, y, radius)
+    idx = particles.indices_within(x, y, radius) if indices is None else indices
     return float(particles.weights[idx].sum() / total)
 
 
@@ -100,6 +110,7 @@ def local_strength(
     x: float,
     y: float,
     radius: float,
+    indices: Optional[np.ndarray] = None,
 ) -> float:
     """Robust local strength hypothesis: the weighted median near (x, y).
 
@@ -107,8 +118,10 @@ def local_strength(
     random particles whose strengths are drawn from the full (log-uniform)
     hypothesis range, and a mean would let a handful of those contaminants
     drag a collapsed (no-source) region back above the strength filter.
+
+    As with :func:`disc_mass`, ``indices`` short-circuits the disc scan.
     """
-    idx = particles.indices_within(x, y, radius)
+    idx = particles.indices_within(x, y, radius) if indices is None else indices
     if len(idx) == 0:
         return 0.0
     return weighted_median(particles.strengths[idx], particles.weights[idx])
@@ -119,15 +132,22 @@ def extract_estimates(
     config: LocalizerConfig,
     rng: Optional[np.random.Generator] = None,
     tracer: Optional[Tracer] = None,
+    pool=None,
 ) -> List[SourceEstimate]:
     """The full Section V-D step: mean-shift, merge, filter, estimate.
 
     Never needs (or produces) an assumed number of sources: every mode
     that survives the mass and strength filters is one estimated source.
 
+    The mean-shift sweep runs on one of three interchangeable backends,
+    chosen from the config's fast-path knobs (see docs/PERFORMANCE.md):
+    a ``pool`` (:class:`repro.core.parallel.MeanShiftPool`, exact,
+    process-sharded), the grid-based truncated kernel (tight
+    approximation, large populations only), or the dense reference sweep.
+
     With an enabled ``tracer``, one ``extract`` event is emitted carrying
-    seed / sweep / mode counts and per-phase wall-clock seconds
-    (``seed``, ``shift``, ``merge``, ``filter``).
+    seed / sweep / mode counts, the backend (``path``), and per-phase
+    wall-clock seconds (``seed``, ``shift``, ``merge``, ``filter``).
     """
     tracer = NULL_TRACER if tracer is None else tracer
     traced = tracer.enabled
@@ -147,15 +167,49 @@ def extract_estimates(
         t_now = perf_counter()
         phases["seed"] = t_now - t_prev
         t_prev = t_now
-    converged, _densities = mean_shift_modes(
-        seeds,
-        positions,
-        weights,
-        bandwidth=config.bandwidth,
-        tol=config.meanshift_tol,
-        max_iter=config.meanshift_max_iter,
-        stats=shift_stats,
+    n = len(particles)
+    use_truncated = (
+        config.meanshift_truncation_sigmas > 0
+        and n >= config.meanshift_truncation_min_particles
     )
+    use_grid = config.use_grid_index
+    if pool is not None:
+        path = "parallel"
+        converged, _densities = pool.run(
+            seeds,
+            positions,
+            weights,
+            bandwidth=config.bandwidth,
+            tol=config.meanshift_tol,
+            max_iter=config.meanshift_max_iter,
+        )
+        if shift_stats is not None:
+            shift_stats["n_seeds"] = len(seeds)
+    elif use_truncated:
+        path = "truncated"
+        converged, _densities = truncated_mean_shift_modes(
+            seeds,
+            positions,
+            weights,
+            bandwidth=config.bandwidth,
+            grid=particles.grid(config.grid_cell()),
+            truncation_sigmas=config.meanshift_truncation_sigmas,
+            tol=config.meanshift_tol,
+            max_iter=config.meanshift_max_iter,
+            tile_candidates=config.meanshift_tile_candidates,
+            stats=shift_stats,
+        )
+    else:
+        path = "dense"
+        converged, _densities = mean_shift_modes(
+            seeds,
+            positions,
+            weights,
+            bandwidth=config.bandwidth,
+            tol=config.meanshift_tol,
+            max_iter=config.meanshift_max_iter,
+            stats=shift_stats,
+        )
     if traced:
         t_now = perf_counter()
         phases["shift"] = t_now - t_prev
@@ -175,11 +229,21 @@ def extract_estimates(
 
     estimates: List[SourceEstimate] = []
     for mode in modes:
-        mass = disc_mass(particles, mode.x, mode.y, support_radius)
+        # One disc query per mode, shared by the mass and strength filters
+        # (grid-accelerated when enabled; identical index set either way).
+        if use_grid:
+            support_idx = particles.indices_within_grid(
+                mode.x, mode.y, support_radius, config.grid_cell()
+            )
+        else:
+            support_idx = particles.indices_within(mode.x, mode.y, support_radius)
+        mass = disc_mass(particles, mode.x, mode.y, support_radius, indices=support_idx)
         ratio = mass / uniform_mass if uniform_mass > 0 else 0.0
         if ratio < config.mode_mass_ratio:
             continue
-        strength = local_strength(particles, mode.x, mode.y, support_radius)
+        strength = local_strength(
+            particles, mode.x, mode.y, support_radius, indices=support_idx
+        )
         if strength < config.min_estimate_strength:
             continue
         estimates.append(
@@ -201,6 +265,7 @@ def extract_estimates(
             meanshift_sweeps=int(shift_stats.get("sweeps", 0)),
             n_modes=len(modes),
             n_estimates=len(estimates),
+            path=path,
             phases=phases,
             total_seconds=t_end - t_start,
         )

@@ -83,6 +83,12 @@ class AutoFusionRange(FusionRangePolicy):
                 if j != i
             )
             self._ranges[(round(xi, 9), round(yi, 9))] = slack * dists[k - 1]
+        # Unknown-sensor fallback, computed once: range_for sits on the
+        # per-measurement hot path, and re-sorting all ranges on every
+        # unknown-sensor call turned a dictionary miss into an O(n log n)
+        # scan.
+        values = sorted(self._ranges.values())
+        self._median_range = values[len(values) // 2]
 
     def range_for(self, sensor_id: int, x: float, y: float) -> float:
         key = (round(x, 9), round(y, 9))
@@ -91,12 +97,10 @@ class AutoFusionRange(FusionRangePolicy):
         except KeyError:
             # Unknown sensor (e.g. added after construction): fall back to
             # the median of the known ranges rather than failing mid-run.
-            values = sorted(self._ranges.values())
-            return values[len(values) // 2]
+            return self._median_range
 
     def __repr__(self) -> str:
-        values = sorted(self._ranges.values())
         return (
-            f"AutoFusionRange(n={len(values)}, "
-            f"median={values[len(values) // 2]:.1f})"
+            f"AutoFusionRange(n={len(self._ranges)}, "
+            f"median={self._median_range:.1f})"
         )

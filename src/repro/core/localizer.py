@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.config import LocalizerConfig
 from repro.core.estimator import SourceEstimate, extract_estimates
 from repro.core.fusion import FixedFusionRange, FusionRangePolicy
+from repro.core.parallel import MeanShiftPool
 from repro.core.particles import ParticleSet
 from repro.core.resampling import NO_RESAMPLE, resample_subset
 from repro.core.weighting import reweight_in_place
@@ -103,6 +104,18 @@ class MultiSourceLocalizer:
         # following a moving source within ~3 time steps.
         self._reading_ema: dict = {}
         self._ema_alpha = 0.3
+        # Estimate cache: (particle revision, unfiltered candidates).  The
+        # mean-shift extraction depends only on the population, so it is
+        # reusable until the next mutation; the echo filter (which also
+        # depends on the reading EMA) always re-runs on top.
+        self._estimate_cache: Optional[tuple] = None
+        # Persistent mean-shift worker pool (config.meanshift_workers > 1),
+        # created lazily on the first extraction that can use it.
+        self._pool: Optional[MeanShiftPool] = None
+        # Grid instrumentation watermarks (metrics report deltas).
+        self._grid_rebuilds_seen = 0
+        self._grid_queries_seen = 0
+        self._grid_candidates_seen = 0
 
     # --- the per-measurement iteration -----------------------------------------
 
@@ -153,12 +166,7 @@ class MultiSourceLocalizer:
                 )
 
             # 1. Selection (Eq. 5): P' = particles within the fusion range.
-            if np.isinf(fusion_range):
-                indices = np.arange(len(self.particles))
-            else:
-                indices = self.particles.indices_within(
-                    sensor_x, sensor_y, fusion_range
-                )
+            indices = self._indices_within(sensor_x, sensor_y, fusion_range)
             self.last_touched = len(indices)
             self.iteration += 1
             if traced:
@@ -180,6 +188,7 @@ class MultiSourceLocalizer:
                     self.metrics.counter("localizer.iterations").inc()
                     self.metrics.counter("localizer.empty_subsets").inc()
                     self.metrics.histogram("localizer.touched").observe(0)
+                    self._flush_grid_metrics()
                 return
 
             # 2. Prediction: static sources -> identity, unless a movement
@@ -230,9 +239,14 @@ class MultiSourceLocalizer:
                 resample_radius = None
             else:
                 resample_radius = config.resample_range_fraction * fusion_range
-                resample_indices = self.particles.indices_within(
-                    sensor_x, sensor_y, resample_radius
-                )
+                if resample_radius == fusion_range and self.movement_model is None:
+                    # Static sources: nothing moved since selection, so the
+                    # full-disc resample set is exactly the selection set.
+                    resample_indices = indices
+                else:
+                    resample_indices = self._indices_within(
+                        sensor_x, sensor_y, resample_radius
+                    )
             stats = resample_subset(
                 self.particles,
                 resample_indices,
@@ -262,8 +276,46 @@ class MultiSourceLocalizer:
                 metrics.gauge("localizer.ess").set(
                     self.particles.effective_sample_size()
                 )
+                self._flush_grid_metrics()
         finally:
             self._in_observe = False
+
+    def _indices_within(
+        self, x: float, y: float, radius: float
+    ) -> np.ndarray:
+        """Disc selection via the grid index (when enabled) or brute force.
+
+        Both paths return the same sorted index array; the grid one scans
+        only the cells overlapping the disc (Eq. 5's cost bound).
+        """
+        particles = self.particles
+        if np.isinf(radius):
+            return np.arange(len(particles))
+        if self.config.use_grid_index:
+            return particles.indices_within_grid(
+                x, y, radius, self.config.grid_cell()
+            )
+        return particles.indices_within(x, y, radius)
+
+    def _flush_grid_metrics(self) -> None:
+        """Report grid activity since the last flush (metrics-gated)."""
+        metrics = self.metrics
+        particles = self.particles
+        rebuilds = particles.grid_rebuilds - self._grid_rebuilds_seen
+        if rebuilds:
+            metrics.counter("localizer.grid_rebuilds").inc(rebuilds)
+            self._grid_rebuilds_seen = particles.grid_rebuilds
+        queries = particles.grid_queries - self._grid_queries_seen
+        if queries:
+            candidates = particles.grid_candidates - self._grid_candidates_seen
+            metrics.counter("localizer.grid_queries").inc(queries)
+            # Fraction of the population examined per query, averaged over
+            # the flushed batch: the grid's selectivity.
+            metrics.histogram("localizer.grid_candidate_fraction").observe(
+                candidates / (queries * len(particles))
+            )
+            self._grid_queries_seen = particles.grid_queries
+            self._grid_candidates_seen = particles.grid_candidates
 
     def _emit_iteration(
         self,
@@ -354,16 +406,56 @@ class MultiSourceLocalizer:
         Returns one estimate per surviving density mode, after the
         explain-away echo filter; the length of the list is the
         algorithm's belief about the number of sources K.
+
+        With ``config.estimate_cache`` (default), the mean-shift
+        extraction is cached keyed on the particle revision: repeated
+        calls on an unmutated population -- the interference refresh,
+        per-step diagnostics, ``estimated_source_count()`` -- reuse the
+        candidate set instead of re-running mean-shift.  The echo filter
+        is recomputed every call (it also depends on the reading EMA).
         """
+        config = self.config
+        cached = self._estimate_cache
+        revision = self.particles.revision
+        if config.estimate_cache and cached is not None and cached[0] == revision:
+            if self.metrics.enabled:
+                self.metrics.counter("localizer.estimate_cache_hits").inc()
+            return self._filter_echoes(cached[1])
         # The interference refresh calls estimates() from inside
         # observe_reading; suppress the nested extract event there so the
         # trace's phase accounting never counts the same wall-clock twice
         # (that extraction is already inside the iteration's weight phase).
         tracer = NULL_TRACER if self._in_observe else self.tracer
         candidates = extract_estimates(
-            self.particles, self.config, self.rng, tracer=tracer
+            self.particles, self.config, self.rng, tracer=tracer,
+            pool=self._meanshift_pool(),
         )
+        if config.estimate_cache:
+            self._estimate_cache = (revision, candidates)
+        if self.metrics.enabled:
+            self.metrics.counter("localizer.estimate_cache_misses").inc()
+            self._flush_grid_metrics()
         return self._filter_echoes(candidates)
+
+    def _meanshift_pool(self) -> Optional[MeanShiftPool]:
+        """The persistent extraction pool (lazily built; None when serial)."""
+        if self.config.meanshift_workers <= 1:
+            return None
+        if self._pool is None:
+            self._pool = MeanShiftPool(self.config.meanshift_workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Release the worker pool, if one was ever started."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "MultiSourceLocalizer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _filter_echoes(
         self, candidates: List[SourceEstimate]

@@ -18,6 +18,7 @@ vs 24-core columns.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Optional, Tuple
 
 import numpy as np
@@ -99,3 +100,93 @@ def make_executor(
         initializer=_init_worker,
         initargs=(np.asarray(points, dtype=float), np.asarray(weights, dtype=float)),
     )
+
+
+def _run_chunk_with_data(
+    args: Tuple[np.ndarray, np.ndarray, np.ndarray, float, float, int],
+) -> Tuple[np.ndarray, np.ndarray]:
+    seeds, points, weights, bandwidth, tol, max_iter = args
+    return mean_shift_modes(
+        seeds, points, weights, bandwidth=bandwidth, tol=tol, max_iter=max_iter
+    )
+
+
+class MeanShiftPool:
+    """A persistent, lazily-built process pool for mean-shift extraction.
+
+    :func:`make_executor` bakes one particle snapshot into the workers,
+    which suits a single extraction but not a localizer whose population
+    mutates every iteration.  This pool instead ships the current
+    ``points`` / ``weights`` with each call, amortizing only the process
+    start-up (the expensive part) across calls.  The executor is created
+    on first use and transparently rebuilt once if its workers died (e.g.
+    killed between calls), which is what lets a long-lived localizer own
+    one pool for its whole lifetime.
+
+    Results are bit-identical to the serial :func:`mean_shift_modes`:
+    workers run the same dense kernel on disjoint seed shards, and shard
+    order is preserved on reassembly.
+    """
+
+    def __init__(self, n_workers: int):
+        if n_workers < 2:
+            raise ValueError(f"MeanShiftPool needs n_workers >= 2, got {n_workers}")
+        self.n_workers = int(n_workers)
+        self._executor: Optional[ProcessPoolExecutor] = None
+        #: Executors created so far (1 after first use; +1 per repair).
+        self.builds = 0
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.n_workers)
+            self.builds += 1
+        return self._executor
+
+    def run(
+        self,
+        seeds: np.ndarray,
+        points: np.ndarray,
+        weights: np.ndarray,
+        bandwidth: float,
+        tol: float = 1e-2,
+        max_iter: int = 100,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sharded :func:`mean_shift_modes`; serial below 2 seeds/worker."""
+        seeds = np.atleast_2d(np.asarray(seeds, dtype=float))
+        if len(seeds) < 2 * self.n_workers:
+            return mean_shift_modes(
+                seeds, points, weights, bandwidth=bandwidth, tol=tol, max_iter=max_iter
+            )
+        points = np.asarray(points, dtype=float)
+        weights = np.asarray(weights, dtype=float)
+        chunks = np.array_split(seeds, self.n_workers)
+        args = [
+            (chunk, points, weights, bandwidth, tol, max_iter)
+            for chunk in chunks
+            if len(chunk)
+        ]
+        try:
+            results = list(self._ensure_executor().map(_run_chunk_with_data, args))
+        except BrokenProcessPool:
+            # Workers died between calls; rebuild once and retry.
+            self.close()
+            results = list(self._ensure_executor().map(_run_chunk_with_data, args))
+        modes = np.vstack([r[0] for r in results])
+        densities = np.concatenate([r[1] for r in results])
+        return modes, densities
+
+    def close(self) -> None:
+        """Shut the executor down (the pool can be reused; it rebuilds)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "MeanShiftPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "live" if self._executor is not None else "idle"
+        return f"MeanShiftPool(n_workers={self.n_workers}, {state})"

@@ -13,9 +13,20 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.core.grid import SpatialGridIndex
+
 
 class ParticleSet:
-    """A weighted population of (x, y, strength) hypotheses."""
+    """A weighted population of (x, y, strength) hypotheses.
+
+    The set carries a monotonically increasing **revision counter**: every
+    in-place mutation (reweighting, resampling, movement, injection) bumps
+    it, which is what lets downstream consumers -- the spatial grid index
+    and the localizer's estimate cache -- invalidate themselves lazily
+    instead of recomputing per call.  Code that writes the coordinate or
+    weight arrays directly must call :meth:`mark_moved` /
+    :meth:`mark_reweighted` afterwards.
+    """
 
     def __init__(
         self,
@@ -48,6 +59,16 @@ class ParticleSet:
         self.ys = ys
         self.strengths = strengths
         self.weights = weights
+        self._revision = 0
+        self._position_revision = 0
+        # Lazily (re)built spatial index: (index, position_revision).
+        self._grid: Optional[SpatialGridIndex] = None
+        self._grid_revision = -1
+        #: Cumulative grid instrumentation (rebuilds / queries / candidate
+        #: counts survive index rebuilds; read by the localizer's metrics).
+        self.grid_rebuilds = 0
+        self.grid_queries = 0
+        self.grid_candidates = 0
 
     # --- construction ---------------------------------------------------------
 
@@ -81,6 +102,59 @@ class ParticleSet:
             raise ValueError(f"unknown strength_init {strength_init!r}")
         return cls(xs, ys, strengths)
 
+    # --- mutation tracking ------------------------------------------------------
+
+    @property
+    def revision(self) -> int:
+        """Bumped by every in-place mutation; keys downstream caches."""
+        return self._revision
+
+    def mark_reweighted(self) -> None:
+        """Record a weights-only mutation (positions unchanged)."""
+        self._revision += 1
+
+    def mark_moved(self) -> None:
+        """Record a mutation that (possibly) changed particle positions."""
+        self._revision += 1
+        self._position_revision = self._revision
+
+    # --- spatial index -----------------------------------------------------------
+
+    def grid(self, cell_size: float) -> SpatialGridIndex:
+        """The spatial index over current positions, rebuilt lazily.
+
+        Rebuilds when positions changed since the last build (tracked via
+        the revision counter) or when a different ``cell_size`` is
+        requested; otherwise the cached index is returned for free.
+        """
+        index = self._grid
+        if (
+            index is None
+            or self._grid_revision != self._position_revision
+            or index.cell_size != cell_size
+        ):
+            index = SpatialGridIndex(self.xs, self.ys, cell_size)
+            self._grid = index
+            self._grid_revision = self._position_revision
+            self.grid_rebuilds += 1
+        return index
+
+    def indices_within_grid(
+        self, x: float, y: float, radius: float, cell_size: float
+    ) -> np.ndarray:
+        """Grid-accelerated :meth:`indices_within` (bit-identical result).
+
+        Scans only the cells overlapping the query disc instead of all N
+        particles; returns the same sorted index array as the brute-force
+        scan.
+        """
+        index = self.grid(cell_size)
+        before = index.candidates_scanned
+        selected = index.query_disc(x, y, radius)
+        self.grid_queries += 1
+        self.grid_candidates += index.candidates_scanned - before
+        return selected
+
     # --- basic queries -----------------------------------------------------------
 
     def __len__(self) -> int:
@@ -101,6 +175,7 @@ class ParticleSet:
             self.weights.fill(1.0 / len(self))
         else:
             self.weights /= total
+        self.mark_reweighted()
 
     def indices_within(self, x: float, y: float, radius: float) -> np.ndarray:
         """Indices of particles within ``radius`` of (x, y) -- Eq. (5).
@@ -146,6 +221,7 @@ class ParticleSet:
         """Clamp positions into [0, w] x [0, h] (jitter can push them out)."""
         np.clip(self.xs, 0.0, area[0], out=self.xs)
         np.clip(self.ys, 0.0, area[1], out=self.ys)
+        self.mark_moved()
 
     def __repr__(self) -> str:
         return (

@@ -131,6 +131,9 @@ def reweight_in_place(
     """
     if len(indices) == 0:
         return
+    # Every path below (including the degenerate-subset backfill and the
+    # all-impossible early return) may touch the weights: bump once here.
+    particles.mark_reweighted()
     subset_mass = float(particles.weights[indices].sum())
     if subset_mass <= 0:
         # Subset was fully deflated at some earlier point; give it an even

@@ -1,0 +1,166 @@
+"""Unit and property tests for the uniform spatial grid index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.grid import SpatialGridIndex
+from repro.core.particles import ParticleSet
+
+
+def build(points, cell=5.0):
+    points = np.asarray(points, dtype=float)
+    return SpatialGridIndex(points[:, 0], points[:, 1], cell)
+
+
+class TestConstruction:
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(ValueError):
+            build([[0.0, 0.0]], cell=0.0)
+        with pytest.raises(ValueError):
+            build([[0.0, 0.0]], cell=-1.0)
+        with pytest.raises(ValueError):
+            build([[0.0, 0.0]], cell=np.inf)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SpatialGridIndex(np.array([]), np.array([]), 1.0)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            SpatialGridIndex(np.zeros(3), np.zeros(2), 1.0)
+
+    def test_len_and_repr(self):
+        index = build([[0.0, 0.0], [9.0, 9.0]], cell=3.0)
+        assert len(index) == 2
+        assert "cell=3.00" in repr(index)
+
+
+class TestQueryDisc:
+    def test_matches_brute_force_simple(self):
+        points = np.array([[0.0, 0.0], [10.0, 10.0], [20.0, 20.0]])
+        index = build(points, cell=4.0)
+        np.testing.assert_array_equal(index.query_disc(0, 0, 5.0), [0])
+        np.testing.assert_array_equal(index.query_disc(10, 10, 15.0), [0, 1, 2])
+
+    def test_boundary_inclusive(self):
+        index = build([[0.0, 0.0], [3.0, 4.0]], cell=2.0)
+        assert 1 in index.query_disc(0, 0, 5.0)
+        assert 1 not in index.query_disc(0, 0, 5.0 - 1e-9)
+
+    def test_far_query_returns_empty(self):
+        index = build([[0.0, 0.0], [1.0, 1.0]], cell=1.0)
+        assert len(index.query_disc(1e6, 1e6, 10.0)) == 0
+
+    def test_zero_radius_hits_exact_point(self):
+        index = build([[5.0, 5.0], [6.0, 6.0]], cell=2.0)
+        np.testing.assert_array_equal(index.query_disc(5.0, 5.0, 0.0), [0])
+
+    def test_result_sorted_ascending(self):
+        rng = np.random.default_rng(3)
+        points = rng.uniform(0, 50, (300, 2))
+        index = build(points, cell=4.0)
+        out = index.query_disc(25, 25, 20.0)
+        assert np.all(np.diff(out) > 0)
+
+    def test_stats_reported(self):
+        rng = np.random.default_rng(4)
+        points = rng.uniform(0, 50, (200, 2))
+        index = build(points, cell=5.0)
+        stats = {}
+        selected = index.query_disc(25, 25, 10.0, stats=stats)
+        assert stats["selected"] == len(selected)
+        assert stats["candidates"] >= stats["selected"]
+        assert index.queries == 1
+        assert index.candidates_scanned == stats["candidates"]
+
+    def test_candidates_are_superset(self):
+        rng = np.random.default_rng(5)
+        points = rng.uniform(0, 100, (500, 2))
+        index = build(points, cell=8.0)
+        exact = set(index.query_disc(40, 60, 15.0).tolist())
+        candidates = set(index.query_candidates(40, 60, 15.0).tolist())
+        assert exact <= candidates
+
+    def test_negative_radius_rejected(self):
+        index = build([[0.0, 0.0]], cell=1.0)
+        with pytest.raises(ValueError):
+            index.query_disc(0, 0, -1.0)
+
+
+coords = st.floats(min_value=-200.0, max_value=200.0, allow_nan=False)
+
+
+class TestBruteForceParity:
+    """The grid query must be bit-identical to ParticleSet.indices_within."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n=st.integers(1, 300),
+        x=coords,
+        y=coords,
+        radius=st.floats(min_value=0.0, max_value=150.0, allow_nan=False),
+        cell=st.floats(min_value=0.25, max_value=60.0, allow_nan=False),
+    )
+    def test_query_equals_brute_force(self, seed, n, x, y, radius, cell):
+        rng = np.random.default_rng(seed)
+        xs = rng.uniform(-100, 100, n)
+        ys = rng.uniform(-100, 100, n)
+        particles = ParticleSet(xs, ys, np.ones(n))
+        brute = particles.indices_within(x, y, radius)
+        fast = particles.indices_within_grid(x, y, radius, cell)
+        np.testing.assert_array_equal(brute, fast)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_clustered_populations(self, seed):
+        rng = np.random.default_rng(seed)
+        points = np.vstack(
+            [
+                rng.normal((20, 20), 2, size=(100, 2)),
+                rng.normal((80, 80), 2, size=(100, 2)),
+            ]
+        )
+        particles = ParticleSet(points[:, 0], points[:, 1], np.ones(200))
+        for center, radius in [((20, 20), 6.0), ((50, 50), 45.0), ((0, 0), 1.0)]:
+            np.testing.assert_array_equal(
+                particles.indices_within(*center, radius),
+                particles.indices_within_grid(*center, radius, 4.0),
+            )
+
+
+class TestParticleSetIntegration:
+    def test_grid_cached_until_positions_change(self):
+        rng = np.random.default_rng(0)
+        particles = ParticleSet.uniform_random(100, (50, 50), (1, 10), rng)
+        first = particles.grid(5.0)
+        assert particles.grid(5.0) is first
+        assert particles.grid_rebuilds == 1
+        # Weight-only mutations do not invalidate the spatial index.
+        particles.normalize()
+        assert particles.grid(5.0) is first
+        # Position mutations do.
+        particles.xs[0] += 1.0
+        particles.mark_moved()
+        assert particles.grid(5.0) is not first
+        assert particles.grid_rebuilds == 2
+
+    def test_cell_size_change_rebuilds(self):
+        rng = np.random.default_rng(1)
+        particles = ParticleSet.uniform_random(50, (50, 50), (1, 10), rng)
+        particles.grid(5.0)
+        particles.grid(10.0)
+        assert particles.grid_rebuilds == 2
+
+    def test_revision_counter(self):
+        particles = ParticleSet(np.zeros(2), np.zeros(2), np.ones(2))
+        start = particles.revision
+        particles.mark_reweighted()
+        assert particles.revision == start + 1
+        particles.mark_moved()
+        assert particles.revision == start + 2
+        particles.normalize()
+        assert particles.revision == start + 3
+        particles.clip_to_area((10.0, 10.0))
+        assert particles.revision == start + 4

@@ -4,11 +4,13 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core.grid import SpatialGridIndex
 from repro.core.meanshift import (
     gaussian_kernel_weights,
     mean_shift,
     mean_shift_modes,
     select_seeds,
+    truncated_mean_shift_modes,
 )
 
 
@@ -142,3 +144,119 @@ class TestSelectSeeds:
         a = select_seeds(points, weights, 8)
         b = select_seeds(points, weights, 8)
         np.testing.assert_array_equal(a, b)
+
+    def test_full_budget_when_top_and_strided_overlap(self):
+        # Regression: the strided coverage subsample can land exactly on
+        # top-weight indices; np.unique then silently returned fewer than
+        # n_seeds.  The highest weights sit at the strided positions here.
+        n = 100
+        points = np.random.default_rng(0).uniform(0, 10, (n, 2))
+        weights = np.full(n, 1.0)
+        n_seeds = 16
+        strided = np.linspace(0, n - 1, n_seeds - n_seeds // 2).astype(int)
+        weights[strided[: n_seeds // 2]] = 100.0
+        seeds = select_seeds(points, weights, n_seeds)
+        assert len(seeds) == n_seeds
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n=st.integers(2, 200),
+        n_seeds=st.integers(1, 64),
+    )
+    def test_exact_seed_count_property(self, seed, n, n_seeds):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(0, 10, (n, 2))
+        weights = rng.uniform(0, 1, n)
+        seeds = select_seeds(points, weights, n_seeds)
+        assert len(seeds) == min(n_seeds, n)
+
+
+class TestTruncatedMeanShift:
+    def clustered(self, seed=0, n=3000, area=200.0):
+        rng = np.random.default_rng(seed)
+        points = np.vstack(
+            [
+                rng.normal((40, 40), 5, size=(n // 3, 2)),
+                rng.normal((150, 160), 5, size=(n // 3, 2)),
+                rng.uniform(0, area, size=(n - 2 * (n // 3), 2)),
+            ]
+        )
+        weights = rng.uniform(0.1, 1.0, len(points))
+        return points, weights
+
+    def run_both(self, points, weights, bandwidth=8.0, sigmas=4.0, **kwargs):
+        seeds = select_seeds(points, weights, 48)
+        dense_modes, dense_density = mean_shift_modes(
+            seeds.copy(), points, weights, bandwidth=bandwidth
+        )
+        grid = SpatialGridIndex(points[:, 0], points[:, 1], 12.0)
+        trunc_modes, trunc_density = truncated_mean_shift_modes(
+            seeds.copy(), points, weights, bandwidth=bandwidth, grid=grid,
+            truncation_sigmas=sigmas, **kwargs,
+        )
+        return dense_modes, dense_density, trunc_modes, trunc_density
+
+    def test_modes_match_dense_within_tolerance(self):
+        points, weights = self.clustered()
+        dm, dd, tm, td = self.run_both(points, weights)
+        assert np.linalg.norm(tm - dm, axis=1).max() < 0.05
+        assert np.abs(td - dd).max() < 1e-4 * dd.max()
+
+    def test_tiling_does_not_change_results(self):
+        points, weights = self.clustered(seed=1)
+        _, _, one_tile, _ = self.run_both(points, weights)
+        _, _, tiny_tiles, _ = self.run_both(points, weights, tile_candidates=500)
+        np.testing.assert_allclose(tiny_tiles, one_tile, atol=1e-9)
+
+    def test_stranded_seed_stays_put(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        weights = np.ones(2)
+        grid = SpatialGridIndex(points[:, 0], points[:, 1], 2.0)
+        # A seed far beyond the truncation radius gathers no candidates.
+        modes, density = truncated_mean_shift_modes(
+            np.array([[500.0, 500.0]]), points, weights, bandwidth=1.0,
+            grid=grid, truncation_sigmas=3.0,
+        )
+        np.testing.assert_allclose(modes[0], [500.0, 500.0])
+        assert density[0] == 0.0
+
+    def test_stats_reported(self):
+        points, weights = self.clustered(seed=2, n=1200)
+        seeds = select_seeds(points, weights, 24)
+        grid = SpatialGridIndex(points[:, 0], points[:, 1], 12.0)
+        stats = {}
+        truncated_mean_shift_modes(
+            seeds, points, weights, bandwidth=8.0, grid=grid, stats=stats
+        )
+        assert stats["n_seeds"] == len(seeds)
+        assert stats["sweeps"] >= 1
+        assert stats["gathers"] >= len(seeds)
+        assert stats["candidates"] > 0
+
+    def test_rejects_bad_inputs(self):
+        points, weights = self.clustered(seed=3, n=60)
+        grid = SpatialGridIndex(points[:, 0], points[:, 1], 12.0)
+        with pytest.raises(ValueError, match="truncation_sigmas"):
+            truncated_mean_shift_modes(
+                points[:2], points, weights, bandwidth=8.0, grid=grid,
+                truncation_sigmas=0.0,
+            )
+        with pytest.raises(ValueError, match="positive total weight"):
+            truncated_mean_shift_modes(
+                points[:2], points, np.zeros(len(points)), bandwidth=8.0, grid=grid
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_parity_property(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(200, 1500))
+        points = rng.uniform(0, 150, (n, 2))
+        weights = rng.uniform(0.01, 1.0, n)
+        bandwidth = float(rng.uniform(4.0, 12.0))
+        dm, dd, tm, td = self.run_both(points, weights, bandwidth=bandwidth)
+        # On near-uniform data the density surface is almost flat, so the
+        # stopping points can drift a little along a plateau; they must still
+        # agree far inside the downstream merge radius (>= bandwidth >= 4).
+        assert np.linalg.norm(tm - dm, axis=1).max() < 0.5
