@@ -11,7 +11,7 @@ except for 4 uCi, which hovers near background and is the hard case.
 
 import pytest
 
-from benchmarks.conftest import BENCH_REPEATS, BENCH_SEED
+from benchmarks.conftest import BENCH_REPEATS, BENCH_SEED, BENCH_WORKERS
 from repro.eval.aggregate import mean_over_steps
 from repro.eval.reporting import format_series, format_table
 from repro.sim.runner import run_repeated
@@ -25,7 +25,10 @@ def test_fig3_strength(strength, report, benchmark):
     scenario = scenario_a(strengths=(strength, strength))
 
     def run():
-        return run_repeated(scenario, n_repeats=BENCH_REPEATS, base_seed=BENCH_SEED)
+        return run_repeated(
+            scenario, n_repeats=BENCH_REPEATS, base_seed=BENCH_SEED,
+            workers=BENCH_WORKERS,
+        )
 
     agg = benchmark.pedantic(run, rounds=1, iterations=1)
 
@@ -59,7 +62,10 @@ def test_fig3_summary(report, benchmark):
         for strength in STRENGTHS:
             scenario = scenario_a(strengths=(strength, strength))
             results.append(
-                run_repeated(scenario, n_repeats=BENCH_REPEATS, base_seed=BENCH_SEED)
+                run_repeated(
+            scenario, n_repeats=BENCH_REPEATS, base_seed=BENCH_SEED,
+            workers=BENCH_WORKERS,
+        )
             )
         return results
 

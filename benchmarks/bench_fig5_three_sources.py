@@ -9,7 +9,7 @@ source's curve).
 
 import pytest
 
-from benchmarks.conftest import BENCH_REPEATS, BENCH_SEED
+from benchmarks.conftest import BENCH_REPEATS, BENCH_SEED, BENCH_WORKERS
 from repro.eval.aggregate import mean_over_steps
 from repro.eval.reporting import format_series, format_table
 from repro.sim.runner import run_repeated
@@ -23,7 +23,10 @@ def test_fig5_strength(strength, report, benchmark):
     scenario = scenario_a_three_sources(strengths=(strength,) * 3)
 
     def run():
-        return run_repeated(scenario, n_repeats=BENCH_REPEATS, base_seed=BENCH_SEED)
+        return run_repeated(
+            scenario, n_repeats=BENCH_REPEATS, base_seed=BENCH_SEED,
+            workers=BENCH_WORKERS,
+        )
 
     agg = benchmark.pedantic(run, rounds=1, iterations=1)
     report.add(
@@ -50,7 +53,10 @@ def test_fig5_summary(report, benchmark):
         for strength in STRENGTHS:
             scenario = scenario_a_three_sources(strengths=(strength,) * 3)
             results.append(
-                run_repeated(scenario, n_repeats=BENCH_REPEATS, base_seed=BENCH_SEED)
+                run_repeated(
+            scenario, n_repeats=BENCH_REPEATS, base_seed=BENCH_SEED,
+            workers=BENCH_WORKERS,
+        )
             )
         return results
 

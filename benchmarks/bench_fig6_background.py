@@ -9,7 +9,7 @@ algorithm tolerates above-typical backgrounds (typical is 5-20 CPM).
 import numpy as np
 import pytest
 
-from benchmarks.conftest import BENCH_REPEATS, BENCH_SEED
+from benchmarks.conftest import BENCH_REPEATS, BENCH_SEED, BENCH_WORKERS
 from repro.eval.aggregate import mean_over_steps
 from repro.eval.reporting import format_series, format_table
 from repro.sim.runner import run_repeated
@@ -23,7 +23,10 @@ def test_fig6_background(background, report, benchmark):
     scenario = scenario_a(strengths=(10.0, 10.0), background_cpm=background)
 
     def run():
-        return run_repeated(scenario, n_repeats=BENCH_REPEATS, base_seed=BENCH_SEED)
+        return run_repeated(
+            scenario, n_repeats=BENCH_REPEATS, base_seed=BENCH_SEED,
+            workers=BENCH_WORKERS,
+        )
 
     agg = benchmark.pedantic(run, rounds=1, iterations=1)
     report.add(
@@ -40,7 +43,10 @@ def test_fig6_summary(report, benchmark):
         for background in BACKGROUNDS:
             scenario = scenario_a(strengths=(10.0, 10.0), background_cpm=background)
             results.append(
-                run_repeated(scenario, n_repeats=BENCH_REPEATS, base_seed=BENCH_SEED)
+                run_repeated(
+            scenario, n_repeats=BENCH_REPEATS, base_seed=BENCH_SEED,
+            workers=BENCH_WORKERS,
+        )
             )
         return results
 

@@ -14,7 +14,7 @@ worse FP/FN than B due to reordering; obstacles reduce steady FP/FN.
 import numpy as np
 import pytest
 
-from benchmarks.conftest import BENCH_REPEATS, BENCH_SEED
+from benchmarks.conftest import BENCH_REPEATS, BENCH_SEED, BENCH_WORKERS
 from repro.eval.aggregate import mean_over_steps
 from repro.eval.reporting import format_series, format_table
 from repro.sim.runner import run_repeated
@@ -30,6 +30,7 @@ def _aggregate(scenario, fusion_policy=None):
         n_repeats=LARGE_REPEATS,
         base_seed=BENCH_SEED,
         fusion_policy=fusion_policy,
+        workers=BENCH_WORKERS,
     )
 
 

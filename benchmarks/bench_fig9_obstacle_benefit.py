@@ -11,7 +11,7 @@ are neutral, and at most one is hurt (their S5, by up to 25 %); the first
 5 time steps are excluded as unrepresentative.
 """
 
-from benchmarks.conftest import BENCH_REPEATS, BENCH_SEED
+from benchmarks.conftest import BENCH_REPEATS, BENCH_SEED, BENCH_WORKERS
 from repro.eval.aggregate import mean_over_steps, normalized_errors
 from repro.eval.reporting import format_table
 from repro.sim.runner import run_repeated
@@ -40,11 +40,13 @@ def test_fig9a_scenario_a(report, benchmark):
             scenario_a(strengths=(100.0, 100.0), with_obstacle=False),
             n_repeats=BENCH_REPEATS,
             base_seed=BENCH_SEED,
+            workers=BENCH_WORKERS,
         )
         shielded = run_repeated(
             scenario_a(strengths=(100.0, 100.0), with_obstacle=True),
             n_repeats=BENCH_REPEATS,
             base_seed=BENCH_SEED,
+            workers=BENCH_WORKERS,
         )
         return clear, shielded
 
@@ -77,7 +79,7 @@ def _scenario_bc_ratios(report, name, make_scenario, fusion_policy_factory=None)
         policy = fusion_policy_factory(scenario) if fusion_policy_factory else None
         results[with_obstacles] = run_repeated(
             scenario, n_repeats=LARGE_REPEATS, base_seed=BENCH_SEED,
-            fusion_policy=policy,
+            fusion_policy=policy, workers=BENCH_WORKERS,
         )
     errors_clear = _steady_errors(results[False], 9)
     errors_shielded = _steady_errors(results[True], 9)

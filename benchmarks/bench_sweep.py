@@ -1,0 +1,170 @@
+"""Parallel experiment engine: repeat-axis speedup and bitwise parity.
+
+The paper's protocol repeats every simulation 10 times and averages
+(Table I, Figs. 2-9); PR 2 made one localizer iteration fast, this bench
+measures the *outer loop*: ``run_repeated(workers=N)`` fanning repeats out
+to a process pool via :mod:`repro.exp`.
+
+Two artifacts come out of a run:
+
+* ``benchmarks/results/BENCH_sweep.json`` -- machine-readable timings and
+  the parity verdict (consumed by CI / tracking scripts);
+* the usual text report next to it.
+
+The ``smoke`` test runs a tiny scenario with 2 workers and asserts only
+that the parallel results are **bitwise-identical** to serial (never
+wall-clock), so CI catches engine regressions without flaking on timing.
+The full test runs a Table-I-class scenario (Scenario B geometry,
+196 sensors, 10 repeats) and requires >= 3x speedup at ``workers=4`` --
+skipped on machines with fewer than 4 cores, where the bar is
+unreachable by construction.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, RESULTS_DIR
+from repro.core.config import LocalizerConfig
+from repro.eval.reporting import format_table
+from repro.physics.source import RadiationSource
+from repro.sensors.placement import grid_placement
+from repro.sim.runner import run_repeated
+from repro.sim.scenario import Scenario
+from repro.sim.scenarios import scenario_b
+
+#: The full bench's speedup bar at workers=4 (acceptance criterion).
+SPEEDUP_BAR = 3.0
+FULL_WORKERS = 4
+FULL_REPEATS = 10
+
+
+def _assert_bitwise_identical(serial, parallel):
+    """Per-run series and final estimates must match exactly (no tolerance)."""
+    assert serial.n_repeats == parallel.n_repeats
+    for run_index, (s_run, p_run) in enumerate(zip(serial.runs, parallel.runs)):
+        for source_index in range(len(serial.source_labels)):
+            assert s_run.error_series(source_index) == p_run.error_series(source_index), (
+                f"run {run_index}: error series diverged for source {source_index}"
+            )
+        assert s_run.estimate_count_series() == p_run.estimate_count_series(), (
+            f"run {run_index}: estimate-count series diverged"
+        )
+        assert s_run.final_estimates() == p_run.final_estimates(), (
+            f"run {run_index}: final estimates diverged"
+        )
+
+
+def _write_json(payload):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_sweep.json").write_text(json.dumps(payload, indent=2))
+
+
+def _tiny_scenario():
+    return Scenario(
+        name="sweep-smoke",
+        area=(60.0, 60.0),
+        sources=[RadiationSource(22.0, 38.0, 10.0, label="S1")],
+        sensors=grid_placement(
+            4, 4, 60.0, 60.0, efficiency=1e-4, background_cpm=5.0,
+            margin_fraction=0.0,
+        ),
+        background_cpm=5.0,
+        n_time_steps=5,
+        localizer_config=LocalizerConfig(
+            area=(60.0, 60.0), n_particles=500, assumed_background_cpm=5.0
+        ),
+    )
+
+
+def test_sweep_parity_smoke(report):
+    """2 workers, tiny scenario: parallel == serial, bitwise.  CI-safe."""
+    scenario = _tiny_scenario()
+    start = time.perf_counter()
+    serial = run_repeated(scenario, n_repeats=3, base_seed=BENCH_SEED)
+    serial_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_repeated(scenario, n_repeats=3, base_seed=BENCH_SEED, workers=2)
+    parallel_seconds = time.perf_counter() - start
+
+    _assert_bitwise_identical(serial, parallel)
+
+    report.add(
+        format_table(
+            ["mode", "seconds"],
+            [["serial", round(serial_seconds, 3)],
+             ["workers=2", round(parallel_seconds, 3)]],
+            title="sweep engine smoke (parity asserted, timing informational)",
+        )
+    )
+    _write_json(
+        {
+            "mode": "smoke",
+            "scenario": scenario.name,
+            "n_repeats": 3,
+            "workers": 2,
+            "cpu_count": os.cpu_count(),
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "parity": "bitwise",
+        }
+    )
+
+
+def test_sweep_speedup_table1(report):
+    """The headline number: >= 3x at workers=4 on a Table-I-class scenario."""
+    cores = os.cpu_count() or 1
+    if cores < FULL_WORKERS:
+        pytest.skip(
+            f"speedup bench needs >= {FULL_WORKERS} cores, this machine has {cores}"
+        )
+    # Table-I-class: Scenario B's 196-sensor / 9-source / 3-obstacle
+    # geometry.  Particles and steps are trimmed so the serial baseline
+    # stays in the minutes range; the repeat axis (what this bench
+    # measures) is the paper's full 10.
+    scenario = scenario_b(n_particles=5000, n_time_steps=8)
+
+    start = time.perf_counter()
+    serial = run_repeated(scenario, n_repeats=FULL_REPEATS, base_seed=BENCH_SEED)
+    serial_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_repeated(
+        scenario, n_repeats=FULL_REPEATS, base_seed=BENCH_SEED, workers=FULL_WORKERS
+    )
+    parallel_seconds = time.perf_counter() - start
+
+    _assert_bitwise_identical(serial, parallel)
+    speedup = serial_seconds / parallel_seconds
+
+    report.add(
+        format_table(
+            ["mode", "seconds", "speedup"],
+            [
+                ["serial", round(serial_seconds, 2), 1.0],
+                [f"workers={FULL_WORKERS}", round(parallel_seconds, 2),
+                 round(speedup, 2)],
+            ],
+            title=f"run_repeated x{FULL_REPEATS} on {scenario.name} "
+            f"({len(scenario.sensors)} sensors, "
+            f"{scenario.localizer_config.n_particles} particles)",
+        )
+    )
+    _write_json(
+        {
+            "mode": "full",
+            "scenario": scenario.name,
+            "n_repeats": FULL_REPEATS,
+            "workers": FULL_WORKERS,
+            "cpu_count": cores,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": speedup,
+            "parity": "bitwise",
+        }
+    )
+    assert speedup >= SPEEDUP_BAR, (
+        f"expected >= {SPEEDUP_BAR}x speedup at workers={FULL_WORKERS}, "
+        f"got {speedup:.2f}x"
+    )

@@ -8,7 +8,10 @@ Every file in benchmarks/ regenerates one table or figure of the paper
   artifacts survive pytest's output capture.
 
 Repeats default to 5 per configuration (the paper averages 10); set
-``REPRO_BENCH_REPEATS`` to trade precision for wall time.
+``REPRO_BENCH_REPEATS`` to trade precision for wall time.  Set
+``REPRO_BENCH_WORKERS=N`` to fan each figure's repeats out to N worker
+processes via the experiment engine -- results are bitwise-identical to
+the serial run, only faster on multi-core boxes.
 """
 
 from __future__ import annotations
@@ -26,6 +29,10 @@ BENCH_REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "5"))
 
 #: Master seed for every bench (fully deterministic harness).
 BENCH_SEED = 1000
+
+#: Worker processes for the repeat axis (0 = serial).  Opt-in because the
+#: pool start-up is pure overhead on small scenarios and single-core CI.
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
 
 
 class BenchReport:

@@ -100,6 +100,12 @@ from repro.sensors import (
     grid_placement,
     poisson_placement,
 )
+from repro.exp import (
+    SweepResult,
+    SweepSpec,
+    Variant,
+    run_sweep,
+)
 from repro.sim import (
     RepeatedRunResult,
     load_scenario,
@@ -176,6 +182,10 @@ __all__ = [
     "SimulationRunner",
     "run_repeated",
     "run_scenario",
+    "run_sweep",
+    "SweepResult",
+    "SweepSpec",
+    "Variant",
     "scenario_a",
     "scenario_a_three_sources",
     "scenario_b",

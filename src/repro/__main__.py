@@ -16,7 +16,8 @@ Examples::
     python -m repro run a --trace trace.jsonl --metrics --health
     python -m repro report trace.jsonl
     python -m repro layout b
-    python -m repro sweep strength --values 4 10 50 100
+    python -m repro sweep strength --values 4 10 50 100 --workers 4
+    python -m repro run b --repeats 10 --workers 4
     python -m repro export a --out my_scenario.json
     python -m repro run-file my_scenario.json --repeats 3
 
@@ -38,6 +39,8 @@ from repro.eval.reporting import format_health_series, format_series, format_tab
 from repro.obs.metrics import MetricsRegistry, format_metrics
 from repro.obs.report import format_trace_report, summarize_trace
 from repro.obs.trace import Tracer, jsonl_tracer
+from repro.exp.engine import run_sweep
+from repro.exp.spec import SweepSpec, Variant
 from repro.sim.runner import run_repeated
 from repro.sim.scenario import Scenario
 from repro.sim.scenarios import (
@@ -126,6 +129,7 @@ def cmd_run(args) -> int:
             fusion_policy=policy,
             tracer=tracer,
             metrics=registry,
+            workers=args.workers,
         )
         if tracer is not None and registry is not None:
             # The trace carries the final metrics snapshot too, so a
@@ -198,7 +202,7 @@ def cmd_layout(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    rows = []
+    variants = []
     for value in args.values:
         if args.parameter == "strength":
             scenario = scenario_a(
@@ -210,8 +214,15 @@ def cmd_sweep(args) -> int:
                 background_cpm=value,
                 n_time_steps=args.steps,
             )
-        agg = run_repeated(scenario, n_repeats=args.repeats, base_seed=args.seed)
-        skip = min(5, scenario.n_time_steps - 1)
+        variants.append(Variant(f"{args.parameter}={value:g}", scenario))
+    spec = SweepSpec(
+        variants=tuple(variants), n_repeats=args.repeats, base_seed=args.seed
+    )
+    sweep = run_sweep(spec, workers=args.workers)
+    rows = []
+    for value, variant in zip(args.values, variants):
+        agg = sweep[variant.name]
+        skip = min(5, variant.scenario.n_time_steps - 1)
         rows.append(
             [
                 value,
@@ -221,21 +232,24 @@ def cmd_sweep(args) -> int:
                 round(mean_over_steps(agg.mean_false_negative_series(), skip), 2),
             ]
         )
+    mode = f"workers={args.workers}" if args.workers else "serial"
     print(
         format_table(
             [args.parameter, "err src1", "err src2", "FP/step", "FN/step"],
             rows,
             title=f"Scenario A sweep over {args.parameter} "
-            f"({args.repeats} repeats, steady state)",
+            f"({args.repeats} repeats, steady state, {mode}, "
+            f"{sweep.elapsed_seconds:.1f}s)",
         )
     )
     return 0
 
 
-def _report_run(scenario, policy, repeats, seed):
+def _report_run(scenario, policy, repeats, seed, workers=0):
     print(scenario.describe())
     agg = run_repeated(
-        scenario, n_repeats=repeats, base_seed=seed, fusion_policy=policy
+        scenario, n_repeats=repeats, base_seed=seed, fusion_policy=policy,
+        workers=workers,
     )
     print(format_series(agg.all_mean_series(), index_name="T"))
     print()
@@ -264,7 +278,7 @@ def cmd_run_file(args) -> int:
     from repro.sim.serialization import load_scenario
 
     scenario = load_scenario(args.path)
-    _report_run(scenario, None, args.repeats, args.seed)
+    _report_run(scenario, None, args.repeats, args.seed, workers=args.workers)
     return 0
 
 
@@ -274,6 +288,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="Multiple radiation source localization (ICDCS 2011 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def workers_flag(p):
+        p.add_argument(
+            "--workers", type=int, default=0,
+            help="fan repeats out to N worker processes (0 = serial; "
+            "results are bitwise-identical either way)",
+        )
 
     def logging_flags(p):
         group = p.add_mutually_exclusive_group()
@@ -307,6 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="aggregate and print run metrics")
     run_parser.add_argument("--health", action="store_true",
                             help="print the per-step population-health table")
+    workers_flag(run_parser)
     common(run_parser)
     run_parser.set_defaults(func=cmd_run)
 
@@ -327,6 +349,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("parameter", choices=("strength", "background"))
     sweep_parser.add_argument("--values", type=float, nargs="+", required=True)
     sweep_parser.add_argument("--repeats", type=int, default=3)
+    workers_flag(sweep_parser)
     common(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
 
@@ -342,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_file_parser.add_argument("path", help="scenario JSON path")
     run_file_parser.add_argument("--repeats", type=int, default=3)
     run_file_parser.add_argument("--seed", type=int, default=0)
+    workers_flag(run_file_parser)
     logging_flags(run_file_parser)
     run_file_parser.set_defaults(func=cmd_run_file)
     return parser

@@ -17,13 +17,97 @@ vs 24-core columns.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.meanshift import mean_shift_modes
+
+
+class WorkerPool:
+    """A persistent, lazily-built, self-repairing process pool.
+
+    Generalizes the lifecycle that :class:`MeanShiftPool` proved out so any
+    subsystem (mean-shift sharding, the experiment engine in
+    :mod:`repro.exp`) can own one long-lived pool:
+
+    * the executor is created on first use, not at construction, so a pool
+      configured but never exercised costs nothing;
+    * :meth:`run_batch` transparently rebuilds the executor once and
+      retries if its workers died between calls (``BrokenProcessPool``);
+    * :meth:`discard` tears the executor down *without waiting* -- the
+      recovery path for stuck or killed workers -- while :meth:`close`
+      shuts down cleanly.  Either way the pool stays usable: the next
+      call builds a fresh executor.
+    """
+
+    def __init__(self, n_workers: int, initializer=None, initargs: tuple = ()):
+        if n_workers < 1:
+            raise ValueError(f"WorkerPool needs n_workers >= 1, got {n_workers}")
+        self.n_workers = int(n_workers)
+        self._initializer = initializer
+        self._initargs = initargs
+        self._executor: Optional[ProcessPoolExecutor] = None
+        #: Executors created so far (1 after first use; +1 per repair).
+        self.builds = 0
+
+    def executor(self) -> ProcessPoolExecutor:
+        """The live executor, building it on first use."""
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                initializer=self._initializer,
+                initargs=self._initargs,
+            )
+            self.builds += 1
+        return self._executor
+
+    def submit(self, fn: Callable, *args, **kwargs) -> Future:
+        return self.executor().submit(fn, *args, **kwargs)
+
+    def run_batch(self, fn: Callable, payloads: Iterable) -> List:
+        """``map(fn, payloads)`` with a single rebuild-and-retry on breakage."""
+        payloads = list(payloads)
+        try:
+            return list(self.executor().map(fn, payloads))
+        except BrokenProcessPool:
+            # Workers died between calls; rebuild once and retry.
+            self.discard()
+            return list(self.executor().map(fn, payloads))
+
+    def discard(self) -> None:
+        """Drop the executor without waiting for in-flight work.
+
+        Used to recover from hung or killed workers: pending futures are
+        cancelled, worker processes still running a task are terminated
+        outright, and the next call builds a fresh executor.
+        """
+        if self._executor is None:
+            return
+        executor, self._executor = self._executor, None
+        processes = list(getattr(executor, "_processes", {}).values())
+        executor.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+
+    def close(self) -> None:
+        """Shut the executor down cleanly (the pool can be reused)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "live" if self._executor is not None else "idle"
+        return f"WorkerPool(n_workers={self.n_workers}, {state}, builds={self.builds})"
 
 # Worker state initialized once per process to avoid re-pickling the
 # particle arrays for every chunk.
@@ -132,15 +216,12 @@ class MeanShiftPool:
         if n_workers < 2:
             raise ValueError(f"MeanShiftPool needs n_workers >= 2, got {n_workers}")
         self.n_workers = int(n_workers)
-        self._executor: Optional[ProcessPoolExecutor] = None
-        #: Executors created so far (1 after first use; +1 per repair).
-        self.builds = 0
+        self._pool = WorkerPool(self.n_workers)
 
-    def _ensure_executor(self) -> ProcessPoolExecutor:
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.n_workers)
-            self.builds += 1
-        return self._executor
+    @property
+    def builds(self) -> int:
+        """Executors created so far (1 after first use; +1 per repair)."""
+        return self._pool.builds
 
     def run(
         self,
@@ -165,21 +246,14 @@ class MeanShiftPool:
             for chunk in chunks
             if len(chunk)
         ]
-        try:
-            results = list(self._ensure_executor().map(_run_chunk_with_data, args))
-        except BrokenProcessPool:
-            # Workers died between calls; rebuild once and retry.
-            self.close()
-            results = list(self._ensure_executor().map(_run_chunk_with_data, args))
+        results = self._pool.run_batch(_run_chunk_with_data, args)
         modes = np.vstack([r[0] for r in results])
         densities = np.concatenate([r[1] for r in results])
         return modes, densities
 
     def close(self) -> None:
         """Shut the executor down (the pool can be reused; it rebuilds)."""
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
+        self._pool.close()
 
     def __enter__(self) -> "MeanShiftPool":
         return self
@@ -188,5 +262,5 @@ class MeanShiftPool:
         self.close()
 
     def __repr__(self) -> str:
-        state = "live" if self._executor is not None else "idle"
+        state = "live" if self._pool._executor is not None else "idle"
         return f"MeanShiftPool(n_workers={self.n_workers}, {state})"

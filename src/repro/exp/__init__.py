@@ -1,0 +1,28 @@
+"""The experiment engine: declarative sweeps over scenarios, seeds, configs.
+
+``repro.exp`` turns the paper's evaluation protocol -- "each simulation is
+repeated 10 times and the average results are reported" -- into a first-
+class, parallelizable subsystem:
+
+* :class:`SweepSpec` / :class:`Variant` declare the run grid
+  (scenario x config variants x repeat seeds);
+* :func:`run_sweep` / :func:`run_cells` execute it serially or across a
+  process pool with bitwise-identical results either way;
+* :class:`SweepResult` holds one :class:`~repro.sim.results.RepeatedRunResult`
+  per variant.
+
+See docs/PERFORMANCE.md ("The experiment engine") for knobs and the
+determinism guarantee.
+"""
+
+from repro.exp.engine import SweepResult, run_cells, run_sweep
+from repro.exp.spec import SweepCell, SweepSpec, Variant
+
+__all__ = [
+    "SweepCell",
+    "SweepResult",
+    "SweepSpec",
+    "Variant",
+    "run_cells",
+    "run_sweep",
+]

@@ -1,0 +1,238 @@
+"""The parallel experiment engine: fans sweep cells out to worker processes.
+
+The paper's evaluation protocol repeats every simulation 10 times and
+averages; the repeats are mutually independent, so the repeat/sweep axis
+is embarrassingly parallel.  This module executes the cells of a
+:class:`~repro.exp.spec.SweepSpec` across a persistent
+:class:`~repro.core.parallel.WorkerPool` and reassembles the results so
+that the outcome is **indistinguishable from the serial loop**:
+
+* each cell's seed comes from the frozen derivation contract in
+  :mod:`repro.sim.rng`, so per-run series are bitwise-identical to serial
+  execution;
+* workers record their trace events into an in-memory sink and their
+  metrics into a private registry; the parent replays events and merges
+  registries *in cell order*, so a merged trace/metrics stream reads the
+  same as a serial run's;
+* results cross the process boundary as the JSON-shaped documents of
+  :mod:`repro.sim.serialization`.
+
+Failure handling: a cell that times out or dies is retried once on a
+rebuilt pool, then falls back to in-process execution; ``workers=0``
+skips the pool entirely.  Either way the caller gets every cell's result.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.parallel import WorkerPool
+from repro.exp.spec import SweepCell, SweepSpec
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.sinks import InMemorySink
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.sim.results import RepeatedRunResult, RunResult
+from repro.sim.runner import SimulationRunner
+from repro.sim.serialization import run_result_from_dict, run_result_to_dict
+
+logger = logging.getLogger(__name__)
+
+
+def _execute_cell(payload: tuple) -> dict:
+    """Run one sweep cell; executed inside a worker process.
+
+    Returns a picklable outcome document: the run result as a
+    serialization dict, the cell's trace records (when the parent traces),
+    and the worker-local metrics registry (when the parent aggregates).
+    """
+    scenario, fusion_policy, seed, run_index, trace, metrics, record_health = payload
+    sink = InMemorySink() if trace else None
+    tracer = Tracer(sink) if sink is not None else None
+    registry = MetricsRegistry() if metrics else None
+    result = SimulationRunner(
+        scenario,
+        seed=seed,
+        fusion_policy=fusion_policy,
+        tracer=tracer,
+        metrics=registry,
+        record_health=record_health,
+        run_index=run_index,
+    ).run()
+    return {
+        "result": run_result_to_dict(result),
+        "records": sink.records if sink is not None else None,
+        "metrics": registry,
+    }
+
+
+def _cell_payload(
+    cell: SweepCell, trace: bool, metrics: bool, record_health: bool
+) -> tuple:
+    return (
+        cell.scenario,
+        cell.fusion_policy,
+        cell.seed,
+        cell.repeat_index,
+        trace,
+        metrics,
+        record_health,
+    )
+
+
+def _replay(outcome: dict, tracer: Tracer, metrics: MetricsRegistry) -> RunResult:
+    """Fold one worker outcome back into the parent's observability."""
+    if outcome["records"]:
+        for record in outcome["records"]:
+            fields = {
+                k: v for k, v in record.items() if k not in ("type", "seq")
+            }
+            tracer.emit(record["type"], **fields)
+    if outcome["metrics"] is not None:
+        metrics.merge(outcome["metrics"])
+    return run_result_from_dict(outcome["result"])
+
+
+def run_cells(
+    cells: Sequence[SweepCell],
+    workers: int = 0,
+    timeout: Optional[float] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    record_health: bool = True,
+) -> List[RunResult]:
+    """Execute sweep cells, returning results in cell order.
+
+    ``workers=0`` (or a single cell) runs serially in-process -- the
+    graceful-fallback mode and the reference the parallel path is
+    parity-tested against.  With ``workers=N`` the cells fan out to a
+    process pool; each cell gets ``timeout`` seconds (``None`` = no
+    limit), one retry on a rebuilt pool, and a final in-process fallback,
+    so a sick pool degrades to serial execution instead of failing the
+    sweep.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    metrics = metrics if metrics is not None else NULL_REGISTRY
+    cells = list(cells)
+    if metrics.enabled:
+        metrics.counter("sweep.cells").inc(len(cells))
+
+    if workers <= 0 or len(cells) <= 1:
+        return [
+            SimulationRunner(
+                cell.scenario,
+                seed=cell.seed,
+                fusion_policy=cell.fusion_policy,
+                tracer=tracer,
+                metrics=metrics,
+                record_health=record_health,
+                run_index=cell.repeat_index,
+            ).run()
+            for cell in cells
+        ]
+
+    payloads = [
+        _cell_payload(cell, tracer.enabled, metrics.enabled, record_health)
+        for cell in cells
+    ]
+    outcomes: List[Optional[dict]] = [None] * len(cells)
+    with WorkerPool(workers) as pool:
+        futures = {i: pool.submit(_execute_cell, payloads[i]) for i in range(len(cells))}
+        failed: List[int] = []
+        for i, future in futures.items():
+            try:
+                outcomes[i] = future.result(timeout=timeout)
+            except FuturesTimeoutError:
+                logger.warning("sweep cell %d timed out after %ss", i, timeout)
+                failed.append(i)
+            except Exception as exc:
+                logger.warning("sweep cell %d failed in worker: %r", i, exc)
+                failed.append(i)
+
+        if failed:
+            # One retry on a fresh pool (stuck workers are terminated) ...
+            pool.discard()
+            if metrics.enabled:
+                metrics.counter("sweep.retries").inc(len(failed))
+            retry_futures = {i: pool.submit(_execute_cell, payloads[i]) for i in failed}
+            fallback: List[int] = []
+            for i, future in retry_futures.items():
+                try:
+                    outcomes[i] = future.result(timeout=timeout)
+                except FuturesTimeoutError:
+                    fallback.append(i)
+                except Exception:
+                    fallback.append(i)
+            if fallback:
+                # ... then give up on the pool for the stragglers and run
+                # them here.  A deterministic cell error will re-raise now,
+                # in the caller's process, with its real traceback.
+                pool.discard()
+                if metrics.enabled:
+                    metrics.counter("sweep.serial_fallbacks").inc(len(fallback))
+                for i in fallback:
+                    logger.warning("sweep cell %d falling back to serial", i)
+                    outcomes[i] = _execute_cell(payloads[i])
+
+    # Replay in cell order so merged traces and metrics read exactly like a
+    # serial run's stream.
+    return [_replay(outcome, tracer, metrics) for outcome in outcomes]
+
+
+@dataclass
+class SweepResult:
+    """All variants of a sweep, aggregated the way the paper reports them."""
+
+    spec: SweepSpec
+    workers: int
+    elapsed_seconds: float
+    results: Dict[str, RepeatedRunResult] = field(default_factory=dict)
+
+    def __getitem__(self, variant_name: str) -> RepeatedRunResult:
+        return self.results[variant_name]
+
+    def variant_names(self) -> List[str]:
+        return list(self.results)
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepResult({len(self.results)} variants x "
+            f"{self.spec.n_repeats} repeats, workers={self.workers}, "
+            f"{self.elapsed_seconds:.2f}s)"
+        )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int = 0,
+    timeout: Optional[float] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    record_health: bool = True,
+) -> SweepResult:
+    """Execute a full :class:`SweepSpec` and aggregate per variant."""
+    start = time.perf_counter()
+    runs = run_cells(
+        spec.cells(),
+        workers=workers,
+        timeout=timeout,
+        tracer=tracer,
+        metrics=metrics,
+        record_health=record_health,
+    )
+    elapsed = time.perf_counter() - start
+    result = SweepResult(spec=spec, workers=workers, elapsed_seconds=elapsed)
+    for vi, variant in enumerate(spec.variants):
+        variant_runs = runs[vi * spec.n_repeats : (vi + 1) * spec.n_repeats]
+        result.results[variant.name] = RepeatedRunResult(
+            scenario_name=variant.scenario.name,
+            source_labels=variant_runs[0].source_labels,
+            runs=variant_runs,
+        )
+    logger.info(
+        "sweep done: %d cells, workers=%d, %.2fs", spec.n_cells, workers, elapsed
+    )
+    return result

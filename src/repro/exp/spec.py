@@ -1,0 +1,146 @@
+"""Sweep specifications: scenario x config variants x repeat seeds.
+
+A :class:`SweepSpec` names the full grid of runs an experiment wants --
+one or more scenario :class:`Variant`\\ s, each repeated ``n_repeats``
+times with deterministically derived seeds -- and expands it into flat
+:class:`SweepCell`\\ s that the engine (:mod:`repro.exp.engine`) executes
+serially or across a process pool.  Cell seeds come from
+:func:`repro.sim.rng.derive_run_seed`, so the expansion itself carries the
+bitwise-determinism contract: a cell's result depends only on its
+``(scenario, seed)``, never on where or when it runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.config import LocalizerConfig
+from repro.core.fusion import FusionRangePolicy
+from repro.sim.rng import derive_run_seed
+from repro.sim.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One named configuration of the sweep grid."""
+
+    name: str
+    scenario: Scenario
+    #: Optional per-variant fusion policy (e.g. Scenario C's auto range).
+    fusion_policy: Optional[FusionRangePolicy] = None
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One concrete run: a variant at one repeat index with its seed."""
+
+    variant_name: str
+    variant_index: int
+    repeat_index: int
+    seed: int
+    scenario: Scenario
+    fusion_policy: Optional[FusionRangePolicy] = None
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The declarative description of a repeated-run experiment grid."""
+
+    variants: Tuple[Variant, ...]
+    n_repeats: int = 10
+    base_seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "variants", tuple(self.variants))
+        if not self.variants:
+            raise ValueError("a sweep needs at least one variant")
+        if self.n_repeats < 1:
+            raise ValueError(f"n_repeats must be >= 1, got {self.n_repeats}")
+        names = [v.name for v in self.variants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"variant names must be unique, got {names}")
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.variants) * self.n_repeats
+
+    def variant_names(self) -> List[str]:
+        return [v.name for v in self.variants]
+
+    def cells(self) -> List[SweepCell]:
+        """The flat run grid, variant-major, repeats in index order.
+
+        Every variant's repeat ``r`` uses the same derived seed (the
+        paper's protocol: identical noise realizations across compared
+        configurations), and the serial loop in
+        :func:`repro.sim.runner.run_repeated` derives seeds the same way.
+        """
+        cells: List[SweepCell] = []
+        for vi, variant in enumerate(self.variants):
+            for r in range(self.n_repeats):
+                cells.append(
+                    SweepCell(
+                        variant_name=variant.name,
+                        variant_index=vi,
+                        repeat_index=r,
+                        seed=derive_run_seed(self.base_seed, r),
+                        scenario=variant.scenario,
+                        fusion_policy=variant.fusion_policy,
+                    )
+                )
+        return cells
+
+    @classmethod
+    def single(
+        cls,
+        scenario: Scenario,
+        n_repeats: int = 10,
+        base_seed: int = 0,
+        fusion_policy: Optional[FusionRangePolicy] = None,
+    ) -> "SweepSpec":
+        """The plain repeated-run spec: one scenario, ``n_repeats`` seeds."""
+        return cls(
+            variants=(Variant(scenario.name, scenario, fusion_policy),),
+            n_repeats=n_repeats,
+            base_seed=base_seed,
+        )
+
+    @classmethod
+    def of_scenarios(
+        cls,
+        scenarios: Sequence[Tuple[str, Scenario]],
+        n_repeats: int = 10,
+        base_seed: int = 0,
+    ) -> "SweepSpec":
+        """A spec over several named scenarios (e.g. a parameter sweep)."""
+        return cls(
+            variants=tuple(Variant(name, scenario) for name, scenario in scenarios),
+            n_repeats=n_repeats,
+            base_seed=base_seed,
+        )
+
+    @classmethod
+    def config_grid(
+        cls,
+        scenario: Scenario,
+        configs: Mapping[str, LocalizerConfig],
+        n_repeats: int = 10,
+        base_seed: int = 0,
+    ) -> "SweepSpec":
+        """One scenario under several localizer configurations.
+
+        Each variant is the scenario with its ``localizer_config``
+        replaced -- the ablation-style axis of the sweep grid.
+        """
+        variants = tuple(
+            Variant(
+                name,
+                dataclasses.replace(
+                    scenario, name=f"{scenario.name}[{name}]", localizer_config=config
+                ),
+            )
+            for name, config in configs.items()
+        )
+        return cls(variants=variants, n_repeats=n_repeats, base_seed=base_seed)

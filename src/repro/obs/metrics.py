@@ -170,6 +170,31 @@ class MetricsRegistry:
             return self._null_histogram
         return self._get(name, Histogram, Histogram)
 
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's instruments into this one.
+
+        Merge semantics per kind: **counters** sum, **gauges** keep the
+        last write (``other``'s value wins when it has one), **histograms**
+        concatenate their observations.  This is how the experiment engine
+        (:mod:`repro.exp`) folds per-worker registries into the parent, and
+        it is equally useful for combining registries from any multi-run
+        report.  Merging into a disabled registry is a no-op; a kind
+        mismatch on a shared name raises ``TypeError``.  Returns ``self``
+        so merges chain.
+        """
+        if not self.enabled or other is None:
+            return self
+        for name in other.names():
+            instrument = other._instruments[name]
+            if isinstance(instrument, Counter):
+                self.counter(name).inc(instrument.value)
+            elif isinstance(instrument, Gauge):
+                if not math.isnan(instrument.value):
+                    self.gauge(name).set(instrument.value)
+            elif isinstance(instrument, Histogram):
+                self.histogram(name).values.extend(instrument.values)
+        return self
+
     def names(self) -> List[str]:
         return sorted(self._instruments)
 

@@ -7,7 +7,7 @@ from typing import Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.physics.background import BackgroundModel
-from repro.physics.intensity import RadiationField
+from repro.physics.intensity import RadiationField, attenuation_exponent_matrix, batched_expected_cpm
 from repro.sensors.measurement import Measurement
 from repro.sensors.sensor import Sensor
 
@@ -41,6 +41,12 @@ class SensorNetwork:
         # Cache expected rates: sources and obstacles are static, so the
         # Poisson rate at each sensor never changes between time steps.
         self._rates: Optional[np.ndarray] = None
+        # The per-(sensor, source) obstacle attenuation exponents depend
+        # only on geometry.  They are cached separately from the rates and
+        # keyed on that geometry, so strength-only field changes rebuild
+        # the (cheap, vectorized) rates without re-deriving chord lengths.
+        self._exponents: Optional[np.ndarray] = None
+        self._exponent_key: Optional[tuple] = None
 
     def __len__(self) -> int:
         return len(self.sensors)
@@ -54,24 +60,56 @@ class SensorNetwork:
             return self.background.rate_at(sensor.x, sensor.y)
         return sensor.background_cpm
 
+    def _geometry_key(self) -> tuple:
+        """Fingerprint of everything the exponent matrix depends on."""
+        return (
+            tuple((s.x, s.y) for s in self.field.sources),
+            tuple(id(o) for o in self.field.obstacles),
+        )
+
     def expected_rates(self) -> np.ndarray:
-        """Expected CPM at every sensor (including failed ones), Eq. (4)."""
+        """Expected CPM at every sensor (including failed ones), Eq. (4).
+
+        Computed through the batched transport path: the static
+        per-(sensor, source) attenuation exponents are derived once per
+        geometry (sensors never move; chord integration is the expensive
+        part) and the free-space/strength term is vectorized, so rate
+        rebuilds after :meth:`invalidate_rate_cache` are cheap.
+        """
         if self._rates is None:
-            self._rates = np.array(
-                [
-                    self.field.expected_cpm_at(
-                        s.x, s.y, efficiency=s.efficiency,
-                        background_cpm=self._background_at(s),
-                    )
-                    for s in self.sensors
-                ],
-                dtype=float,
+            xs = np.array([s.x for s in self.sensors], dtype=float)
+            ys = np.array([s.y for s in self.sensors], dtype=float)
+            key = self._geometry_key()
+            if self._exponents is None or key != self._exponent_key:
+                self._exponents = attenuation_exponent_matrix(
+                    xs, ys, self.field.sources, self.field.obstacles
+                )
+                self._exponent_key = key
+            self._rates = batched_expected_cpm(
+                xs,
+                ys,
+                self.field.sources,
+                self.field.obstacles,
+                efficiency=np.array([s.efficiency for s in self.sensors], dtype=float),
+                background_cpm=np.array(
+                    [self._background_at(s) for s in self.sensors], dtype=float
+                ),
+                exponents=self._exponents,
             )
         return self._rates
 
-    def invalidate_rate_cache(self) -> None:
-        """Call after mutating the field (e.g. a source moved)."""
+    def invalidate_rate_cache(self, geometry_changed: bool = False) -> None:
+        """Call after mutating the field (e.g. a source moved).
+
+        Source replacements and obstacle-list changes are detected
+        automatically (the exponent cache is keyed on source positions and
+        obstacle identities); pass ``geometry_changed=True`` only when a
+        polygon was mutated *in place*, which the key cannot see.
+        """
         self._rates = None
+        if geometry_changed:
+            self._exponents = None
+            self._exponent_key = None
 
     def measure_time_step(self, time_step: int) -> List[Measurement]:
         """One Poisson measurement from every live sensor.

@@ -9,7 +9,7 @@ repeats).  :class:`repro.sim.SimulationRunner` drives a ground-truth
 metrics.
 """
 
-from repro.sim.rng import spawn_rngs, seeded_rng
+from repro.sim.rng import derive_run_seed, spawn_rngs, seeded_rng
 from repro.sim.scenario import Scenario
 from repro.sim.scenarios import (
     scenario_a,
@@ -24,12 +24,15 @@ from repro.sim.results import StepRecord, RunResult, RepeatedRunResult
 from repro.sim.runner import SimulationRunner, run_scenario, run_repeated
 from repro.sim.serialization import (
     load_scenario,
+    run_result_from_dict,
+    run_result_to_dict,
     save_scenario,
     scenario_from_dict,
     scenario_to_dict,
 )
 
 __all__ = [
+    "derive_run_seed",
     "spawn_rngs",
     "seeded_rng",
     "Scenario",
@@ -50,4 +53,6 @@ __all__ = [
     "save_scenario",
     "scenario_from_dict",
     "scenario_to_dict",
+    "run_result_from_dict",
+    "run_result_to_dict",
 ]

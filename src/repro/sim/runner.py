@@ -32,7 +32,7 @@ from repro.obs.timers import Stopwatch
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sensors.network import SensorNetwork
 from repro.sim.results import RepeatedRunResult, RunResult, StepRecord
-from repro.sim.rng import spawn_rngs
+from repro.sim.rng import derive_run_seed, spawn_rngs
 from repro.sim.scenario import Scenario
 
 logger = logging.getLogger(__name__)
@@ -53,6 +53,7 @@ class SimulationRunner:
         record_health: bool = True,
         convergence_tolerance: float = 3.0,
         convergence_checks: int = 3,
+        run_index: Optional[int] = None,
     ):
         self.scenario = scenario
         self.seed = seed
@@ -64,6 +65,11 @@ class SimulationRunner:
         self.record_health = record_health
         self.convergence_tolerance = convergence_tolerance
         self.convergence_checks = convergence_checks
+        #: Repeat index within a repeated/swept experiment (None for a
+        #: standalone run).  Tagged onto run_start/run_end events so merged
+        #: traces from several repeats -- serial or parallel -- stay
+        #: attributable to their run.
+        self.run_index = run_index
 
     def run(self) -> RunResult:
         scenario = self.scenario
@@ -94,6 +100,7 @@ class SimulationRunner:
             "run_start",
             scenario=scenario.name,
             seed=self.seed,
+            run_index=self.run_index,
             n_sensors=len(scenario.sensors),
             n_steps=scenario.n_time_steps,
             n_particles=scenario.localizer_config.n_particles,
@@ -140,6 +147,7 @@ class SimulationRunner:
             "run_end",
             scenario=scenario.name,
             seed=self.seed,
+            run_index=self.run_index,
             n_iterations=localizer.iteration,
             converged_at=monitor.converged_at,
             total_seconds=total_seconds,
@@ -239,26 +247,55 @@ def run_repeated(
     fusion_policy: Optional[FusionRangePolicy] = None,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    workers: int = 0,
+    timeout: Optional[float] = None,
 ) -> RepeatedRunResult:
     """Run a scenario ``n_repeats`` times with distinct seeds and aggregate.
 
     This is the paper's protocol ("each simulation is repeated 10 times and
     the average results are reported").  A supplied tracer records all
-    repeats into one stream (each bracketed by run_start / run_end).
+    repeats into one stream (each bracketed by run_start / run_end events
+    tagged with their ``run_index``).
+
+    ``workers=N`` fans the repeats out to a process pool via the
+    experiment engine (:mod:`repro.exp`); per-run seeds follow the frozen
+    derivation contract in :mod:`repro.sim.rng`, so the parallel result is
+    **bitwise-identical** to the serial one.  ``workers=0`` (the default)
+    runs serially in-process; ``timeout`` bounds each parallel run (one
+    retry, then in-process fallback).
     """
     if n_repeats < 1:
         raise ValueError(f"n_repeats must be >= 1, got {n_repeats}")
-    runs: List[RunResult] = []
-    for r in range(n_repeats):
-        runs.append(
-            run_scenario(
-                scenario,
-                seed=base_seed + 1000 * r,
-                fusion_policy=fusion_policy,
-                tracer=tracer,
-                metrics=metrics,
-            )
+    if workers and workers > 0:
+        from repro.exp.engine import run_cells
+        from repro.exp.spec import SweepSpec
+
+        spec = SweepSpec.single(
+            scenario,
+            n_repeats=n_repeats,
+            base_seed=base_seed,
+            fusion_policy=fusion_policy,
         )
+        runs = run_cells(
+            spec.cells(),
+            workers=workers,
+            timeout=timeout,
+            tracer=tracer,
+            metrics=metrics,
+        )
+    else:
+        runs = []
+        for r in range(n_repeats):
+            runs.append(
+                SimulationRunner(
+                    scenario,
+                    seed=derive_run_seed(base_seed, r),
+                    fusion_policy=fusion_policy,
+                    tracer=tracer,
+                    metrics=metrics,
+                    run_index=r,
+                ).run()
+            )
     return RepeatedRunResult(
         scenario_name=scenario.name,
         source_labels=runs[0].source_labels,

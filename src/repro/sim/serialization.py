@@ -1,4 +1,4 @@
-"""Scenario (de)serialization: deployments as JSON documents.
+"""Scenario and run-result (de)serialization: JSON-shaped documents.
 
 A real deployment's configuration -- sensor positions and calibrations,
 suspected obstacle footprints, localizer tuning -- lives in files, not in
@@ -9,16 +9,31 @@ shared, and edited by hand.
 Delivery models are serialized by name with their parameters; custom
 delivery classes fall back to in-order on load (with the original name
 preserved in the document for the caller to resolve).
+
+Run *results* round-trip too (:func:`run_result_to_dict` /
+:func:`run_result_from_dict`): the experiment engine ships each worker's
+:class:`~repro.sim.results.RunResult` back to the parent as one of these
+documents, and benchmark harnesses persist them as machine-readable
+artifacts.  Non-finite error entries (missed sources are ``inf``) are
+encoded as ``None`` so the documents stay strict-JSON safe.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import math
 from pathlib import Path
-from typing import Any, Dict
+from typing import Any, Dict, Optional
+
+import numpy as np
 
 from repro.core.config import LocalizerConfig
+from repro.core.diagnostics import PopulationHealth
+from repro.core.estimator import SourceEstimate
+from repro.core.particles import ParticleSet
+from repro.eval.metrics import StepMetrics
+from repro.sim.results import RunResult, StepRecord
 from repro.geometry.polygon import Polygon
 from repro.network.link import (
     ExponentialLatencyLink,
@@ -177,6 +192,128 @@ def scenario_from_dict(data: Dict[str, Any]) -> Scenario:
         n_time_steps=data.get("n_time_steps", 30),
         localizer_config=config,
         delivery=_delivery_from_dict(data.get("delivery", {})),
+    )
+
+
+def _estimate_to_dict(estimate: SourceEstimate) -> Dict[str, Any]:
+    return {
+        "x": estimate.x,
+        "y": estimate.y,
+        "strength": estimate.strength,
+        "mass": estimate.mass,
+        "mass_ratio": estimate.mass_ratio,
+        "seed_count": estimate.seed_count,
+    }
+
+
+def _estimate_from_dict(data: Dict[str, Any]) -> SourceEstimate:
+    return SourceEstimate(
+        x=data["x"],
+        y=data["y"],
+        strength=data["strength"],
+        mass=data["mass"],
+        mass_ratio=data["mass_ratio"],
+        seed_count=data["seed_count"],
+    )
+
+
+def _encode_error(value: float) -> Optional[float]:
+    return float(value) if math.isfinite(value) else None
+
+
+def _decode_error(value: Optional[float]) -> float:
+    return float("inf") if value is None else float(value)
+
+
+def step_record_to_dict(record: StepRecord) -> Dict[str, Any]:
+    """A JSON-safe document for one :class:`StepRecord`."""
+    metrics = record.metrics
+    snapshot = None
+    if record.snapshot is not None:
+        snapshot = {
+            "xs": record.snapshot.xs.tolist(),
+            "ys": record.snapshot.ys.tolist(),
+            "strengths": record.snapshot.strengths.tolist(),
+            "weights": record.snapshot.weights.tolist(),
+        }
+    health = None
+    if record.health is not None:
+        health = dataclasses.asdict(record.health)
+    return {
+        "metrics": {
+            "time_step": metrics.time_step,
+            "errors": [_encode_error(e) for e in metrics.errors],
+            "false_positives": metrics.false_positives,
+            "false_negatives": metrics.false_negatives,
+            "n_estimates": metrics.n_estimates,
+        },
+        "estimates": [_estimate_to_dict(e) for e in record.estimates],
+        "mean_iteration_seconds": record.mean_iteration_seconds,
+        "n_measurements": record.n_measurements,
+        "snapshot": snapshot,
+        "health": health,
+        "converged": record.converged,
+    }
+
+
+def step_record_from_dict(data: Dict[str, Any]) -> StepRecord:
+    """Rebuild a :class:`StepRecord` from :func:`step_record_to_dict` output."""
+    metrics_data = data["metrics"]
+    snapshot = None
+    if data.get("snapshot") is not None:
+        snap = data["snapshot"]
+        snapshot = ParticleSet(
+            np.asarray(snap["xs"], dtype=float),
+            np.asarray(snap["ys"], dtype=float),
+            np.asarray(snap["strengths"], dtype=float),
+            np.asarray(snap["weights"], dtype=float),
+        )
+    health = None
+    if data.get("health") is not None:
+        health = PopulationHealth(**data["health"])
+    return StepRecord(
+        metrics=StepMetrics(
+            time_step=metrics_data["time_step"],
+            errors=tuple(_decode_error(e) for e in metrics_data["errors"]),
+            false_positives=metrics_data["false_positives"],
+            false_negatives=metrics_data["false_negatives"],
+            n_estimates=metrics_data["n_estimates"],
+        ),
+        estimates=[_estimate_from_dict(e) for e in data["estimates"]],
+        mean_iteration_seconds=data["mean_iteration_seconds"],
+        n_measurements=data["n_measurements"],
+        snapshot=snapshot,
+        health=health,
+        converged=data.get("converged", False),
+    )
+
+
+def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """A JSON-safe document for one complete :class:`RunResult`.
+
+    The transport format between experiment-engine workers and the parent
+    process, and the payload benchmarks persist for machine consumption.
+    """
+    return {
+        "format_version": FORMAT_VERSION,
+        "scenario_name": result.scenario_name,
+        "source_labels": list(result.source_labels),
+        "steps": [step_record_to_dict(s) for s in result.steps],
+    }
+
+
+def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`run_result_to_dict` output."""
+    version = data.get("format_version", 0)
+    if version > FORMAT_VERSION:
+        raise ValueError(
+            f"run-result document version {version} is newer than supported "
+            f"({FORMAT_VERSION})"
+        )
+    return RunResult(
+        scenario_name=data["scenario_name"],
+        source_labels=list(data["source_labels"]),
+        steps=[step_record_from_dict(s) for s in data["steps"]],
     )
 
 

@@ -6,6 +6,7 @@ import pytest
 from repro.core.meanshift import mean_shift_modes
 from repro.core.parallel import (
     MeanShiftPool,
+    WorkerPool,
     make_executor,
     parallel_mean_shift_modes,
 )
@@ -144,3 +145,72 @@ class TestMeanShiftPool:
         finally:
             pool.close()
         assert "idle" in repr(pool)
+
+
+def _square(x):
+    return x * x
+
+
+def _pid(_):
+    import os
+
+    return os.getpid()
+
+
+class TestWorkerPool:
+    def test_lazy_build_and_reuse(self):
+        with WorkerPool(2) as pool:
+            assert pool.builds == 0
+            assert "idle" in repr(pool)
+            assert pool.run_batch(_square, [1, 2, 3]) == [1, 4, 9]
+            assert pool.builds == 1
+            assert "live" in repr(pool)
+            assert pool.run_batch(_square, [4]) == [16]
+            assert pool.builds == 1  # same executor reused
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError, match="n_workers >= 1"):
+            WorkerPool(0)
+
+    def test_submit_returns_future(self):
+        with WorkerPool(1) as pool:
+            assert pool.submit(_square, 7).result(timeout=60) == 49
+
+    def test_rebuilds_after_broken_pool(self):
+        with WorkerPool(1) as pool:
+            pool.run_batch(_square, [1])
+            # Kill the worker behind the executor's back: the next map sees
+            # BrokenProcessPool and run_batch must rebuild and retry.
+            for process in pool.executor()._processes.values():
+                process.terminate()
+                process.join()
+            assert pool.run_batch(_square, [5]) == [25]
+            assert pool.builds == 2
+
+    def test_close_allows_reuse(self):
+        pool = WorkerPool(1)
+        try:
+            pool.run_batch(_square, [2])
+            pool.close()
+            assert "idle" in repr(pool)
+            assert pool.run_batch(_square, [3]) == [9]
+            assert pool.builds == 2
+        finally:
+            pool.close()
+
+    def test_discard_then_fresh_executor(self):
+        pool = WorkerPool(1)
+        try:
+            first = pool.run_batch(_pid, [None])[0]
+            pool.discard()
+            assert "idle" in repr(pool)
+            second = pool.run_batch(_pid, [None])[0]
+            assert second != first  # genuinely new worker process
+            assert pool.builds == 2
+        finally:
+            pool.close()
+
+    def test_discard_without_executor_is_noop(self):
+        pool = WorkerPool(2)
+        pool.discard()
+        assert pool.builds == 0

@@ -102,6 +102,62 @@ class TestRegistry:
         assert "histogram" in text
 
 
+class TestRegistryMerge:
+    def test_counters_sum(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("hits").inc(3)
+        b.counter("hits").inc(4)
+        b.counter("only_b").inc(1)
+        a.merge(b)
+        assert a.counter("hits").value == 7
+        assert a.counter("only_b").value == 1
+        # The source registry is untouched.
+        assert b.counter("hits").value == 4
+
+    def test_gauges_last_write_wins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("level").set(1.0)
+        b.gauge("level").set(2.0)
+        a.merge(b)
+        assert a.gauge("level").value == 2.0
+
+    def test_unset_gauge_does_not_clobber(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("level").set(1.0)
+        b.gauge("level")  # created but never set -> NaN
+        a.merge(b)
+        assert a.gauge("level").value == 1.0
+
+    def test_histograms_concatenate(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("t").observe(1.0)
+        b.histogram("t").observe(2.0)
+        b.histogram("t").observe(3.0)
+        a.merge(b)
+        assert a.histogram("t").values == [1.0, 2.0, 3.0]
+
+    def test_kind_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x")
+        b.gauge("x").set(1.0)
+        with pytest.raises(TypeError, match="already registered"):
+            a.merge(b)
+
+    def test_merge_into_disabled_is_noop(self):
+        b = MetricsRegistry()
+        b.counter("x").inc()
+        assert NULL_REGISTRY.merge(b) is NULL_REGISTRY
+        assert NULL_REGISTRY.snapshot() == {}
+
+    def test_merge_none_is_noop_and_chains(self):
+        a = MetricsRegistry()
+        a.counter("x").inc()
+        b = MetricsRegistry()
+        b.counter("x").inc()
+        assert a.merge(None).merge(b) is a
+        assert a.counter("x").value == 2
+
+
 class TestStopwatch:
     def test_accumulates_intervals(self):
         w = Stopwatch()

@@ -1,0 +1,165 @@
+"""Parity tests: vectorized ground-truth transport vs the scalar reference.
+
+The batched path (attenuation_exponent_matrix / batched_expected_cpm /
+expected_cpm_grid) must reproduce the scalar Eq.-(3)/(4) functions it
+replaced: bitwise on obstacle-free rays (same left-fold accumulation
+order), and to float tolerance on obstacle rays (np.exp vs math.exp may
+differ in the last ulp).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.shapes import rectangle
+from repro.physics.intensity import (
+    attenuation_exponent_matrix,
+    batched_expected_cpm,
+    expected_cpm,
+    expected_cpm_grid,
+)
+from repro.physics.obstacle import Obstacle
+from repro.physics.source import RadiationSource
+
+
+def obstacle_layout():
+    """Three sources, two walls: plenty of blocked and clear rays."""
+    sources = [
+        RadiationSource(20.0, 50.0, 10.0, label="S1"),
+        RadiationSource(80.0, 50.0, 40.0, label="S2"),
+        RadiationSource(50.0, 85.0, 25.0, label="S3"),
+    ]
+    obstacles = [
+        Obstacle(rectangle(45, 20, 55, 70), mu=math.log(2) / 2.0),
+        Obstacle(rectangle(10, 75, 90, 80), mu=0.3),
+    ]
+    return sources, obstacles
+
+
+def sample_points(n=60, seed=3):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0, 100, size=n), rng.uniform(0, 100, size=n)
+
+
+class TestAttenuationExponentMatrix:
+    def test_matches_per_pair_scalar(self):
+        sources, obstacles = obstacle_layout()
+        xs, ys = sample_points()
+        matrix = attenuation_exponent_matrix(xs, ys, sources, obstacles)
+        assert matrix.shape == (len(xs), len(sources))
+        for p in range(len(xs)):
+            for s, source in enumerate(sources):
+                expected = sum(
+                    o.attenuation_exponent(xs[p], ys[p], source.x, source.y)
+                    for o in obstacles
+                )
+                assert matrix[p, s] == pytest.approx(expected, abs=1e-12)
+        # The layout must actually exercise the obstacle branch.
+        assert np.count_nonzero(matrix) > 0
+
+    def test_no_obstacles_is_all_zero(self):
+        sources, _ = obstacle_layout()
+        xs, ys = sample_points(n=10)
+        assert not attenuation_exponent_matrix(xs, ys, sources, ()).any()
+
+    def test_empty_inputs(self):
+        sources, obstacles = obstacle_layout()
+        empty = np.array([])
+        assert attenuation_exponent_matrix(empty, empty, sources, obstacles).shape == (
+            0,
+            len(sources),
+        )
+        xs, ys = sample_points(n=4)
+        assert attenuation_exponent_matrix(xs, ys, [], obstacles).shape == (4, 0)
+
+
+class TestBatchedExpectedCpm:
+    def test_bitwise_identical_without_obstacles(self):
+        sources, _ = obstacle_layout()
+        xs, ys = sample_points()
+        batched = batched_expected_cpm(
+            xs, ys, sources, efficiency=1e-4, background_cpm=5.0
+        )
+        for p in range(len(xs)):
+            scalar = expected_cpm(
+                xs[p], ys[p], sources, efficiency=1e-4, background_cpm=5.0
+            )
+            assert batched[p] == scalar  # exact: same fold order, same ops
+
+    def test_obstacle_scenario_matches_scalar_reference(self):
+        sources, obstacles = obstacle_layout()
+        xs, ys = sample_points()
+        batched = batched_expected_cpm(
+            xs, ys, sources, obstacles, efficiency=1e-4, background_cpm=5.0
+        )
+        reference = [
+            expected_cpm(
+                xs[p], ys[p], sources, obstacles, efficiency=1e-4, background_cpm=5.0
+            )
+            for p in range(len(xs))
+        ]
+        np.testing.assert_allclose(batched, reference, rtol=1e-12)
+
+    def test_precomputed_exponents_short_circuit_geometry(self):
+        sources, obstacles = obstacle_layout()
+        xs, ys = sample_points(n=20)
+        exponents = attenuation_exponent_matrix(xs, ys, sources, obstacles)
+        with_cache = batched_expected_cpm(
+            xs, ys, sources, obstacles=(), exponents=exponents
+        )
+        without = batched_expected_cpm(xs, ys, sources, obstacles=obstacles)
+        np.testing.assert_array_equal(with_cache, without)
+
+    def test_per_point_efficiency_and_background_broadcast(self):
+        sources, obstacles = obstacle_layout()
+        xs, ys = sample_points(n=15)
+        efficiency = np.linspace(1e-5, 2e-4, len(xs))
+        background = np.linspace(3.0, 8.0, len(xs))
+        batched = batched_expected_cpm(
+            xs, ys, sources, obstacles, efficiency=efficiency,
+            background_cpm=background,
+        )
+        reference = [
+            expected_cpm(
+                xs[p], ys[p], sources, obstacles,
+                efficiency=float(efficiency[p]),
+                background_cpm=float(background[p]),
+            )
+            for p in range(len(xs))
+        ]
+        np.testing.assert_allclose(batched, reference, rtol=1e-12)
+
+
+class TestExpectedCpmGrid:
+    def test_grid_matches_scalar_double_loop_with_obstacles(self):
+        """The satellite's parity check: vectorized grid vs scalar Eq. (4)."""
+        sources, obstacles = obstacle_layout()
+        xs = np.linspace(0, 100, 17)
+        ys = np.linspace(0, 100, 13)
+        grid = expected_cpm_grid(
+            xs, ys, sources, obstacles, efficiency=1e-4, background_cpm=5.0
+        )
+        assert grid.shape == (len(ys), len(xs))
+        reference = np.array(
+            [
+                [
+                    expected_cpm(
+                        x, y, sources, obstacles,
+                        efficiency=1e-4, background_cpm=5.0,
+                    )
+                    for x in xs
+                ]
+                for y in ys
+            ]
+        )
+        np.testing.assert_allclose(grid, reference, rtol=1e-12)
+
+    def test_grid_free_space_is_bitwise(self):
+        sources, _ = obstacle_layout()
+        xs = np.linspace(0, 100, 9)
+        ys = np.linspace(0, 100, 7)
+        grid = expected_cpm_grid(xs, ys, sources, efficiency=1e-4)
+        for yi, y in enumerate(ys):
+            for xi, x in enumerate(xs):
+                assert grid[yi, xi] == expected_cpm(x, y, sources, efficiency=1e-4)

@@ -218,3 +218,67 @@ class TestSensorNetwork:
         assert np.allclose(network.expected_rates(), before)  # cached
         network.invalidate_rate_cache()
         assert network.expected_rates().max() > before.max()
+
+
+class TestExponentCache:
+    """The geometry-keyed attenuation-exponent cache behind expected_rates."""
+
+    def _obstacle_network(self):
+        from math import log
+
+        from repro.geometry.shapes import rectangle
+        from repro.physics.intensity import expected_cpm
+        from repro.physics.obstacle import Obstacle
+
+        sensors = grid_placement(
+            3, 3, 100, 100, efficiency=1e-4, background_cpm=5.0, margin_fraction=0.0
+        )
+        field = RadiationField(
+            [RadiationSource(30, 50, 50.0)],
+            obstacles=[Obstacle(rectangle(45, 20, 55, 80), mu=log(2) / 2.0)],
+        )
+        network = SensorNetwork(sensors, field, np.random.default_rng(0))
+        return network, expected_cpm
+
+    def test_rates_match_scalar_reference_with_obstacles(self):
+        network, expected_cpm = self._obstacle_network()
+        rates = network.expected_rates()
+        for sensor, rate in zip(network.sensors, rates):
+            reference = expected_cpm(
+                sensor.x,
+                sensor.y,
+                network.field.sources,
+                network.field.obstacles,
+                efficiency=sensor.efficiency,
+                background_cpm=sensor.background_cpm,
+            )
+            assert rate == pytest.approx(reference, rel=1e-12)
+
+    def test_strength_change_reuses_exponents(self):
+        network, _ = self._obstacle_network()
+        network.expected_rates()
+        cached = network._exponents
+        assert cached is not None
+        source = network.field.sources[0]
+        network.field.sources[0] = RadiationSource(source.x, source.y, 99.0)
+        network.invalidate_rate_cache()
+        network.expected_rates()
+        assert network._exponents is cached  # same geometry -> no chord redo
+
+    def test_source_move_rebuilds_exponents(self):
+        network, _ = self._obstacle_network()
+        before = network.expected_rates().copy()
+        cached = network._exponents
+        network.field.sources[0] = RadiationSource(70, 50, 50.0)
+        network.invalidate_rate_cache()
+        rates = network.expected_rates()
+        assert network._exponents is not cached  # geometry key changed
+        assert not np.allclose(rates, before)
+
+    def test_in_place_polygon_mutation_needs_geometry_flag(self):
+        network, _ = self._obstacle_network()
+        network.expected_rates()
+        cached = network._exponents
+        network.invalidate_rate_cache(geometry_changed=True)
+        network.expected_rates()
+        assert network._exponents is not cached

@@ -1,5 +1,6 @@
-"""Tests for scenario JSON serialization."""
+"""Tests for scenario and run-result JSON serialization."""
 
+import dataclasses
 import json
 
 import pytest
@@ -9,7 +10,10 @@ from repro.network.transport import InOrderDelivery, OutOfOrderDelivery, Shuffle
 from repro.sim.runner import run_scenario
 from repro.sim.scenarios import scenario_a, scenario_b, scenario_c
 from repro.sim.serialization import (
+    FORMAT_VERSION,
     load_scenario,
+    run_result_from_dict,
+    run_result_to_dict,
     save_scenario,
     scenario_from_dict,
     scenario_to_dict,
@@ -106,3 +110,62 @@ class TestFiles:
         scenario = scenario_from_dict(doc)
         assert scenario.name == "hand"
         assert scenario.localizer_config is not None  # default built
+
+
+class TestRunResultRoundTrip:
+    @pytest.fixture(scope="class")
+    def result(self):
+        scenario = scenario_a(strengths=(10.0, 50.0), with_obstacle=True)
+        scenario = dataclasses.replace(scenario, n_time_steps=4)
+        return run_scenario(scenario, seed=11, snapshot_steps=[3])
+
+    def test_round_trip_is_json_safe(self, result):
+        doc = run_result_to_dict(result)
+        json.dumps(doc)  # the worker->parent transport must be JSON-shaped
+
+    def test_round_trip_preserves_series(self, result):
+        restored = run_result_from_dict(run_result_to_dict(result))
+        assert restored.scenario_name == result.scenario_name
+        assert restored.source_labels == result.source_labels
+        assert restored.n_steps == result.n_steps
+        for source_index in range(len(result.source_labels)):
+            assert restored.error_series(source_index) == result.error_series(
+                source_index
+            )
+        assert restored.estimate_count_series() == result.estimate_count_series()
+        assert restored.false_positive_series() == result.false_positive_series()
+        assert restored.false_negative_series() == result.false_negative_series()
+
+    def test_round_trip_preserves_estimates_and_health(self, result):
+        restored = run_result_from_dict(run_result_to_dict(result))
+        assert restored.final_estimates() == result.final_estimates()
+        for original, back in zip(result.steps, restored.steps):
+            assert back.n_measurements == original.n_measurements
+            assert back.converged == original.converged
+            assert (back.health is None) == (original.health is None)
+            if original.health is not None:
+                assert back.health == original.health
+
+    def test_round_trip_preserves_snapshot(self, result):
+        restored = run_result_from_dict(run_result_to_dict(result))
+        original = result.steps[3].snapshot
+        back = restored.steps[3].snapshot
+        assert original is not None and back is not None
+        assert back.xs.tolist() == original.xs.tolist()
+        assert back.weights.tolist() == original.weights.tolist()
+        assert restored.steps[0].snapshot is None
+
+    def test_infinite_errors_survive_the_json_boundary(self, result):
+        # Early steps of a hard scenario usually miss a source (inf error);
+        # force one to make the encoding explicit either way.
+        doc = run_result_to_dict(result)
+        doc["steps"][0]["metrics"]["errors"] = [None, 1.5]
+        restored = run_result_from_dict(doc)
+        assert restored.steps[0].metrics.errors == (float("inf"), 1.5)
+        assert json.dumps(doc)  # None, never Infinity, in the document
+
+    def test_newer_format_version_rejected(self, result):
+        doc = run_result_to_dict(result)
+        doc["format_version"] = FORMAT_VERSION + 1
+        with pytest.raises(ValueError, match="newer than supported"):
+            run_result_from_dict(doc)
