@@ -1,0 +1,140 @@
+"""Checkpoint/restore: snapshot latency, document size, resume parity.
+
+PR 4 introduced :class:`repro.sim.session.LocalizerSession` with
+versioned checkpoint documents (JSON + ``.npz`` sidecar).  This bench
+answers the operational questions: how long does a snapshot take, how
+big is it on disk, and does a restored run really reproduce the
+uninterrupted one bitwise?
+
+Artifacts:
+
+* ``benchmarks/results/BENCH_checkpoint.json`` -- machine-readable
+  timings/sizes and the parity verdict (consumed by CI);
+* the usual text report next to it.
+
+The ``smoke`` test checkpoints a tiny scenario mid-run, restores it, and
+asserts **bitwise resume parity** -- never wall-clock -- so CI catches
+codec regressions without flaking on timing.  The full test scales the
+particle count through Table-I-class populations and reports how
+save/restore latency and document size grow with state.
+"""
+
+import json
+import os
+import time
+
+from benchmarks.conftest import BENCH_SEED, RESULTS_DIR
+from repro.eval.reporting import format_table
+from repro.sim.scenarios import scenario_a
+from repro.sim.serialization import load_checkpoint, step_record_to_dict
+from repro.sim.session import LocalizerSession
+
+FULL_PARTICLE_COUNTS = (2_000, 10_000, 40_000)
+
+
+def _comparable(result):
+    docs = [step_record_to_dict(s) for s in result.steps]
+    for doc in docs:
+        doc.pop("mean_iteration_seconds")
+    return docs
+
+
+def _checkpoint_cycle(scenario, seed, split, path):
+    """Run, checkpoint at ``split``, restore, and time every leg."""
+    full = LocalizerSession(scenario, seed=seed).run()
+
+    session = LocalizerSession(scenario, seed=seed)
+    for _ in range(split):
+        session.step()
+    start = time.perf_counter()
+    nbytes = session.save_checkpoint(path)
+    save_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    resumed = LocalizerSession.from_state(load_checkpoint(path))
+    restore_seconds = time.perf_counter() - start
+    resumed.run()
+
+    assert _comparable(full) == _comparable(resumed.result()), (
+        f"resume parity violated for {scenario.name} at split {split}"
+    )
+    return {
+        "save_seconds": save_seconds,
+        "restore_seconds": restore_seconds,
+        "bytes": nbytes,
+    }
+
+
+def _write_json(payload):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_checkpoint.json").write_text(
+        json.dumps(payload, indent=2)
+    )
+
+
+def test_checkpoint_parity_smoke(report, tmp_path):
+    """Tiny scenario, mid-run snapshot: restored run == full run.  CI-safe."""
+    scenario = scenario_a(n_particles=800, n_time_steps=5)
+    cycle = _checkpoint_cycle(
+        scenario, BENCH_SEED, 2, tmp_path / "smoke.ckpt.json"
+    )
+    report.add(
+        format_table(
+            ["leg", "value"],
+            [
+                ["save (ms)", round(cycle["save_seconds"] * 1e3, 2)],
+                ["restore (ms)", round(cycle["restore_seconds"] * 1e3, 2)],
+                ["size (KiB)", round(cycle["bytes"] / 1024, 1)],
+            ],
+            title=f"checkpoint smoke on {scenario.name} "
+            f"(800 particles, parity asserted)",
+        )
+    )
+    _write_json(
+        {
+            "mode": "smoke",
+            "scenario": scenario.name,
+            "n_particles": 800,
+            "split_step": 2,
+            "cpu_count": os.cpu_count(),
+            "parity": "bitwise",
+            **cycle,
+        }
+    )
+
+
+def test_checkpoint_scaling(report, tmp_path):
+    """Latency and size vs particle count on Scenario A geometry."""
+    rows = []
+    samples = []
+    for n_particles in FULL_PARTICLE_COUNTS:
+        scenario = scenario_a(n_particles=n_particles, n_time_steps=5)
+        cycle = _checkpoint_cycle(
+            scenario, BENCH_SEED, 2, tmp_path / f"p{n_particles}.ckpt.json"
+        )
+        rows.append(
+            [
+                n_particles,
+                round(cycle["save_seconds"] * 1e3, 2),
+                round(cycle["restore_seconds"] * 1e3, 2),
+                round(cycle["bytes"] / 1024, 1),
+            ]
+        )
+        samples.append({"n_particles": n_particles, **cycle})
+    report.add(
+        format_table(
+            ["particles", "save (ms)", "restore (ms)", "size (KiB)"],
+            rows,
+            title="checkpoint latency/size vs particle count (scenario A)",
+        )
+    )
+    _write_json(
+        {
+            "mode": "full",
+            "scenario": "scenario-a",
+            "split_step": 2,
+            "cpu_count": os.cpu_count(),
+            "parity": "bitwise",
+            "samples": samples,
+        }
+    )

@@ -7,6 +7,7 @@ Commands
 ``sweep``     Sweep source strength or background over Scenario A.
 ``export``    Write a paper scenario to a JSON document.
 ``run-file``  Run a scenario loaded from a JSON document.
+``resume``    Resume a checkpointed run and print its metrics.
 ``report``    Summarize a JSONL trace written by ``run --trace``.
 
 Examples::
@@ -19,7 +20,9 @@ Examples::
     python -m repro sweep strength --values 4 10 50 100 --workers 4
     python -m repro run b --repeats 10 --workers 4
     python -m repro export a --out my_scenario.json
-    python -m repro run-file my_scenario.json --repeats 3
+    python -m repro run-file my_scenario.json --repeats 3 --metrics
+    python -m repro run c --checkpoint-every 5 --checkpoint-dir ckpts
+    python -m repro resume ckpts/cell-v0-r0.ckpt.json --health
 
 Every command accepts ``--verbose``/``-v`` (repeatable: ``-vv`` for debug)
 and ``--quiet``/``-q`` to control the library's stdlib logging; the
@@ -114,30 +117,27 @@ def _build_scenario(args) -> tuple:
     raise SystemExit(f"unknown scenario {args.scenario!r}; choose a, a3, b, or c")
 
 
-def cmd_run(args) -> int:
-    scenario, policy = _build_scenario(args)
-    print(scenario.describe())
+def _open_instrumentation(args):
+    """(tracer, registry) from the shared ``--trace``/``--metrics`` flags."""
     tracer: Optional[Tracer] = jsonl_tracer(args.trace) if args.trace else None
     registry: Optional[MetricsRegistry] = (
         MetricsRegistry() if args.metrics else None
     )
-    try:
-        agg = run_repeated(
-            scenario,
-            n_repeats=args.repeats,
-            base_seed=args.seed,
-            fusion_policy=policy,
-            tracer=tracer,
-            metrics=registry,
-            workers=args.workers,
-        )
-        if tracer is not None and registry is not None:
-            # The trace carries the final metrics snapshot too, so a
-            # single file round-trips through ``repro report``.
-            registry.flush_to(tracer.sink)
-    finally:
-        if tracer is not None:
-            tracer.close()
+    return tracer, registry
+
+
+def _print_instrumentation(args, registry) -> None:
+    """The post-run metrics/trace report for the shared flags."""
+    if registry is not None:
+        print()
+        print(format_metrics(registry.snapshot(), title="run metrics"))
+    if args.trace:
+        print(f"\nwrote trace to {args.trace} "
+              f"(summarize with: python -m repro report {args.trace})")
+
+
+def _print_aggregate(scenario, agg, args) -> None:
+    """The shared per-step metrics report for run / run-file / resume."""
     print(format_series(agg.all_mean_series(), index_name="T"))
     print()
     skip = min(5, scenario.n_time_steps - 1)
@@ -149,7 +149,7 @@ def cmd_run(args) -> int:
     fp = mean_over_steps(agg.mean_false_positive_series(), skip)
     fn = mean_over_steps(agg.mean_false_negative_series(), skip)
     print(f"\nsteady state: FP {fp:.2f}/step, FN {fn:.2f}/step")
-    if args.health:
+    if getattr(args, "health", False):
         first = agg.runs[0]
         print()
         print(
@@ -160,12 +160,38 @@ def cmd_run(args) -> int:
                 f"seed {args.seed})",
             )
         )
-    if registry is not None:
-        print()
-        print(format_metrics(registry.snapshot(), title="run metrics"))
-    if args.trace:
-        print(f"\nwrote trace to {args.trace} "
-              f"(summarize with: python -m repro report {args.trace})")
+
+
+def _report_run(scenario, policy, args) -> None:
+    """Run + report a scenario with the shared CLI flags applied."""
+    print(scenario.describe())
+    tracer, registry = _open_instrumentation(args)
+    try:
+        agg = run_repeated(
+            scenario,
+            n_repeats=args.repeats,
+            base_seed=args.seed,
+            fusion_policy=policy,
+            tracer=tracer,
+            metrics=registry,
+            workers=args.workers,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+        if tracer is not None and registry is not None:
+            # The trace carries the final metrics snapshot too, so a
+            # single file round-trips through ``repro report``.
+            registry.flush_to(tracer.sink)
+    finally:
+        if tracer is not None:
+            tracer.close()
+    _print_aggregate(scenario, agg, args)
+    _print_instrumentation(args, registry)
+
+
+def cmd_run(args) -> int:
+    scenario, policy = _build_scenario(args)
+    _report_run(scenario, policy, args)
     return 0
 
 
@@ -218,7 +244,12 @@ def cmd_sweep(args) -> int:
     spec = SweepSpec(
         variants=tuple(variants), n_repeats=args.repeats, base_seed=args.seed
     )
-    sweep = run_sweep(spec, workers=args.workers)
+    sweep = run_sweep(
+        spec,
+        workers=args.workers,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+    )
     rows = []
     for value, variant in zip(args.values, variants):
         agg = sweep[variant.name]
@@ -245,25 +276,6 @@ def cmd_sweep(args) -> int:
     return 0
 
 
-def _report_run(scenario, policy, repeats, seed, workers=0):
-    print(scenario.describe())
-    agg = run_repeated(
-        scenario, n_repeats=repeats, base_seed=seed, fusion_policy=policy,
-        workers=workers,
-    )
-    print(format_series(agg.all_mean_series(), index_name="T"))
-    print()
-    skip = min(5, scenario.n_time_steps - 1)
-    rows = [
-        [label, round(mean_over_steps(agg.mean_error_series(i), skip), 2)]
-        for i, label in enumerate(agg.source_labels)
-    ]
-    print(format_table(["source", f"mean err (T>={skip})"], rows))
-    fp = mean_over_steps(agg.mean_false_positive_series(), skip)
-    fn = mean_over_steps(agg.mean_false_negative_series(), skip)
-    print(f"\nsteady state: FP {fp:.2f}/step, FN {fn:.2f}/step")
-
-
 def cmd_export(args) -> int:
     from repro.sim.serialization import save_scenario
 
@@ -278,7 +290,48 @@ def cmd_run_file(args) -> int:
     from repro.sim.serialization import load_scenario
 
     scenario = load_scenario(args.path)
-    _report_run(scenario, None, args.repeats, args.seed, workers=args.workers)
+    _report_run(scenario, None, args)
+    return 0
+
+
+def cmd_resume(args) -> int:
+    from repro.sim.serialization import CheckpointError
+    from repro.sim.session import LocalizerSession
+
+    tracer, registry = _open_instrumentation(args)
+    try:
+        try:
+            session = LocalizerSession.resume_from_checkpoint(
+                args.checkpoint,
+                tracer=tracer,
+                metrics=registry,
+                checkpoint_every=args.checkpoint_every,
+            )
+        except CheckpointError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        print(session.scenario.describe())
+        print(
+            f"resumed at step {session.step_index}/"
+            f"{session.scenario.n_time_steps}"
+            + (" (already finished)" if session.finished else "")
+        )
+        result = session.run()
+        if tracer is not None and registry is not None:
+            registry.flush_to(tracer.sink)
+    finally:
+        if tracer is not None:
+            tracer.close()
+    from repro.sim.results import RepeatedRunResult
+
+    agg = RepeatedRunResult(
+        scenario_name=result.scenario_name,
+        source_labels=result.source_labels,
+        runs=[result],
+    )
+    args.seed = session.seed
+    _print_aggregate(session.scenario, agg, args)
+    _print_instrumentation(args, registry)
     return 0
 
 
@@ -307,6 +360,26 @@ def build_parser() -> argparse.ArgumentParser:
             help="only log errors",
         )
 
+    def instrumentation_flags(p):
+        p.add_argument("--trace", metavar="PATH", default=None,
+                       help="write a JSONL trace of every pipeline phase")
+        p.add_argument("--metrics", action="store_true",
+                       help="aggregate and print run metrics")
+        p.add_argument("--health", action="store_true",
+                       help="print the per-step population-health table")
+
+    def checkpoint_flags(p):
+        p.add_argument(
+            "--checkpoint-every", type=int, default=0, metavar="N",
+            help="snapshot full run state every N steps (0 = off); "
+            "resume with: python -m repro resume <checkpoint>",
+        )
+        p.add_argument(
+            "--checkpoint-dir", default=None, metavar="DIR",
+            help="directory for per-run checkpoint files "
+            "(required with --checkpoint-every)",
+        )
+
     def common(p):
         logging_flags(p)
         p.add_argument("--steps", type=int, default=30, help="time steps (default 30)")
@@ -322,15 +395,25 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("scenario", help="a, a3, b, or c")
     run_parser.add_argument("--repeats", type=int, default=3,
                             help="runs to average (default 3; paper uses 10)")
-    run_parser.add_argument("--trace", metavar="PATH", default=None,
-                            help="write a JSONL trace of every pipeline phase")
-    run_parser.add_argument("--metrics", action="store_true",
-                            help="aggregate and print run metrics")
-    run_parser.add_argument("--health", action="store_true",
-                            help="print the per-step population-health table")
+    instrumentation_flags(run_parser)
+    checkpoint_flags(run_parser)
     workers_flag(run_parser)
     common(run_parser)
     run_parser.set_defaults(func=cmd_run)
+
+    resume_parser = sub.add_parser(
+        "resume", help="resume a checkpointed run to completion"
+    )
+    resume_parser.add_argument(
+        "checkpoint", help="checkpoint JSON path (written by --checkpoint-every)"
+    )
+    resume_parser.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="keep snapshotting every N steps to the same file (0 = off)",
+    )
+    instrumentation_flags(resume_parser)
+    logging_flags(resume_parser)
+    resume_parser.set_defaults(func=cmd_resume)
 
     report_parser = sub.add_parser(
         "report", help="summarize a JSONL trace (phase times, health, counts)"
@@ -349,6 +432,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("parameter", choices=("strength", "background"))
     sweep_parser.add_argument("--values", type=float, nargs="+", required=True)
     sweep_parser.add_argument("--repeats", type=int, default=3)
+    checkpoint_flags(sweep_parser)
     workers_flag(sweep_parser)
     common(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
@@ -365,6 +449,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_file_parser.add_argument("path", help="scenario JSON path")
     run_file_parser.add_argument("--repeats", type=int, default=3)
     run_file_parser.add_argument("--seed", type=int, default=0)
+    instrumentation_flags(run_file_parser)
+    checkpoint_flags(run_file_parser)
     workers_flag(run_file_parser)
     logging_flags(run_file_parser)
     run_file_parser.set_defaults(func=cmd_run_file)

@@ -163,3 +163,37 @@ class ConvergenceMonitor:
     @property
     def converged(self) -> bool:
         return self.converged_at is not None
+
+    # --- checkpoint support ---------------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-safe snapshot of the monitor, for checkpointing."""
+        import dataclasses
+
+        return {
+            "position_tolerance": self.position_tolerance,
+            "stable_checks": self.stable_checks,
+            "previous": (
+                None
+                if self._previous is None
+                else [dataclasses.asdict(e) for e in self._previous]
+            ),
+            "stable_count": self._stable_count,
+            "converged_at": self.converged_at,
+            "checks": self._checks,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ConvergenceMonitor":
+        """Rebuild a monitor from :meth:`export_state` output."""
+        monitor = cls(
+            position_tolerance=state["position_tolerance"],
+            stable_checks=state["stable_checks"],
+        )
+        previous = state["previous"]
+        if previous is not None:
+            monitor._previous = [SourceEstimate(**e) for e in previous]
+        monitor._stable_count = int(state["stable_count"])
+        monitor.converged_at = state["converged_at"]
+        monitor._checks = int(state["checks"])
+        return monitor

@@ -74,6 +74,14 @@ class AutoFusionRange(FusionRangePolicy):
             raise ValueError(f"k must be >= 1, got {k}")
         if slack <= 0:
             raise ValueError(f"slack must be positive, got {slack}")
+        # Init args are kept as attributes so the checkpoint codec can
+        # reconstruct an equivalent policy (``k`` is the requested value,
+        # pre-clamp).
+        self.sensor_positions = [
+            (float(x), float(y)) for x, y in sensor_positions
+        ]
+        self.k = int(k)
+        self.slack = float(slack)
         k = min(k, len(sensor_positions) - 1)
         self._ranges: Dict[Tuple[float, float], float] = {}
         for i, (xi, yi) in enumerate(sensor_positions):

@@ -535,6 +535,110 @@ class MultiSourceLocalizer:
         """The learned K: how many sources the localizer currently believes in."""
         return len(self.estimates())
 
+    # --- checkpoint support -----------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Complete filter state for checkpointing.
+
+        Returns ``{"meta": <JSON-safe dict>, "arrays": <name -> ndarray>}``.
+        Everything a restored localizer needs to continue **bitwise
+        identically** is captured: the particle arrays and revision
+        counters, the RNG bit-generator state (so no reseeding), the
+        interference and reading-EMA caches, and the revision-keyed
+        estimate cache (dropping it would change *when* the next
+        mean-shift extraction runs, and therefore the RNG stream).
+        """
+        import dataclasses
+
+        particles = self.particles.export_state()
+        arrays = {
+            "xs": particles["xs"],
+            "ys": particles["ys"],
+            "strengths": particles["strengths"],
+            "weights": particles["weights"],
+            "interference_sources": self._interference_sources.copy(),
+        }
+        cache = None
+        if self._estimate_cache is not None:
+            cache = {
+                "revision": self._estimate_cache[0],
+                "candidates": [
+                    dataclasses.asdict(e) for e in self._estimate_cache[1]
+                ],
+            }
+        meta = {
+            "iteration": self.iteration,
+            "last_touched": self.last_touched,
+            "particle_revision": particles["revision"],
+            "particle_position_revision": particles["position_revision"],
+            "interference_age": self._interference_age,
+            # Insertion order is load-bearing: the echo filter builds its
+            # sensor arrays straight from this dict's iteration order.
+            "reading_ema": [
+                [key[0], key[1], value] for key, value in self._reading_ema.items()
+            ],
+            "estimate_cache": cache,
+            "rng_state": self.rng.bit_generator.state,
+        }
+        return {"meta": meta, "arrays": arrays}
+
+    @classmethod
+    def from_state(
+        cls,
+        config: LocalizerConfig,
+        state: dict,
+        fusion_policy: Optional[FusionRangePolicy] = None,
+        movement_model: Optional[MovementModel] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> "MultiSourceLocalizer":
+        """Rebuild a localizer from :meth:`export_state` output."""
+        meta = state["meta"]
+        arrays = state["arrays"]
+        particles = ParticleSet.from_state(
+            {
+                "xs": arrays["xs"],
+                "ys": arrays["ys"],
+                "strengths": arrays["strengths"],
+                "weights": arrays["weights"],
+                "revision": meta["particle_revision"],
+                "position_revision": meta["particle_position_revision"],
+            }
+        )
+        rng_state = meta["rng_state"]
+        rng = np.random.default_rng()
+        if rng.bit_generator.state["bit_generator"] != rng_state["bit_generator"]:
+            raise ValueError(
+                f"checkpointed RNG is {rng_state['bit_generator']!r}, this "
+                f"runtime uses {rng.bit_generator.state['bit_generator']!r}"
+            )
+        rng.bit_generator.state = rng_state
+        localizer = cls(
+            config,
+            fusion_policy=fusion_policy,
+            rng=rng,
+            movement_model=movement_model,
+            particles=particles,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        localizer.iteration = int(meta["iteration"])
+        localizer.last_touched = int(meta["last_touched"])
+        localizer._interference_sources = np.asarray(
+            arrays["interference_sources"], dtype=float
+        ).reshape(-1, 3)
+        localizer._interference_age = int(meta["interference_age"])
+        localizer._reading_ema = {
+            (row[0], row[1]): row[2] for row in meta["reading_ema"]
+        }
+        cache = meta.get("estimate_cache")
+        if cache is not None:
+            localizer._estimate_cache = (
+                int(cache["revision"]),
+                [SourceEstimate(**e) for e in cache["candidates"]],
+            )
+        return localizer
+
     # --- diagnostics -----------------------------------------------------------
 
     def particle_snapshot(self) -> ParticleSet:

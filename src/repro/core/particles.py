@@ -102,6 +102,43 @@ class ParticleSet:
             raise ValueError(f"unknown strength_init {strength_init!r}")
         return cls(xs, ys, strengths)
 
+    # --- checkpoint support -------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Arrays plus revision counters, for checkpointing.
+
+        The returned arrays are **copies** (a checkpoint must not alias a
+        population that keeps mutating).  Revision counters ride along so
+        revision-keyed caches (the grid index, the localizer's estimate
+        cache) stay valid across a restore.
+        """
+        return {
+            "xs": self.xs.copy(),
+            "ys": self.ys.copy(),
+            "strengths": self.strengths.copy(),
+            "weights": self.weights.copy(),
+            "revision": self._revision,
+            "position_revision": self._position_revision,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ParticleSet":
+        """Rebuild a population from :meth:`export_state` output.
+
+        The spatial grid index is left to rebuild lazily (it is an exact
+        function of positions); grid instrumentation counters start at
+        zero in the restored set.
+        """
+        particles = cls(
+            np.asarray(state["xs"], dtype=float),
+            np.asarray(state["ys"], dtype=float),
+            np.asarray(state["strengths"], dtype=float),
+            np.asarray(state["weights"], dtype=float),
+        )
+        particles._revision = int(state["revision"])
+        particles._position_revision = int(state["position_revision"])
+        return particles
+
     # --- mutation tracking ------------------------------------------------------
 
     @property

@@ -20,15 +20,24 @@ that the outcome is **indistinguishable from the serial loop**:
 Failure handling: a cell that times out or dies is retried once on a
 rebuilt pool, then falls back to in-process execution; ``workers=0``
 skips the pool entirely.  Either way the caller gets every cell's result.
+
+Resumable cells: with ``checkpoint_every=N`` (and a ``checkpoint_dir``)
+each cell's session checkpoints its full state every N steps to a
+per-cell file.  A retried cell -- crashed worker, broken pool, timeout --
+restores from its last checkpoint instead of starting over, and the
+resumed remainder is bitwise-identical to what the uninterrupted run
+would have produced (see :mod:`repro.sim.session`).
 """
 
 from __future__ import annotations
 
 import logging
+import os
 import time
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.parallel import WorkerPool
 from repro.exp.spec import SweepCell, SweepSpec
@@ -36,32 +45,100 @@ from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.obs.sinks import InMemorySink
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.results import RepeatedRunResult, RunResult
-from repro.sim.runner import SimulationRunner
-from repro.sim.serialization import run_result_from_dict, run_result_to_dict
+from repro.sim.serialization import (
+    CheckpointError,
+    run_result_from_dict,
+    run_result_to_dict,
+)
+from repro.sim.session import LocalizerSession
 
 logger = logging.getLogger(__name__)
 
 
-def _execute_cell(payload: tuple) -> dict:
+def cell_checkpoint_path(checkpoint_dir: str | Path, cell: SweepCell) -> Path:
+    """The per-cell checkpoint file: one per (variant, repeat) coordinate."""
+    return Path(checkpoint_dir) / (
+        f"cell-v{cell.variant_index}-r{cell.repeat_index}.ckpt.json"
+    )
+
+
+def _build_session(
+    payload: dict,
+    tracer: Optional[Tracer],
+    metrics: Optional[MetricsRegistry],
+) -> Tuple[LocalizerSession, bool]:
+    """A session for one cell: restored from its checkpoint when one exists.
+
+    Returns ``(session, resumed)``.  An unreadable/corrupted checkpoint is
+    logged and ignored -- the cell restarts from scratch rather than
+    failing the sweep.
+    """
+    checkpoint_path = payload["checkpoint_path"]
+    if checkpoint_path is not None and Path(checkpoint_path).exists():
+        try:
+            session = LocalizerSession.resume_from_checkpoint(
+                checkpoint_path,
+                tracer=tracer,
+                metrics=metrics,
+                checkpoint_every=payload["checkpoint_every"],
+            )
+            return session, True
+        except CheckpointError as exc:
+            logger.warning(
+                "unusable checkpoint %s (%s); cell restarts from scratch",
+                checkpoint_path, exc,
+            )
+    session = LocalizerSession(
+        payload["scenario"],
+        seed=payload["seed"],
+        fusion_policy=payload["fusion_policy"],
+        tracer=tracer,
+        metrics=metrics,
+        record_health=payload["record_health"],
+        run_index=payload["run_index"],
+        checkpoint_every=payload["checkpoint_every"],
+        checkpoint_path=checkpoint_path,
+    )
+    return session, False
+
+
+def _drive_cell(
+    payload: dict,
+    tracer: Optional[Tracer],
+    metrics: Optional[MetricsRegistry],
+) -> RunResult:
+    """Build (or restore) one cell's session and drive it to completion."""
+    session, resumed = _build_session(payload, tracer, metrics)
+    fail_at = payload.get("fail_at_step")
+    if fail_at is not None and not resumed:
+        # Fault-injection hook for resilience tests: die abruptly (no
+        # cleanup, like a kill -9) part-way through a *fresh* cell.  A
+        # resumed cell runs clean, which is exactly what the retry path
+        # relies on.
+        while not session.finished:
+            if session.step_index == fail_at:
+                os._exit(2)
+            session.step()
+    else:
+        session.run()
+    if session.checkpoint_path is not None and session.checkpoint_every > 0:
+        # Final snapshot: a crash *after* this point restores to a
+        # finished session and returns instantly.
+        session.save_checkpoint(session.checkpoint_path)
+    return session.result()
+
+
+def _execute_cell(payload: dict) -> dict:
     """Run one sweep cell; executed inside a worker process.
 
     Returns a picklable outcome document: the run result as a
     serialization dict, the cell's trace records (when the parent traces),
     and the worker-local metrics registry (when the parent aggregates).
     """
-    scenario, fusion_policy, seed, run_index, trace, metrics, record_health = payload
-    sink = InMemorySink() if trace else None
+    sink = InMemorySink() if payload["trace"] else None
     tracer = Tracer(sink) if sink is not None else None
-    registry = MetricsRegistry() if metrics else None
-    result = SimulationRunner(
-        scenario,
-        seed=seed,
-        fusion_policy=fusion_policy,
-        tracer=tracer,
-        metrics=registry,
-        record_health=record_health,
-        run_index=run_index,
-    ).run()
+    registry = MetricsRegistry() if payload["metrics"] else None
+    result = _drive_cell(payload, tracer, registry)
     return {
         "result": run_result_to_dict(result),
         "records": sink.records if sink is not None else None,
@@ -70,17 +147,30 @@ def _execute_cell(payload: tuple) -> dict:
 
 
 def _cell_payload(
-    cell: SweepCell, trace: bool, metrics: bool, record_health: bool
-) -> tuple:
-    return (
-        cell.scenario,
-        cell.fusion_policy,
-        cell.seed,
-        cell.repeat_index,
-        trace,
-        metrics,
-        record_health,
-    )
+    cell: SweepCell,
+    trace: bool,
+    metrics: bool,
+    record_health: bool,
+    checkpoint_every: int = 0,
+    checkpoint_dir: Optional[str | Path] = None,
+    fail_at_step: Optional[int] = None,
+) -> dict:
+    return {
+        "scenario": cell.scenario,
+        "fusion_policy": cell.fusion_policy,
+        "seed": cell.seed,
+        "run_index": cell.repeat_index,
+        "trace": trace,
+        "metrics": metrics,
+        "record_health": record_health,
+        "checkpoint_every": checkpoint_every,
+        "checkpoint_path": (
+            str(cell_checkpoint_path(checkpoint_dir, cell))
+            if checkpoint_dir is not None and checkpoint_every > 0
+            else None
+        ),
+        "fail_at_step": fail_at_step,
+    }
 
 
 def _replay(outcome: dict, tracer: Tracer, metrics: MetricsRegistry) -> RunResult:
@@ -103,6 +193,9 @@ def run_cells(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     record_health: bool = True,
+    checkpoint_every: int = 0,
+    checkpoint_dir: Optional[str | Path] = None,
+    _fault_steps: Optional[Dict[int, int]] = None,
 ) -> List[RunResult]:
     """Execute sweep cells, returning results in cell order.
 
@@ -113,31 +206,50 @@ def run_cells(
     limit), one retry on a rebuilt pool, and a final in-process fallback,
     so a sick pool degrades to serial execution instead of failing the
     sweep.
+
+    ``checkpoint_every=N`` (requires ``checkpoint_dir``) makes every cell
+    resumable: the session snapshots its state every N steps to a
+    per-cell file (:func:`cell_checkpoint_path`), and both the retry and
+    the serial fallback restore from that file instead of re-running the
+    cell from step zero.  ``_fault_steps`` maps cell index to a step at
+    which a *fresh* (non-resumed) worker run aborts the whole process --
+    the fault-injection hook the resilience tests use; never set it in
+    production code.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     metrics = metrics if metrics is not None else NULL_REGISTRY
     cells = list(cells)
+    if checkpoint_every > 0 and checkpoint_dir is None:
+        raise ValueError("checkpoint_every > 0 requires a checkpoint_dir")
+    if checkpoint_dir is not None:
+        Path(checkpoint_dir).mkdir(parents=True, exist_ok=True)
     if metrics.enabled:
         metrics.counter("sweep.cells").inc(len(cells))
-
-    if workers <= 0 or len(cells) <= 1:
-        return [
-            SimulationRunner(
-                cell.scenario,
-                seed=cell.seed,
-                fusion_policy=cell.fusion_policy,
-                tracer=tracer,
-                metrics=metrics,
-                record_health=record_health,
-                run_index=cell.repeat_index,
-            ).run()
-            for cell in cells
-        ]
+    fault_steps = _fault_steps or {}
 
     payloads = [
-        _cell_payload(cell, tracer.enabled, metrics.enabled, record_health)
-        for cell in cells
+        _cell_payload(
+            cell,
+            tracer.enabled,
+            metrics.enabled,
+            record_health,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+            fail_at_step=fault_steps.get(i),
+        )
+        for i, cell in enumerate(cells)
     ]
+
+    if workers <= 0 or len(cells) <= 1:
+        # Serial path: same session machinery (hence also resumable), the
+        # parent's tracer/metrics wired straight in.  Fault injection is a
+        # worker-only concept -- it would kill the caller here.
+        return [
+            _drive_cell(
+                {**payload, "fail_at_step": None}, tracer, metrics
+            )
+            for payload in payloads
+        ]
     outcomes: List[Optional[dict]] = [None] * len(cells)
     with WorkerPool(workers) as pool:
         futures = {i: pool.submit(_execute_cell, payloads[i]) for i in range(len(cells))}
@@ -175,7 +287,10 @@ def run_cells(
                     metrics.counter("sweep.serial_fallbacks").inc(len(fallback))
                 for i in fallback:
                     logger.warning("sweep cell %d falling back to serial", i)
-                    outcomes[i] = _execute_cell(payloads[i])
+                    # Never let the fault-injection hook abort the caller.
+                    outcomes[i] = _execute_cell(
+                        {**payloads[i], "fail_at_step": None}
+                    )
 
     # Replay in cell order so merged traces and metrics read exactly like a
     # serial run's stream.
@@ -212,6 +327,8 @@ def run_sweep(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     record_health: bool = True,
+    checkpoint_every: int = 0,
+    checkpoint_dir: Optional[str | Path] = None,
 ) -> SweepResult:
     """Execute a full :class:`SweepSpec` and aggregate per variant."""
     start = time.perf_counter()
@@ -222,6 +339,8 @@ def run_sweep(
         tracer=tracer,
         metrics=metrics,
         record_health=record_health,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
     )
     elapsed = time.perf_counter() - start
     result = SweepResult(spec=spec, workers=workers, elapsed_seconds=elapsed)

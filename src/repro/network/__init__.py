@@ -25,8 +25,10 @@ from repro.network.link import (
 )
 from repro.network.transport import (
     DeliveryModel,
+    DeliveryStream,
     InOrderDelivery,
     OutOfOrderDelivery,
+    QueuedDeliveryStream,
     ShuffledDelivery,
     deliver,
 )
@@ -45,6 +47,8 @@ __all__ = [
     "ExponentialLatencyLink",
     "LossyLink",
     "DeliveryModel",
+    "DeliveryStream",
+    "QueuedDeliveryStream",
     "InOrderDelivery",
     "OutOfOrderDelivery",
     "ShuffledDelivery",

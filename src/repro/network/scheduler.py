@@ -3,9 +3,8 @@
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
-from typing import Any, Iterator, List, Optional
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 
 @dataclass(order=True)
@@ -21,12 +20,15 @@ class EventQueue:
     """Priority queue of timestamped events.
 
     Ties in delivery time are broken by insertion order, which keeps the
-    simulation deterministic for a fixed RNG seed.
+    simulation deterministic for a fixed RNG seed.  The tiebreak counter
+    is a plain integer (not an iterator) so the queue's full state --
+    pending events plus the counter -- can be exported and restored for
+    checkpointing (see :meth:`export_events` / :meth:`restore`).
     """
 
     def __init__(self) -> None:
         self._heap: List[ScheduledEvent] = []
-        self._counter = itertools.count()
+        self._next_tiebreak = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -38,7 +40,8 @@ class EventQueue:
         """Schedule ``payload`` for delivery at ``time``."""
         if time < 0:
             raise ValueError(f"event time must be non-negative, got {time}")
-        heapq.heappush(self._heap, ScheduledEvent(time, next(self._counter), payload))
+        heapq.heappush(self._heap, ScheduledEvent(time, self._next_tiebreak, payload))
+        self._next_tiebreak += 1
 
     def pop(self) -> ScheduledEvent:
         """Remove and return the earliest event."""
@@ -59,3 +62,41 @@ class EventQueue:
         """Pop every remaining event in delivery order."""
         while self._heap:
             yield heapq.heappop(self._heap)
+
+    # --- checkpoint support -----------------------------------------------------
+
+    @property
+    def next_tiebreak(self) -> int:
+        """The tiebreak the next pushed event will receive."""
+        return self._next_tiebreak
+
+    def export_events(self) -> List[ScheduledEvent]:
+        """Pending events in delivery order, without draining the queue."""
+        return sorted(self._heap)
+
+    @classmethod
+    def restore(
+        cls,
+        events: Sequence[Tuple[float, int, Any]],
+        next_tiebreak: int,
+    ) -> "EventQueue":
+        """Rebuild a queue from exported ``(time, tiebreak, payload)`` rows.
+
+        Restored tiebreaks are preserved verbatim so drain order -- and
+        therefore the arrival sequence the fusion center sees -- is
+        identical to the queue that was exported.
+        """
+        queue = cls()
+        queue._heap = [
+            ScheduledEvent(float(time), int(tiebreak), payload)
+            for time, tiebreak, payload in events
+        ]
+        heapq.heapify(queue._heap)
+        highest = max((e.tiebreak for e in queue._heap), default=-1)
+        if next_tiebreak <= highest:
+            raise ValueError(
+                f"next_tiebreak {next_tiebreak} collides with restored "
+                f"events (max tiebreak {highest})"
+            )
+        queue._next_tiebreak = int(next_tiebreak)
+        return queue

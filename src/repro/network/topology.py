@@ -20,6 +20,11 @@ import networkx as nx
 import numpy as np
 
 from repro.network.link import LinkModel
+from repro.network.transport import (
+    DeliveryModel,
+    DeliveryStream,
+    QueuedDeliveryStream,
+)
 from repro.sensors.sensor import Sensor
 
 
@@ -145,7 +150,21 @@ class MultiHopLink(LinkModel):
         return send_time + latency
 
 
-class TopologyAwareDelivery:
+class _TopologyStream(QueuedDeliveryStream):
+    """Queued stream whose per-message latency follows the routing depth."""
+
+    def __init__(self, rng: np.random.Generator, link: MultiHopLink):
+        super().__init__(rng)
+        self.link = link
+
+    def _arrival_time(self, measurement, send_time: float):
+        latency = self.link.latency_for(measurement.sensor_id, self.rng)
+        if latency is None:
+            return None
+        return send_time + latency
+
+
+class TopologyAwareDelivery(DeliveryModel):
     """Delivery model wiring per-sensor hop counts into the latency.
 
     Mirrors :class:`repro.network.transport.OutOfOrderDelivery` but asks
@@ -156,22 +175,8 @@ class TopologyAwareDelivery:
     def __init__(self, link: MultiHopLink):
         self.link = link
 
-    def deliver(self, batches, rng: np.random.Generator):
-        from repro.network.scheduler import EventQueue
-
-        queue = EventQueue()
-        step = -1
-        for step, batch in enumerate(batches):
-            n = max(1, len(batch))
-            for i, measurement in enumerate(batch):
-                send_time = step + i / n
-                latency = self.link.latency_for(measurement.sensor_id, rng)
-                if latency is not None:
-                    queue.push(send_time + latency, measurement)
-            yield [event.payload for event in queue.drain_until(step + 1.0)]
-        tail = [event.payload for event in queue.drain_all()]
-        if tail:
-            yield tail
+    def open_stream(self, rng: np.random.Generator) -> DeliveryStream:
+        return _TopologyStream(rng, self.link)
 
     def __repr__(self) -> str:
         return f"TopologyAwareDelivery({self.link.topology.max_hops()} max hops)"

@@ -1,16 +1,30 @@
 """Delivery policies: from generated measurement batches to arrival order.
 
-A :class:`DeliveryModel` consumes per-time-step batches of measurements (as
-produced by :meth:`repro.sensors.SensorNetwork.measure_time_step`) and
-yields per-time-step *arrival* batches at the fusion center.  The localizer
-then processes one measurement per iteration, in arrival order -- exactly
-the paper's "no ordering on the measurements" regime.
+A :class:`DeliveryModel` turns per-time-step batches of measurements (as
+produced by :meth:`repro.sensors.SensorNetwork.measure_time_step`) into
+per-time-step *arrival* batches at the fusion center.  The localizer then
+processes one measurement per iteration, in arrival order -- exactly the
+paper's "no ordering on the measurements" regime.
+
+The incremental contract is the :class:`DeliveryStream`: a stateful object
+fed one generation batch at a time (:meth:`DeliveryStream.push`) that
+returns whatever arrives at the fusion center by the end of that round,
+plus a final :meth:`DeliveryStream.drain` for stragglers.  Streams produce
+arrivals **on demand** -- nothing is pre-materialized -- and expose their
+in-flight state (:meth:`DeliveryStream.export_state` /
+:meth:`DeliveryStream.load_state`) so a
+:class:`~repro.sim.session.LocalizerSession` can checkpoint mid-run and
+resume with bitwise-identical arrivals.
+
+:meth:`DeliveryModel.deliver` remains as the batch-oriented convenience
+wrapper: a generator that opens a stream and pushes each batch through it.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from abc import ABC, abstractmethod
-from typing import Iterable, Iterator, List, Sequence
+from typing import Any, Dict, Iterable, Iterator, List, Sequence
 
 import numpy as np
 
@@ -19,10 +33,41 @@ from repro.network.scheduler import EventQueue
 from repro.sensors.measurement import Measurement
 
 
+class DeliveryStream(ABC):
+    """Incremental arrival stream opened from a :class:`DeliveryModel`.
+
+    One stream serves one run: the caller pushes generation batches in
+    time-step order and receives arrival batches; after the last push,
+    :meth:`drain` returns measurements still in flight (an out-of-order
+    link's tail).  The stream owns no RNG -- the generator passed to
+    :meth:`DeliveryModel.open_stream` is consumed in a deterministic
+    order, so the caller can snapshot the generator's bit-state alongside
+    :meth:`export_state` and replay the remainder of the run exactly.
+    """
+
+    @abstractmethod
+    def push(self, batch: Sequence[Measurement]) -> List[Measurement]:
+        """Feed one generation round; return what arrives by its end."""
+
+    def drain(self) -> List[Measurement]:
+        """Measurements still in flight after the final round (in order)."""
+        return []
+
+    def export_state(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of the in-flight state (default: stateless)."""
+        return {}
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore a snapshot produced by :meth:`export_state`."""
+
+
 class DeliveryModel(ABC):
     """Turns generation-order batches into arrival-order batches."""
 
     @abstractmethod
+    def open_stream(self, rng: np.random.Generator) -> DeliveryStream:
+        """A fresh incremental stream drawing its randomness from ``rng``."""
+
     def deliver(
         self,
         batches: Iterable[List[Measurement]],
@@ -31,23 +76,41 @@ class DeliveryModel(ABC):
         """Yield one arrival batch per time step (possibly plus a tail).
 
         The concatenation of the yielded batches is the exact sequence the
-        fusion center processes, one measurement per iteration.
+        fusion center processes, one measurement per iteration.  This is
+        the batch-driven wrapper over :meth:`open_stream`; both paths
+        consume the RNG identically.
         """
+        stream = self.open_stream(rng)
+        for batch in batches:
+            yield stream.push(batch)
+        tail = stream.drain()
+        if tail:
+            yield tail
+
+
+class _InOrderStream(DeliveryStream):
+    def push(self, batch: Sequence[Measurement]) -> List[Measurement]:
+        return list(batch)
 
 
 class InOrderDelivery(DeliveryModel):
     """Lossless, in-order delivery: arrival order = generation order."""
 
-    def deliver(
-        self,
-        batches: Iterable[List[Measurement]],
-        rng: np.random.Generator,
-    ) -> Iterator[List[Measurement]]:
-        for batch in batches:
-            yield list(batch)
+    def open_stream(self, rng: np.random.Generator) -> DeliveryStream:
+        return _InOrderStream()
 
     def __repr__(self) -> str:
         return "InOrderDelivery()"
+
+
+class _ShuffledStream(DeliveryStream):
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+
+    def push(self, batch: Sequence[Measurement]) -> List[Measurement]:
+        shuffled = list(batch)
+        self.rng.shuffle(shuffled)  # type: ignore[arg-type]
+        return shuffled
 
 
 class ShuffledDelivery(DeliveryModel):
@@ -57,52 +120,102 @@ class ShuffledDelivery(DeliveryModel):
     the next round but in unpredictable order.
     """
 
-    def deliver(
-        self,
-        batches: Iterable[List[Measurement]],
-        rng: np.random.Generator,
-    ) -> Iterator[List[Measurement]]:
-        for batch in batches:
-            shuffled = list(batch)
-            rng.shuffle(shuffled)  # type: ignore[arg-type]
-            yield shuffled
+    def open_stream(self, rng: np.random.Generator) -> DeliveryStream:
+        return _ShuffledStream(rng)
 
     def __repr__(self) -> str:
         return "ShuffledDelivery()"
 
 
+class QueuedDeliveryStream(DeliveryStream):
+    """Base for latency-model streams: an event queue of in-flight messages.
+
+    Each sensor's reading in round ``t`` is sent at ``t + i/N`` (sensors
+    transmit spread across the round); subclasses decide each message's
+    arrival time (or loss).  The fusion center receives whatever has
+    arrived by the end of each round, and late messages surface either in
+    a later round's batch or in the final :meth:`drain`.
+    """
+
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+        self.queue = EventQueue()
+        self.step = 0
+
+    @abstractmethod
+    def _arrival_time(
+        self, measurement: Measurement, send_time: float
+    ) -> float | None:
+        """Arrival time for one message, or ``None`` if it is lost."""
+
+    def push(self, batch: Sequence[Measurement]) -> List[Measurement]:
+        n = max(1, len(batch))
+        for i, measurement in enumerate(batch):
+            send_time = self.step + i / n
+            arrival = self._arrival_time(measurement, send_time)
+            if arrival is not None:
+                self.queue.push(arrival, measurement)
+        arrivals = [
+            event.payload for event in self.queue.drain_until(self.step + 1.0)
+        ]
+        self.step += 1
+        return arrivals
+
+    def drain(self) -> List[Measurement]:
+        return [event.payload for event in self.queue.drain_all()]
+
+    def export_state(self) -> Dict[str, Any]:
+        return {
+            "step": self.step,
+            "next_tiebreak": self.queue.next_tiebreak,
+            "events": [
+                {
+                    "time": event.time,
+                    "tiebreak": event.tiebreak,
+                    "measurement": dataclasses.asdict(event.payload),
+                }
+                for event in self.queue.export_events()
+            ],
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        self.step = int(state["step"])
+        self.queue = EventQueue.restore(
+            [
+                (
+                    event["time"],
+                    event["tiebreak"],
+                    Measurement(**event["measurement"]),
+                )
+                for event in state["events"]
+            ],
+            next_tiebreak=int(state["next_tiebreak"]),
+        )
+
+
+class _LinkLatencyStream(QueuedDeliveryStream):
+    def __init__(self, rng: np.random.Generator, link: LinkModel):
+        super().__init__(rng)
+        self.link = link
+
+    def _arrival_time(
+        self, measurement: Measurement, send_time: float
+    ) -> float | None:
+        return self.link.delivery_time(send_time, self.rng)
+
+
 class OutOfOrderDelivery(DeliveryModel):
     """Cross-step reordering driven by a per-message latency link model.
 
-    Each sensor's reading in round ``t`` is sent at ``t + i/N`` (sensors
-    transmit spread across the round) and arrives after the link latency;
-    the fusion center processes whatever has arrived by the end of each
-    round.  Messages may be lost (``LossyLink``) or arrive rounds late --
-    the Scenario C regime.
+    Messages may be lost (``LossyLink``) or arrive rounds late -- the
+    Scenario C regime.
     """
 
     def __init__(self, link: LinkModel | None = None):
         self.link = link if link is not None else PerfectLink()
 
-    def deliver(
-        self,
-        batches: Iterable[List[Measurement]],
-        rng: np.random.Generator,
-    ) -> Iterator[List[Measurement]]:
-        queue = EventQueue()
-        step = -1
-        for step, batch in enumerate(batches):
-            n = max(1, len(batch))
-            for i, measurement in enumerate(batch):
-                send_time = step + i / n
-                arrival = self.link.delivery_time(send_time, rng)
-                if arrival is not None:
-                    queue.push(arrival, measurement)
-            yield [event.payload for event in queue.drain_until(step + 1.0)]
-        # Stragglers arrive after the last generation round.
-        tail = [event.payload for event in queue.drain_all()]
-        if tail:
-            yield tail
+    def open_stream(self, rng: np.random.Generator) -> DeliveryStream:
+        return _LinkLatencyStream(rng, self.link)
 
     def __repr__(self) -> str:
         return f"OutOfOrderDelivery({self.link!r})"

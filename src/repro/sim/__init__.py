@@ -22,10 +22,14 @@ from repro.sim.scenarios import (
 )
 from repro.sim.results import StepRecord, RunResult, RepeatedRunResult
 from repro.sim.runner import SimulationRunner, run_scenario, run_repeated
+from repro.sim.session import LocalizerSession
 from repro.sim.serialization import (
+    CheckpointError,
+    load_checkpoint,
     load_scenario,
     run_result_from_dict,
     run_result_to_dict,
+    save_checkpoint,
     save_scenario,
     scenario_from_dict,
     scenario_to_dict,
@@ -47,8 +51,12 @@ __all__ = [
     "RunResult",
     "RepeatedRunResult",
     "SimulationRunner",
+    "LocalizerSession",
     "run_scenario",
     "run_repeated",
+    "CheckpointError",
+    "save_checkpoint",
+    "load_checkpoint",
     "load_scenario",
     "save_scenario",
     "scenario_from_dict",

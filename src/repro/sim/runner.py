@@ -10,36 +10,45 @@ Wires together ground truth (RadiationField + SensorNetwork), transport
   against the true sources, population health is snapshotted, and the
   convergence monitor is updated.
 
+Since the session refactor all of that behaviour lives in
+:class:`~repro.sim.session.LocalizerSession`; ``SimulationRunner`` is the
+thin batch-oriented driver kept for API stability -- it builds a session
+and drives it to completion.  Code that wants to advance step-by-step,
+interleave with the run, or checkpoint/resume should use the session
+directly.
+
 Observability: pass a :class:`~repro.obs.trace.Tracer` to record
 ``run_start`` / ``step`` / ``run_end`` events (plus the localizer's own
-``iteration`` / ``extract`` events) and a
-:class:`~repro.obs.metrics.MetricsRegistry` to aggregate counters and
-histograms.  Both default to their null implementations, which keep the
-run cost identical to an uninstrumented one.
+``iteration`` / ``extract`` events and the session's ``checkpoint`` /
+``restore`` events) and a :class:`~repro.obs.metrics.MetricsRegistry` to
+aggregate counters and histograms.  Both default to their null
+implementations, which keep the run cost identical to an uninstrumented
+one.
 """
 
 from __future__ import annotations
 
-import logging
-from typing import Iterable, List, Optional, Sequence
+from pathlib import Path
+from typing import Optional, Sequence
 
-from repro.core.diagnostics import ConvergenceMonitor, population_health
 from repro.core.fusion import FusionRangePolicy
-from repro.core.localizer import MultiSourceLocalizer
-from repro.eval.metrics import MATCH_RADIUS, evaluate_step
-from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
-from repro.obs.timers import Stopwatch
-from repro.obs.trace import NULL_TRACER, Tracer
-from repro.sensors.network import SensorNetwork
-from repro.sim.results import RepeatedRunResult, RunResult, StepRecord
-from repro.sim.rng import derive_run_seed, spawn_rngs
+from repro.eval.metrics import MATCH_RADIUS
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.sim.results import RepeatedRunResult, RunResult
+from repro.sim.rng import derive_run_seed
 from repro.sim.scenario import Scenario
-
-logger = logging.getLogger(__name__)
+from repro.sim.session import LocalizerSession
 
 
 class SimulationRunner:
-    """Runs one scenario once, from a single master seed."""
+    """Runs one scenario once, from a single master seed.
+
+    ``checkpoint_every``/``checkpoint_path`` pass through to the
+    underlying session: every N completed steps the full run state is
+    snapshotted to ``checkpoint_path`` for later
+    :meth:`LocalizerSession.resume_from_checkpoint`.
+    """
 
     def __init__(
         self,
@@ -54,14 +63,16 @@ class SimulationRunner:
         convergence_tolerance: float = 3.0,
         convergence_checks: int = 3,
         run_index: Optional[int] = None,
+        checkpoint_every: int = 0,
+        checkpoint_path: Optional[str | Path] = None,
     ):
         self.scenario = scenario
         self.seed = seed
         self.fusion_policy = fusion_policy
         self.snapshot_steps = set(snapshot_steps)
         self.match_radius = match_radius
-        self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.tracer = tracer
+        self.metrics = metrics
         self.record_health = record_health
         self.convergence_tolerance = convergence_tolerance
         self.convergence_checks = convergence_checks
@@ -70,155 +81,29 @@ class SimulationRunner:
         #: traces from several repeats -- serial or parallel -- stay
         #: attributable to their run.
         self.run_index = run_index
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = checkpoint_path
 
-    def run(self) -> RunResult:
-        scenario = self.scenario
-        measurement_rng, transport_rng, filter_rng = spawn_rngs(self.seed, 3)
-
-        network = SensorNetwork(
-            scenario.sensors,
-            scenario.field_with_obstacles(),
-            measurement_rng,
-        )
-        localizer = MultiSourceLocalizer(
-            scenario.localizer_config,
+    def session(self) -> LocalizerSession:
+        """A fresh session configured like this runner."""
+        return LocalizerSession(
+            self.scenario,
+            seed=self.seed,
             fusion_policy=self.fusion_policy,
-            rng=filter_rng,
+            snapshot_steps=self.snapshot_steps,
+            match_radius=self.match_radius,
             tracer=self.tracer,
             metrics=self.metrics,
-        )
-        monitor = ConvergenceMonitor(
-            position_tolerance=self.convergence_tolerance,
-            stable_checks=self.convergence_checks,
-        )
-        logger.info(
-            "run start: scenario=%s seed=%d sensors=%d steps=%d particles=%d",
-            scenario.name, self.seed, len(scenario.sensors),
-            scenario.n_time_steps, scenario.localizer_config.n_particles,
-        )
-        self.tracer.emit(
-            "run_start",
-            scenario=scenario.name,
-            seed=self.seed,
+            record_health=self.record_health,
+            convergence_tolerance=self.convergence_tolerance,
+            convergence_checks=self.convergence_checks,
             run_index=self.run_index,
-            n_sensors=len(scenario.sensors),
-            n_steps=scenario.n_time_steps,
-            n_particles=scenario.localizer_config.n_particles,
+            checkpoint_every=self.checkpoint_every,
+            checkpoint_path=self.checkpoint_path,
         )
 
-        result = RunResult(
-            scenario_name=scenario.name,
-            source_labels=[
-                s.label or f"Source {i + 1}" for i, s in enumerate(scenario.sources)
-            ],
-        )
-
-        batches = network.measure_stream(scenario.n_time_steps)
-        arrival_batches = scenario.delivery.deliver(batches, transport_rng)
-
-        run_watch = Stopwatch().start()
-        for step, batch in enumerate(arrival_batches):
-            if step >= scenario.n_time_steps:
-                # Straggler tail from an out-of-order link: fold it into the
-                # final recorded step so series lengths stay uniform.
-                self._consume(localizer, batch)
-                if result.steps:
-                    result.steps[-1] = self._record(
-                        scenario, localizer, monitor,
-                        scenario.n_time_steps - 1, len(batch), 0.0,
-                    )
-                continue
-            elapsed = self._consume(localizer, batch)
-            per_iteration = elapsed / max(1, len(batch))
-            record = self._record(
-                scenario, localizer, monitor, step, len(batch), per_iteration
-            )
-            result.steps.append(record)
-            self._emit_step(step, len(batch), elapsed, record)
-        total_seconds = run_watch.stop()
-
-        logger.info(
-            "run end: scenario=%s seed=%d iterations=%d converged_at=%s "
-            "total=%.3fs",
-            scenario.name, self.seed, localizer.iteration,
-            monitor.converged_at, total_seconds,
-        )
-        self.tracer.emit(
-            "run_end",
-            scenario=scenario.name,
-            seed=self.seed,
-            run_index=self.run_index,
-            n_iterations=localizer.iteration,
-            converged_at=monitor.converged_at,
-            total_seconds=total_seconds,
-        )
-        if self.metrics.enabled:
-            self.metrics.counter("runner.runs").inc()
-            self.metrics.histogram("runner.run_seconds").observe(total_seconds)
-        return result
-
-    def _consume(self, localizer: MultiSourceLocalizer, batch: Iterable) -> float:
-        watch = Stopwatch().start()
-        for measurement in batch:
-            localizer.observe(measurement)
-        return watch.stop()
-
-    def _record(
-        self,
-        scenario: Scenario,
-        localizer: MultiSourceLocalizer,
-        monitor: ConvergenceMonitor,
-        step: int,
-        n_measurements: int,
-        per_iteration_seconds: float,
-    ) -> StepRecord:
-        estimates = localizer.estimates()
-        metrics = evaluate_step(
-            step, scenario.sources, estimates, match_radius=self.match_radius
-        )
-        snapshot = (
-            localizer.particle_snapshot() if step in self.snapshot_steps else None
-        )
-        health = population_health(localizer) if self.record_health else None
-        converged = monitor.update(estimates)
-        return StepRecord(
-            metrics=metrics,
-            estimates=estimates,
-            mean_iteration_seconds=per_iteration_seconds,
-            n_measurements=n_measurements,
-            snapshot=snapshot,
-            health=health,
-            converged=converged,
-        )
-
-    def _emit_step(
-        self, step: int, n_measurements: int, elapsed: float, record: StepRecord
-    ) -> None:
-        if not self.tracer.enabled:
-            return
-        health = record.health
-        health_fields = (
-            {
-                "ess": health.effective_sample_size,
-                "ess_fraction": health.ess_fraction,
-                "spatial_spread": health.spatial_spread,
-                "strength_median": health.strength_median,
-                "strength_iqr": health.strength_iqr,
-            }
-            if health is not None
-            else {}
-        )
-        self.tracer.emit(
-            "step",
-            step=step,
-            n_measurements=n_measurements,
-            elapsed_seconds=elapsed,
-            n_estimates=len(record.estimates),
-            false_positives=record.metrics.false_positives,
-            false_negatives=record.metrics.false_negatives,
-            converged=record.converged,
-            **health_fields,
-        )
+    def run(self) -> RunResult:
+        return self.session().run()
 
 
 def run_scenario(
@@ -249,6 +134,8 @@ def run_repeated(
     metrics: Optional[MetricsRegistry] = None,
     workers: int = 0,
     timeout: Optional[float] = None,
+    checkpoint_every: int = 0,
+    checkpoint_dir: Optional[str | Path] = None,
 ) -> RepeatedRunResult:
     """Run a scenario ``n_repeats`` times with distinct seeds and aggregate.
 
@@ -263,13 +150,18 @@ def run_repeated(
     **bitwise-identical** to the serial one.  ``workers=0`` (the default)
     runs serially in-process; ``timeout`` bounds each parallel run (one
     retry, then in-process fallback).
+
+    ``checkpoint_every``/``checkpoint_dir`` make the repeats resumable:
+    each run checkpoints to its own file under ``checkpoint_dir``, and a
+    retried (crashed / timed-out) run restores from its last checkpoint
+    instead of starting over.
     """
     if n_repeats < 1:
         raise ValueError(f"n_repeats must be >= 1, got {n_repeats}")
-    if workers and workers > 0:
-        from repro.exp.engine import run_cells
-        from repro.exp.spec import SweepSpec
+    from repro.exp.engine import run_cells
+    from repro.exp.spec import SweepSpec
 
+    if (workers and workers > 0) or checkpoint_every > 0:
         spec = SweepSpec.single(
             scenario,
             n_repeats=n_repeats,
@@ -282,6 +174,8 @@ def run_repeated(
             timeout=timeout,
             tracer=tracer,
             metrics=metrics,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
         )
     else:
         runs = []

@@ -21,8 +21,11 @@ encoded as ``None`` so the documents stay strict-JSON safe.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import io
 import json
 import math
+import os
 from pathlib import Path
 from typing import Any, Dict, Optional
 
@@ -31,6 +34,12 @@ import numpy as np
 from repro.core.config import LocalizerConfig
 from repro.core.diagnostics import PopulationHealth
 from repro.core.estimator import SourceEstimate
+from repro.core.fusion import (
+    AutoFusionRange,
+    FixedFusionRange,
+    FusionRangePolicy,
+    InfiniteFusionRange,
+)
 from repro.core.particles import ParticleSet
 from repro.eval.metrics import StepMetrics
 from repro.sim.results import RunResult, StepRecord
@@ -41,6 +50,11 @@ from repro.network.link import (
     LossyLink,
     PerfectLink,
     UniformLatencyLink,
+)
+from repro.network.topology import (
+    CommunicationGraph,
+    MultiHopLink,
+    TopologyAwareDelivery,
 )
 from repro.network.transport import (
     DeliveryModel,
@@ -55,6 +69,14 @@ from repro.sim.scenario import Scenario
 
 #: Document format version; bump on incompatible changes.
 FORMAT_VERSION = 1
+
+#: Checkpoint document magic + version (independent of scenario documents).
+CHECKPOINT_FORMAT = "repro-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint document is missing, corrupted, or unsupported."""
 
 
 def _link_to_dict(link: LinkModel) -> Dict[str, Any]:
@@ -91,6 +113,21 @@ def _delivery_to_dict(delivery: DeliveryModel) -> Dict[str, Any]:
         return {"type": "in-order"}
     if isinstance(delivery, ShuffledDelivery):
         return {"type": "shuffled"}
+    if isinstance(delivery, TopologyAwareDelivery):
+        link = delivery.link
+        topology = link.topology
+        return {
+            "type": "topology",
+            "radio_range": topology.radio_range,
+            "base_station": list(topology.base_station),
+            "per_hop": link.per_hop,
+            "contention_mean": link.contention_mean,
+            "sensors": [
+                {"id": node, "x": pos[0], "y": pos[1]}
+                for node, pos in topology.graph.nodes(data="pos")
+                if node != CommunicationGraph.BASE
+            ],
+        }
     if isinstance(delivery, OutOfOrderDelivery):
         return {"type": "out-of-order", "link": _link_to_dict(delivery.link)}
     return {"type": "custom", "repr": repr(delivery)}
@@ -102,9 +139,70 @@ def _delivery_from_dict(data: Dict[str, Any]) -> DeliveryModel:
         return InOrderDelivery()
     if kind == "shuffled":
         return ShuffledDelivery()
+    if kind == "topology":
+        sensors = [
+            Sensor(sensor_id=s["id"], x=s["x"], y=s["y"])
+            for s in data["sensors"]
+        ]
+        topology = CommunicationGraph(
+            sensors,
+            base_station=tuple(data["base_station"]),
+            radio_range=data["radio_range"],
+        )
+        return TopologyAwareDelivery(
+            MultiHopLink(
+                topology,
+                per_hop=data["per_hop"],
+                contention_mean=data["contention_mean"],
+            )
+        )
     if kind == "out-of-order":
         return OutOfOrderDelivery(_link_from_dict(data.get("link", {})))
     return InOrderDelivery()
+
+
+def fusion_policy_to_dict(policy: Optional[FusionRangePolicy]) -> Dict[str, Any]:
+    """Codec for the fusion policies a checkpoint can carry.
+
+    Unlike the scenario codecs, an unknown policy is an error: silently
+    swapping a policy on restore would change every subsequent fusion
+    selection and break resume parity.
+    """
+    if policy is None:
+        return {"type": "none"}
+    if isinstance(policy, FixedFusionRange):
+        return {"type": "fixed", "d": policy.d}
+    if isinstance(policy, InfiniteFusionRange):
+        return {"type": "infinite"}
+    if isinstance(policy, AutoFusionRange):
+        return {
+            "type": "auto",
+            "sensor_positions": [list(p) for p in policy.sensor_positions],
+            "k": policy.k,
+            "slack": policy.slack,
+        }
+    raise CheckpointError(
+        f"cannot checkpoint fusion policy {type(policy).__name__}; "
+        "add a codec in repro.sim.serialization"
+    )
+
+
+def fusion_policy_from_dict(data: Dict[str, Any]) -> Optional[FusionRangePolicy]:
+    """Inverse of :func:`fusion_policy_to_dict`."""
+    kind = data.get("type", "none")
+    if kind == "none":
+        return None
+    if kind == "fixed":
+        return FixedFusionRange(data["d"])
+    if kind == "infinite":
+        return InfiniteFusionRange()
+    if kind == "auto":
+        return AutoFusionRange(
+            [tuple(p) for p in data["sensor_positions"]],
+            k=data["k"],
+            slack=data["slack"],
+        )
+    raise CheckpointError(f"unknown fusion policy type {kind!r} in checkpoint")
 
 
 def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
@@ -315,6 +413,90 @@ def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
         source_labels=list(data["source_labels"]),
         steps=[step_record_from_dict(s) for s in data["steps"]],
     )
+
+
+def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write via a temp file + rename so readers never see a torn file."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(payload)
+    os.replace(tmp, path)
+
+
+def save_checkpoint(state: Dict[str, Any], path: str | Path) -> int:
+    """Persist a session state document as JSON plus an ``.npz`` sidecar.
+
+    ``state`` is the output of
+    :meth:`repro.sim.session.LocalizerSession.export_state`: a JSON-safe
+    tree plus a flat ``state["arrays"]`` dict of ndarrays.  Arrays go to a
+    binary sidecar (``<path>.npz``, bit-exact) referenced from the JSON
+    document together with its SHA-256, so a truncated or tampered sidecar
+    is detected at load time.  Both files are written atomically.
+
+    Returns the total number of bytes written (JSON + sidecar), which the
+    session feeds into the ``checkpoint.bytes`` metric.
+    """
+    path = Path(path)
+    state = dict(state)
+    arrays = state.pop("arrays", {})
+    buffer = io.BytesIO()
+    np.savez(buffer, **{key: np.asarray(value) for key, value in arrays.items()})
+    blob = buffer.getvalue()
+    arrays_name = path.name + ".npz"
+    document = {
+        "format": CHECKPOINT_FORMAT,
+        "format_version": CHECKPOINT_VERSION,
+        "arrays_file": arrays_name,
+        "arrays_sha256": hashlib.sha256(blob).hexdigest(),
+        "state": state,
+    }
+    payload = json.dumps(document).encode("utf-8")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    _atomic_write_bytes(path.parent / arrays_name, blob)
+    _atomic_write_bytes(path, payload)
+    return len(payload) + len(blob)
+
+
+def load_checkpoint(path: str | Path) -> Dict[str, Any]:
+    """Load a checkpoint written by :func:`save_checkpoint`.
+
+    Raises :class:`CheckpointError` on every failure mode -- missing or
+    unparsable JSON, wrong magic, unsupported version, missing sidecar,
+    or a sidecar whose SHA-256 does not match the document.
+    """
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text())
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(document, dict) or document.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(f"{path} is not a {CHECKPOINT_FORMAT} document")
+    version = document.get("format_version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has format version {version!r}; this build "
+            f"supports {CHECKPOINT_VERSION}"
+        )
+    sidecar = path.parent / document["arrays_file"]
+    try:
+        blob = sidecar.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(
+            f"checkpoint arrays sidecar {sidecar} is missing: {exc}"
+        ) from exc
+    if hashlib.sha256(blob).hexdigest() != document["arrays_sha256"]:
+        raise CheckpointError(
+            f"checkpoint arrays sidecar {sidecar} is corrupted "
+            "(SHA-256 mismatch)"
+        )
+    with np.load(io.BytesIO(blob)) as npz:
+        arrays = {key: npz[key] for key in npz.files}
+    state = document["state"]
+    state["arrays"] = arrays
+    return state
 
 
 def save_scenario(scenario: Scenario, path: str | Path) -> None:

@@ -1,0 +1,480 @@
+"""Incrementally-driven localizer sessions with checkpoint/restore.
+
+A :class:`LocalizerSession` is the stateful heart of a simulation run: it
+owns the ground-truth network, the transport stream, the localizer and the
+convergence monitor, and advances **one time step at a time**.  Where the
+legacy :class:`~repro.sim.runner.SimulationRunner` drove a pre-wired
+generator pipeline to completion, a session pulls measurements on demand
+(:meth:`step`), which makes three things possible:
+
+* **interleaving** -- callers can inspect estimates, inject faults, or
+  mutate the world between steps;
+* **checkpointing** -- :meth:`export_state` captures *complete* run state
+  (particle arrays, weights, revision counters, RNG bit-generator states,
+  in-flight transport messages, fusion policy, monitor history, step
+  records) into a document that :func:`~repro.sim.serialization.save_checkpoint`
+  persists as JSON + ``.npz``;
+* **resume parity** -- a run checkpointed at step ``t`` and restored (even
+  in a fresh process) emits **bitwise-identical** remaining
+  :class:`~repro.sim.results.StepRecord` entries to the uninterrupted run.
+  Nothing is reseeded on restore; every generator resumes mid-stream.
+
+The parity contract constrains the implementation in non-obvious ways:
+the localizer's revision-keyed estimate cache is checkpointed (a restore
+that dropped it would recompute estimates at a different point in the
+filter RNG stream), the echo filter's EMA dict round-trips in insertion
+order, and the transport event queue's tiebreak counter survives so
+simultaneous arrivals keep their order.
+"""
+
+from __future__ import annotations
+
+import logging
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.core.diagnostics import ConvergenceMonitor, population_health
+from repro.core.fusion import FusionRangePolicy
+from repro.core.localizer import MultiSourceLocalizer
+from repro.eval.metrics import MATCH_RADIUS, evaluate_step
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.timers import Stopwatch
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.sensors.network import SensorNetwork
+from repro.sim.results import RunResult, StepRecord
+from repro.sim.rng import spawn_rngs
+from repro.sim.scenario import Scenario
+from repro.sim.serialization import (
+    fusion_policy_from_dict,
+    fusion_policy_to_dict,
+    load_checkpoint,
+    save_checkpoint,
+    scenario_from_dict,
+    scenario_to_dict,
+    step_record_from_dict,
+    step_record_to_dict,
+)
+
+logger = logging.getLogger(__name__)
+
+
+def _rng_state(generator) -> dict:
+    """A generator's bit-state as a JSON-safe dict (plain ints/strs)."""
+
+    def _clean(value):
+        if isinstance(value, dict):
+            return {k: _clean(v) for k, v in value.items()}
+        if isinstance(value, str):
+            return value
+        return int(value)
+
+    return _clean(generator.bit_generator.state)
+
+
+class LocalizerSession:
+    """One scenario run, advanced step-by-step and snapshotable at any step.
+
+    Constructing a session performs the same work, in the same order, as
+    the start of a legacy runner run: RNG fan-out
+    (:func:`~repro.sim.rng.spawn_rngs`), network construction, localizer
+    initialization (which consumes the filter RNG), and transport stream
+    opening.  That ordering is part of the determinism contract -- do not
+    reorder it.
+
+    ``checkpoint_every``/``checkpoint_path`` arm automatic checkpointing:
+    every ``checkpoint_every`` completed steps the full state is written
+    to ``checkpoint_path`` (overwriting the previous snapshot).
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        seed: int = 0,
+        fusion_policy: Optional[FusionRangePolicy] = None,
+        snapshot_steps: Sequence[int] = (),
+        match_radius: float = MATCH_RADIUS,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        record_health: bool = True,
+        convergence_tolerance: float = 3.0,
+        convergence_checks: int = 3,
+        run_index: Optional[int] = None,
+        checkpoint_every: int = 0,
+        checkpoint_path: Optional[str | Path] = None,
+    ):
+        if checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        if checkpoint_every > 0 and checkpoint_path is None:
+            raise ValueError("checkpoint_every > 0 requires a checkpoint_path")
+        self.scenario = scenario
+        self.seed = seed
+        self.fusion_policy = fusion_policy
+        self.snapshot_steps = set(snapshot_steps)
+        self.match_radius = match_radius
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.record_health = record_health
+        self.run_index = run_index
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+
+        measurement_rng, transport_rng, filter_rng = spawn_rngs(seed, 3)
+        self.measurement_rng = measurement_rng
+        self.transport_rng = transport_rng
+        self.network = SensorNetwork(
+            scenario.sensors,
+            scenario.field_with_obstacles(),
+            measurement_rng,
+        )
+        self.localizer = MultiSourceLocalizer(
+            scenario.localizer_config,
+            fusion_policy=fusion_policy,
+            rng=filter_rng,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
+        self.monitor = ConvergenceMonitor(
+            position_tolerance=convergence_tolerance,
+            stable_checks=convergence_checks,
+        )
+        self.stream = scenario.delivery.open_stream(transport_rng)
+
+        self.step_index = 0
+        self.records: List[StepRecord] = []
+        self._total_seconds = 0.0
+        self._started = False
+        self._finished = False
+
+    # --- lifecycle --------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """True once the final step (and the straggler tail) is processed."""
+        return self._finished
+
+    def step(self) -> StepRecord:
+        """Advance one time step; returns the step's record.
+
+        The final call additionally drains the transport stream's
+        straggler tail and folds it into the last record (matching the
+        legacy runner's semantics), then emits ``run_end``.
+        """
+        if self._finished:
+            raise RuntimeError(
+                f"session for {self.scenario.name!r} already finished "
+                f"({self.step_index} steps)"
+            )
+        self._ensure_started()
+        scenario = self.scenario
+        step = self.step_index
+        batch = self.stream.push(self.network.measure_time_step(step))
+        elapsed = self._consume(batch)
+        record = self._record(step, len(batch), elapsed / max(1, len(batch)))
+        self.records.append(record)
+        self._emit_step(step, len(batch), elapsed, record)
+        self.step_index += 1
+        if self.step_index >= scenario.n_time_steps:
+            self._drain_tail()
+            self._finish()
+            return self.records[-1]
+        if (
+            self.checkpoint_every > 0
+            and self.step_index % self.checkpoint_every == 0
+        ):
+            self.save_checkpoint(self.checkpoint_path)
+        return record
+
+    def run(self) -> RunResult:
+        """Drive the session to completion and return the run result."""
+        while not self._finished:
+            self.step()
+        return self.result()
+
+    def result(self) -> RunResult:
+        """The run result accumulated so far (complete once finished)."""
+        return RunResult(
+            scenario_name=self.scenario.name,
+            source_labels=[
+                s.label or f"Source {i + 1}"
+                for i, s in enumerate(self.scenario.sources)
+            ],
+            steps=list(self.records),
+        )
+
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        scenario = self.scenario
+        logger.info(
+            "run start: scenario=%s seed=%d sensors=%d steps=%d particles=%d",
+            scenario.name, self.seed, len(scenario.sensors),
+            scenario.n_time_steps, scenario.localizer_config.n_particles,
+        )
+        self.tracer.emit(
+            "run_start",
+            scenario=scenario.name,
+            seed=self.seed,
+            run_index=self.run_index,
+            n_sensors=len(scenario.sensors),
+            n_steps=scenario.n_time_steps,
+            n_particles=scenario.localizer_config.n_particles,
+        )
+
+    def _drain_tail(self) -> None:
+        """Fold an out-of-order link's stragglers into the final record."""
+        tail = self.stream.drain()
+        if not tail:
+            return
+        self._consume(tail)
+        if self.records:
+            self.records[-1] = self._record(
+                self.scenario.n_time_steps - 1, len(tail), 0.0
+            )
+
+    def _finish(self) -> None:
+        self._finished = True
+        scenario = self.scenario
+        logger.info(
+            "run end: scenario=%s seed=%d iterations=%d converged_at=%s "
+            "total=%.3fs",
+            scenario.name, self.seed, self.localizer.iteration,
+            self.monitor.converged_at, self._total_seconds,
+        )
+        self.tracer.emit(
+            "run_end",
+            scenario=scenario.name,
+            seed=self.seed,
+            run_index=self.run_index,
+            n_iterations=self.localizer.iteration,
+            converged_at=self.monitor.converged_at,
+            total_seconds=self._total_seconds,
+        )
+        if self.metrics.enabled:
+            self.metrics.counter("runner.runs").inc()
+            self.metrics.histogram("runner.run_seconds").observe(
+                self._total_seconds
+            )
+
+    # --- per-step internals -----------------------------------------------------
+
+    def _consume(self, batch) -> float:
+        watch = Stopwatch().start()
+        for measurement in batch:
+            self.localizer.observe(measurement)
+        elapsed = watch.stop()
+        self._total_seconds += elapsed
+        return elapsed
+
+    def _record(
+        self, step: int, n_measurements: int, per_iteration_seconds: float
+    ) -> StepRecord:
+        estimates = self.localizer.estimates()
+        metrics = evaluate_step(
+            step,
+            self.scenario.sources,
+            estimates,
+            match_radius=self.match_radius,
+        )
+        snapshot = (
+            self.localizer.particle_snapshot()
+            if step in self.snapshot_steps
+            else None
+        )
+        health = population_health(self.localizer) if self.record_health else None
+        converged = self.monitor.update(estimates)
+        return StepRecord(
+            metrics=metrics,
+            estimates=estimates,
+            mean_iteration_seconds=per_iteration_seconds,
+            n_measurements=n_measurements,
+            snapshot=snapshot,
+            health=health,
+            converged=converged,
+        )
+
+    def _emit_step(
+        self, step: int, n_measurements: int, elapsed: float, record: StepRecord
+    ) -> None:
+        if not self.tracer.enabled:
+            return
+        health = record.health
+        health_fields = (
+            {
+                "ess": health.effective_sample_size,
+                "ess_fraction": health.ess_fraction,
+                "spatial_spread": health.spatial_spread,
+                "strength_median": health.strength_median,
+                "strength_iqr": health.strength_iqr,
+            }
+            if health is not None
+            else {}
+        )
+        self.tracer.emit(
+            "step",
+            step=step,
+            n_measurements=n_measurements,
+            elapsed_seconds=elapsed,
+            n_estimates=len(record.estimates),
+            false_positives=record.metrics.false_positives,
+            false_negatives=record.metrics.false_negatives,
+            converged=record.converged,
+            **health_fields,
+        )
+
+    # --- checkpoint / restore ---------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Complete session state as a checkpoint document.
+
+        JSON-safe throughout except ``state["arrays"]``, a flat dict of
+        ndarrays destined for the ``.npz`` sidecar (see
+        :func:`~repro.sim.serialization.save_checkpoint`).
+        """
+        localizer_state = self.localizer.export_state()
+        arrays = {
+            f"localizer.{name}": array
+            for name, array in localizer_state["arrays"].items()
+        }
+        return {
+            "session": {
+                "scenario": scenario_to_dict(self.scenario),
+                "seed": self.seed,
+                "run_index": self.run_index,
+                "fusion_policy": fusion_policy_to_dict(self.fusion_policy),
+                "snapshot_steps": sorted(self.snapshot_steps),
+                "match_radius": self.match_radius,
+                "record_health": self.record_health,
+                "convergence_tolerance": self.monitor.position_tolerance,
+                "convergence_checks": self.monitor.stable_checks,
+                "step_index": self.step_index,
+                "finished": self._finished,
+                "started": self._started,
+                "total_seconds": self._total_seconds,
+                "records": [step_record_to_dict(r) for r in self.records],
+            },
+            "network": {
+                "sequence": self.network._sequence,
+                "measurement_rng": _rng_state(self.measurement_rng),
+            },
+            "transport": {
+                "rng": _rng_state(self.transport_rng),
+                "stream": self.stream.export_state(),
+            },
+            "localizer": localizer_state["meta"],
+            "monitor": self.monitor.export_state(),
+            "arrays": arrays,
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: dict,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        checkpoint_every: int = 0,
+        checkpoint_path: Optional[str | Path] = None,
+    ) -> "LocalizerSession":
+        """Rebuild a session from :meth:`export_state` output.
+
+        The restored session continues exactly where the exported one
+        stopped: no RNG is reseeded, the transport queue resumes with its
+        in-flight messages, and ``run_start`` is *not* re-emitted.
+        """
+        doc = state["session"]
+        scenario = scenario_from_dict(doc["scenario"])
+        session = cls(
+            scenario,
+            seed=doc["seed"],
+            fusion_policy=fusion_policy_from_dict(doc["fusion_policy"]),
+            snapshot_steps=doc["snapshot_steps"],
+            match_radius=doc["match_radius"],
+            tracer=tracer,
+            metrics=metrics,
+            record_health=doc["record_health"],
+            convergence_tolerance=doc["convergence_tolerance"],
+            convergence_checks=doc["convergence_checks"],
+            run_index=doc["run_index"],
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+        )
+        session.measurement_rng.bit_generator.state = state["network"][
+            "measurement_rng"
+        ]
+        session.network._sequence = int(state["network"]["sequence"])
+        session.transport_rng.bit_generator.state = state["transport"]["rng"]
+        session.stream.load_state(state["transport"]["stream"])
+        localizer_arrays = {
+            name.split(".", 1)[1]: array
+            for name, array in state["arrays"].items()
+            if name.startswith("localizer.")
+        }
+        session.localizer = MultiSourceLocalizer.from_state(
+            scenario.localizer_config,
+            {"meta": state["localizer"], "arrays": localizer_arrays},
+            fusion_policy=session.fusion_policy,
+            tracer=session.tracer,
+            metrics=session.metrics,
+        )
+        session.monitor = ConvergenceMonitor.from_state(state["monitor"])
+        session.records = [step_record_from_dict(r) for r in doc["records"]]
+        session.step_index = int(doc["step_index"])
+        session._finished = bool(doc["finished"])
+        session._started = bool(doc["started"])
+        session._total_seconds = float(doc["total_seconds"])
+        return session
+
+    def save_checkpoint(self, path: str | Path) -> int:
+        """Write the session state to ``path`` (plus an ``.npz`` sidecar).
+
+        Emits a ``checkpoint`` trace event and bumps the
+        ``checkpoint.writes`` / ``checkpoint.bytes`` counters.  Returns
+        the number of bytes written.
+        """
+        watch = Stopwatch().start()
+        nbytes = save_checkpoint(self.export_state(), path)
+        seconds = watch.stop()
+        self.tracer.emit(
+            "checkpoint",
+            step=self.step_index,
+            path=str(path),
+            bytes=nbytes,
+            seconds=seconds,
+        )
+        if self.metrics.enabled:
+            self.metrics.counter("checkpoint.writes").inc()
+            self.metrics.counter("checkpoint.bytes").inc(nbytes)
+        return nbytes
+
+    @classmethod
+    def resume_from_checkpoint(
+        cls,
+        path: str | Path,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        checkpoint_every: int = 0,
+        checkpoint_path: Optional[str | Path] = None,
+    ) -> "LocalizerSession":
+        """Load a checkpoint file and rebuild the session it captured.
+
+        ``checkpoint_path`` defaults to the file being resumed, so a
+        session restored with ``checkpoint_every`` set keeps overwriting
+        the same snapshot as it advances.
+        """
+        if checkpoint_every > 0 and checkpoint_path is None:
+            checkpoint_path = path
+        session = cls.from_state(
+            load_checkpoint(path),
+            tracer=tracer,
+            metrics=metrics,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+        )
+        session.tracer.emit("restore", step=session.step_index, path=str(path))
+        if session.metrics.enabled:
+            session.metrics.counter("checkpoint.restores").inc()
+        return session

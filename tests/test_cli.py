@@ -79,3 +79,84 @@ class TestExportRunFile:
         assert "4 steps" in out
         assert "\n3 " in out
         assert "\n29 " not in out
+
+
+class TestRunFileInstrumentation:
+    """run-file accepts the same --trace/--metrics/--health flags as run."""
+
+    def _export(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        main(["export", "a", "--out", str(path), "--steps", "4",
+              "--strength", "50"])
+        return path
+
+    def test_parser_accepts_flags(self, tmp_path):
+        args = build_parser().parse_args(
+            ["run-file", "x.json", "--trace", "t.jsonl", "--metrics", "--health"]
+        )
+        assert args.trace == "t.jsonl"
+        assert args.metrics and args.health
+
+    def test_metrics_and_health(self, tmp_path, capsys):
+        path = self._export(tmp_path)
+        capsys.readouterr()
+        assert main(["run-file", str(path), "--repeats", "1",
+                     "--metrics", "--health"]) == 0
+        out = capsys.readouterr().out
+        assert "run metrics" in out
+        assert "localizer.iterations" in out
+        assert "population health" in out
+
+    def test_trace_written(self, tmp_path, capsys):
+        import json as json_mod
+
+        scenario_path = self._export(tmp_path)
+        trace_path = tmp_path / "trace.jsonl"
+        capsys.readouterr()
+        assert main(["run-file", str(scenario_path), "--repeats", "1",
+                     "--trace", str(trace_path)]) == 0
+        lines = [json_mod.loads(line)
+                 for line in trace_path.read_text().splitlines()]
+        assert any(r["type"] == "run_start" for r in lines)
+        assert any(r["type"] == "step" for r in lines)
+
+
+class TestCheckpointResume:
+    def test_run_checkpoint_then_resume(self, tmp_path, capsys):
+        ckpt_dir = tmp_path / "ckpts"
+        assert main(["run", "a", "--steps", "4", "--repeats", "1",
+                     "--strength", "50",
+                     "--checkpoint-every", "2",
+                     "--checkpoint-dir", str(ckpt_dir)]) == 0
+        capsys.readouterr()
+        checkpoint = ckpt_dir / "cell-v0-r0.ckpt.json"
+        assert checkpoint.exists()
+        assert main(["resume", str(checkpoint)]) == 0
+        out = capsys.readouterr().out
+        assert "resumed at step 4/4" in out
+        assert "steady state" in out
+
+    def test_resume_missing_checkpoint_fails_cleanly(self, tmp_path, capsys):
+        assert main(["resume", str(tmp_path / "nope.ckpt.json")]) == 1
+        err = capsys.readouterr().err
+        assert "cannot read checkpoint" in err
+
+    def test_resume_mid_run_checkpoint(self, tmp_path, capsys):
+        """A checkpoint taken mid-run resumes and completes the run."""
+        from repro.sim.scenarios import scenario_a
+        from repro.sim.session import LocalizerSession
+
+        scenario = scenario_a(n_particles=600, n_time_steps=4)
+        session = LocalizerSession(scenario, seed=3)
+        session.step()
+        path = tmp_path / "mid.ckpt.json"
+        session.save_checkpoint(path)
+        assert main(["resume", str(path), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed at step 1/4" in out
+        assert "checkpoint.restores" in out
+
+    def test_checkpoint_every_without_dir_fails(self, capsys):
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            main(["run", "a", "--steps", "4", "--repeats", "1",
+                  "--checkpoint-every", "2"])

@@ -29,8 +29,10 @@ class TestValidation:
             ("under_prediction_tempering", 1.5),
             ("under_prediction_tempering", -0.1),
             ("interference_refresh", 0),
+            ("interference_refresh", -3),
             ("echo_residual_fraction", 2.0),
             ("echo_sensor_radius", 0.0),
+            ("echo_sensor_radius", -25.0),
             ("resample_noise_sigma", -1.0),
             ("strength_noise_rel", -0.5),
             ("injection_fraction", 1.0),

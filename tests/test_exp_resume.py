@@ -1,0 +1,145 @@
+"""Resumable sweep cells: crashed workers restore from checkpoints.
+
+The experiment engine's retry path used to re-run a failed cell from step
+zero; with ``checkpoint_every`` set, each cell's session snapshots its
+state and a retry (or the serial fallback) picks up from the last
+snapshot.  The fault-injection hook ``_fault_steps`` kills a worker
+process abruptly (``os._exit``) part-way through a cell -- the closest
+simulation of a real crash/OOM-kill the test suite can stage.
+"""
+
+import pytest
+
+from repro.core.config import LocalizerConfig
+from repro.exp.engine import cell_checkpoint_path, run_cells
+from repro.exp.spec import SweepSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.physics.source import RadiationSource
+from repro.sensors.placement import grid_placement
+from repro.sim.runner import run_repeated
+from repro.sim.scenario import Scenario
+from repro.sim.serialization import step_record_to_dict
+from repro.sim.session import LocalizerSession
+
+
+def tiny_scenario(**kwargs) -> Scenario:
+    defaults = dict(
+        name="resume-tiny",
+        area=(60.0, 60.0),
+        sources=[RadiationSource(22.0, 38.0, 10.0, label="S1")],
+        sensors=grid_placement(
+            4, 4, 60.0, 60.0, efficiency=1e-4, background_cpm=5.0,
+            margin_fraction=0.0,
+        ),
+        background_cpm=5.0,
+        n_time_steps=4,
+        localizer_config=LocalizerConfig(
+            area=(60.0, 60.0), n_particles=400, assumed_background_cpm=5.0
+        ),
+    )
+    defaults.update(kwargs)
+    return Scenario(**defaults)
+
+
+def comparable(runs):
+    out = []
+    for run in runs:
+        docs = [step_record_to_dict(s) for s in run.steps]
+        for doc in docs:
+            doc.pop("mean_iteration_seconds")
+        out.append(docs)
+    return out
+
+
+class TestWorkerCrashRecovery:
+    def test_killed_worker_resumes_from_checkpoint(self, tmp_path):
+        """Cell 0's worker dies at step 2; the retry restores mid-cell and
+        the final results are bitwise-identical to an undisturbed sweep."""
+        spec = SweepSpec.single(tiny_scenario(), n_repeats=2, base_seed=9)
+        reference = run_cells(spec.cells(), workers=0)
+
+        metrics = MetricsRegistry()
+        crashed = run_cells(
+            spec.cells(),
+            workers=2,
+            metrics=metrics,
+            checkpoint_every=1,
+            checkpoint_dir=tmp_path,
+            _fault_steps={0: 2},
+        )
+        assert comparable(crashed) == comparable(reference)
+        snapshot = metrics.snapshot()
+        assert snapshot["sweep.retries"]["value"] >= 1
+        assert snapshot["checkpoint.restores"]["value"] >= 1
+
+    def test_checkpoint_files_written_per_cell(self, tmp_path):
+        spec = SweepSpec.single(tiny_scenario(), n_repeats=2, base_seed=9)
+        cells = spec.cells()
+        run_cells(
+            cells, workers=2, checkpoint_every=2, checkpoint_dir=tmp_path
+        )
+        for cell in cells:
+            path = cell_checkpoint_path(tmp_path, cell)
+            assert path.exists(), path
+            assert path.with_name(path.name + ".npz").exists()
+
+
+class TestSerialResume:
+    def test_serial_path_restores_existing_checkpoint(self, tmp_path):
+        """workers=0 goes through the same session machinery: a partial
+        checkpoint left by a previous (crashed) invocation is picked up."""
+        scenario = tiny_scenario()
+        spec = SweepSpec.single(scenario, n_repeats=1, base_seed=9)
+        cell = spec.cells()[0]
+        reference = run_cells([cell], workers=0)
+
+        # Simulate the first invocation dying after step 2.
+        partial = LocalizerSession(scenario, seed=cell.seed, run_index=0)
+        partial.step()
+        partial.step()
+        partial.save_checkpoint(cell_checkpoint_path(tmp_path, cell))
+
+        metrics = MetricsRegistry()
+        resumed = run_cells(
+            [cell],
+            workers=0,
+            metrics=metrics,
+            checkpoint_every=1,
+            checkpoint_dir=tmp_path,
+        )
+        assert comparable(resumed) == comparable(reference)
+        assert metrics.snapshot()["checkpoint.restores"]["value"] == 1
+
+    def test_corrupted_checkpoint_falls_back_to_fresh_run(self, tmp_path):
+        scenario = tiny_scenario()
+        spec = SweepSpec.single(scenario, n_repeats=1, base_seed=9)
+        cell = spec.cells()[0]
+        reference = run_cells([cell], workers=0)
+
+        path = cell_checkpoint_path(tmp_path, cell)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{not json")
+        resumed = run_cells(
+            [cell], workers=0, checkpoint_every=1, checkpoint_dir=tmp_path
+        )
+        assert comparable(resumed) == comparable(reference)
+
+    def test_checkpoint_every_requires_dir(self):
+        spec = SweepSpec.single(tiny_scenario(), n_repeats=1)
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            run_cells(spec.cells(), checkpoint_every=2)
+
+
+class TestRunRepeatedPassthrough:
+    def test_run_repeated_with_checkpoints_matches_plain(self, tmp_path):
+        scenario = tiny_scenario()
+        plain = run_repeated(scenario, n_repeats=2, base_seed=5)
+        checkpointed = run_repeated(
+            scenario,
+            n_repeats=2,
+            base_seed=5,
+            checkpoint_every=2,
+            checkpoint_dir=tmp_path,
+        )
+        assert comparable(plain.runs) == comparable(checkpointed.runs)
+        assert any(tmp_path.glob("cell-*.ckpt.json"))

@@ -169,3 +169,155 @@ class TestRunResultRoundTrip:
         doc["format_version"] = FORMAT_VERSION + 1
         with pytest.raises(ValueError, match="newer than supported"):
             run_result_from_dict(doc)
+
+
+# --- property-based codec round-trips ---------------------------------------
+#
+# The codec invariant is a *fixed point*: decoding a document and
+# re-encoding it must reproduce the document exactly.  (Object-level
+# equality is not defined for links/deliveries, so the dict form is the
+# canonical representation to compare.)
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.core.fusion import (  # noqa: E402
+    AutoFusionRange,
+    FixedFusionRange,
+    InfiniteFusionRange,
+)
+from repro.network.link import (  # noqa: E402
+    ExponentialLatencyLink,
+    PerfectLink,
+)
+from repro.network.topology import (  # noqa: E402
+    CommunicationGraph,
+    MultiHopLink,
+    TopologyAwareDelivery,
+)
+from repro.sensors.sensor import Sensor  # noqa: E402
+from repro.sim.serialization import (  # noqa: E402
+    CheckpointError,
+    _delivery_from_dict,
+    _delivery_to_dict,
+    _link_from_dict,
+    _link_to_dict,
+    fusion_policy_from_dict,
+    fusion_policy_to_dict,
+)
+
+finite = st.floats(
+    min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+def links(depth=2):
+    base = st.one_of(
+        st.just(PerfectLink()),
+        st.tuples(finite, finite).map(
+            lambda lo_hi: UniformLatencyLink(
+                min(lo_hi), max(lo_hi)
+            )
+        ),
+        finite.filter(lambda m: m > 0).map(ExponentialLatencyLink),
+    )
+    if depth <= 0:
+        return base
+    return st.one_of(
+        base,
+        st.tuples(
+            links(depth - 1),
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        ).map(lambda pair: LossyLink(pair[0], pair[1])),
+    )
+
+
+positions = st.lists(
+    st.tuples(finite, finite), min_size=2, max_size=6, unique=True
+)
+
+
+def topology_deliveries():
+    def build(pos_list):
+        sensors = [
+            Sensor(sensor_id=i, x=x, y=y) for i, (x, y) in enumerate(pos_list)
+        ]
+        topology = CommunicationGraph(
+            sensors, base_station=(0.0, 0.0), radio_range=75.0
+        )
+        return TopologyAwareDelivery(
+            MultiHopLink(topology, per_hop=0.05, contention_mean=0.02)
+        )
+
+    return positions.map(build)
+
+
+def deliveries():
+    return st.one_of(
+        st.just(InOrderDelivery()),
+        st.just(ShuffledDelivery()),
+        links().map(OutOfOrderDelivery),
+        topology_deliveries(),
+    )
+
+
+class TestCodecProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(link=links())
+    def test_link_codec_fixed_point(self, link):
+        doc = _link_to_dict(link)
+        assert _link_to_dict(_link_from_dict(doc)) == doc
+        assert doc == json.loads(json.dumps(doc))
+
+    @settings(max_examples=60, deadline=None)
+    @given(delivery=deliveries())
+    def test_delivery_codec_fixed_point(self, delivery):
+        doc = _delivery_to_dict(delivery)
+        assert _delivery_to_dict(_delivery_from_dict(doc)) == doc
+        assert doc == json.loads(json.dumps(doc))
+
+    @settings(max_examples=40, deadline=None)
+    @given(delivery=topology_deliveries())
+    def test_topology_codec_preserves_routing(self, delivery):
+        restored = _delivery_from_dict(_delivery_to_dict(delivery))
+        original_topo = delivery.link.topology
+        restored_topo = restored.link.topology
+        assert restored_topo.max_hops() == original_topo.max_hops()
+        for node in original_topo.graph.nodes:
+            assert restored_topo.hop_count(node) == original_topo.hop_count(node)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        policy=st.one_of(
+            st.none(),
+            finite.filter(lambda d: d > 0).map(FixedFusionRange),
+            st.just(InfiniteFusionRange()),
+            st.tuples(
+                positions,
+                st.integers(min_value=1, max_value=8),
+                st.floats(min_value=0.5, max_value=2.0, allow_nan=False),
+            ).map(lambda t: AutoFusionRange(t[0], k=t[1], slack=t[2])),
+        )
+    )
+    def test_fusion_policy_codec_fixed_point(self, policy):
+        doc = fusion_policy_to_dict(policy)
+        assert fusion_policy_to_dict(fusion_policy_from_dict(doc)) == doc
+        assert doc == json.loads(json.dumps(doc))
+
+    def test_fusion_policy_equivalent_ranges_after_round_trip(self):
+        policy = AutoFusionRange(
+            [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0), (7.0, 7.0)], k=2, slack=1.2
+        )
+        restored = fusion_policy_from_dict(fusion_policy_to_dict(policy))
+        for sensor_id, (x, y) in enumerate(policy.sensor_positions):
+            assert restored.range_for(sensor_id, x, y) == policy.range_for(
+                sensor_id, x, y
+            )
+
+    def test_unknown_fusion_policy_rejected(self):
+        class Weird:
+            pass
+
+        with pytest.raises(CheckpointError, match="cannot checkpoint"):
+            fusion_policy_to_dict(Weird())
+        with pytest.raises(CheckpointError, match="unknown fusion policy"):
+            fusion_policy_from_dict({"type": "weird"})
