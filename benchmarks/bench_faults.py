@@ -1,0 +1,239 @@
+"""Fault injection and graceful degradation under Byzantine sensors.
+
+The robustness PR added a deterministic fault-injection subsystem
+(:mod:`repro.faults`) and a sensor-integrity quarantine layer
+(:mod:`repro.core.integrity`).  This bench answers the headline
+questions:
+
+* does an **empty** fault schedule leave a run bitwise-identical to a
+  fault-free one (zero-cost abstraction)?
+* does a checkpoint taken **mid-fault** replay identically (the injector
+  state round-trips)?
+* with 20% of the fleet spoofed (colluding Byzantine counts), how badly
+  does the localizer degrade with the integrity layer off, and how much
+  does quarantine recover?
+
+Artifacts:
+
+* ``benchmarks/results/BENCH_faults.json`` -- machine-readable errors,
+  quarantine lists and parity verdicts (consumed by CI);
+* the usual text report next to it.
+
+The ``smoke`` test runs a small scenario under a canned schedule and
+asserts fault-free parity plus checkpoint replay -- never wall-clock --
+so CI catches injector regressions without flaking on timing.  The full
+test runs the paper's Scenario A with 7/36 sensors spoofed and asserts
+the graceful-degradation contract: quarantine-on mean worst-source
+error stays within 2x the fault-free baseline while quarantine-off
+exceeds 4x.
+"""
+
+import json
+import os
+from dataclasses import replace
+
+from benchmarks.conftest import BENCH_SEED, RESULTS_DIR
+from repro.eval.aggregate import mean_over_steps
+from repro.eval.reporting import format_table
+from repro.faults.models import DropoutWindow, SpoofedCounts
+from repro.faults.schedule import FaultSchedule
+from repro.sim.scenarios import scenario_a
+from repro.sim.serialization import load_checkpoint, step_record_to_dict
+from repro.sim.session import LocalizerSession
+
+#: 20% of the 6x6 fleet, deliberately including adjacent pairs (4 & 10)
+#: and a chain (18, 24, 30) so colluding neighbors try to vouch for each
+#: other -- the hard case for corroboration-based scoring.
+SPOOFED_SENSORS = (1, 4, 10, 18, 24, 30, 33)
+
+FULL_SEEDS = (BENCH_SEED, BENCH_SEED + 1097, BENCH_SEED + 2194)
+FIRST_SCORED_STEP = 8
+ERROR_CAP = 40.0
+
+
+def spoof_schedule(seed: int = 99) -> FaultSchedule:
+    return FaultSchedule(
+        models=(
+            SpoofedCounts(sensor_ids=SPOOFED_SENSORS, low=2000.0, high=6000.0),
+        ),
+        seed=seed,
+    )
+
+
+def _comparable(result):
+    docs = [step_record_to_dict(s) for s in result.steps]
+    for doc in docs:
+        doc.pop("mean_iteration_seconds")
+    return docs
+
+
+def _scenario(n_particles, n_steps, faults, integrity):
+    scenario = scenario_a(
+        strengths=(50.0, 50.0), n_particles=n_particles, n_time_steps=n_steps
+    )
+    return replace(
+        scenario,
+        faults=faults,
+        localizer_config=replace(
+            scenario.localizer_config, integrity_enabled=integrity
+        ),
+    )
+
+
+def _run(scenario, seed):
+    """Worst-source mean error (capped) plus the final quarantine list."""
+    session = LocalizerSession(scenario, seed=seed)
+    result = session.run()
+    worst = 0.0
+    for k in range(len(scenario.sources)):
+        series = [
+            min(step.metrics.errors[k], ERROR_CAP) for step in result.steps
+        ]
+        worst = max(worst, mean_over_steps(series, first_step=FIRST_SCORED_STEP))
+    quarantined = (
+        session.localizer.credibility.quarantined_ids()
+        if session.localizer.credibility
+        else []
+    )
+    return worst, quarantined, result
+
+
+def _fault_free_parity(n_particles, n_steps, seed):
+    """None faults vs the EMPTY schedule: both must match bitwise."""
+    plain = LocalizerSession(
+        _scenario(n_particles, n_steps, None, False), seed=seed
+    ).run()
+    empty = LocalizerSession(
+        _scenario(n_particles, n_steps, FaultSchedule(models=(), seed=0), False),
+        seed=seed,
+    ).run()
+    return _comparable(plain) == _comparable(empty)
+
+
+def _checkpoint_replay(scenario, seed, split, path):
+    """Checkpoint mid-run under active faults; the resumed run must
+    reproduce the uninterrupted one bitwise."""
+    full = LocalizerSession(scenario, seed=seed).run()
+    session = LocalizerSession(scenario, seed=seed)
+    for _ in range(split):
+        session.step()
+    session.save_checkpoint(path)
+    resumed = LocalizerSession.from_state(load_checkpoint(path))
+    resumed.run()
+    return _comparable(full) == _comparable(resumed.result())
+
+
+def _write_json(payload):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_faults.json").write_text(json.dumps(payload, indent=2))
+
+
+def test_faults_parity_smoke(report, tmp_path):
+    """Fault-free parity + mid-fault checkpoint replay on a small run."""
+    parity = _fault_free_parity(800, 5, BENCH_SEED)
+    assert parity, "empty fault schedule changed the run"
+
+    chaos = FaultSchedule(
+        models=(
+            SpoofedCounts(sensor_ids=(4, 10), low=2000.0, high=6000.0),
+            DropoutWindow(sensor_ids=(7,), start=1, end=4),
+        ),
+        seed=99,
+    )
+    scenario = _scenario(800, 6, chaos, True)
+    replay = _checkpoint_replay(
+        scenario, BENCH_SEED, 3, tmp_path / "faults.ckpt.json"
+    )
+    assert replay, "checkpoint replay diverged under active faults"
+
+    report.add(
+        format_table(
+            ["check", "verdict"],
+            [
+                ["empty schedule == no schedule", "bitwise"],
+                ["mid-fault checkpoint replay", "bitwise"],
+            ],
+            title="fault subsystem parity smoke (scenario A, 800 particles)",
+        )
+    )
+    _write_json(
+        {
+            "mode": "smoke",
+            "scenario": scenario.name,
+            "n_particles": 800,
+            "cpu_count": os.cpu_count(),
+            "fault_free_parity": "bitwise",
+            "checkpoint_replay": "bitwise",
+        }
+    )
+
+
+def test_byzantine_degradation(report):
+    """20% colluding spoofed sensors: quarantine must hold the line.
+
+    Contract (mean over seeds of the worst-source error over steps >= 8):
+
+    * quarantine ON stays within 2x the fault-free baseline;
+    * quarantine OFF exceeds 4x the baseline (the faults really bite).
+    """
+    schedule = spoof_schedule()
+    rows, samples = [], []
+    for seed in FULL_SEEDS:
+        baseline, _, _ = _run(_scenario(3000, 30, None, False), seed)
+        off, _, _ = _run(_scenario(3000, 30, schedule, False), seed)
+        on, quarantined, _ = _run(_scenario(3000, 30, schedule, True), seed)
+        assert set(quarantined) <= set(SPOOFED_SENSORS), (
+            f"seed {seed}: honest sensors quarantined: "
+            f"{sorted(set(quarantined) - set(SPOOFED_SENSORS))}"
+        )
+        rows.append(
+            [seed, round(baseline, 2), round(off, 2), round(on, 2),
+             len(quarantined)]
+        )
+        samples.append(
+            {
+                "seed": seed,
+                "baseline_error_m": baseline,
+                "quarantine_off_error_m": off,
+                "quarantine_on_error_m": on,
+                "quarantined": quarantined,
+            }
+        )
+    mean_baseline = sum(s["baseline_error_m"] for s in samples) / len(samples)
+    mean_off = sum(s["quarantine_off_error_m"] for s in samples) / len(samples)
+    mean_on = sum(s["quarantine_on_error_m"] for s in samples) / len(samples)
+    assert mean_on <= 2.0 * mean_baseline, (
+        f"quarantine-on mean error {mean_on:.2f} exceeds "
+        f"2x baseline {mean_baseline:.2f}"
+    )
+    assert mean_off > 4.0 * mean_baseline, (
+        f"quarantine-off mean error {mean_off:.2f} does not exceed "
+        f"4x baseline {mean_baseline:.2f} -- faults too weak to measure"
+    )
+    rows.append(
+        ["mean", round(mean_baseline, 2), round(mean_off, 2),
+         round(mean_on, 2), ""]
+    )
+    report.add(
+        format_table(
+            ["seed", "baseline (m)", "off (m)", "on (m)", "quarantined"],
+            rows,
+            title="worst-source mean error, 7/36 sensors spoofed (scenario A)",
+        )
+    )
+    _write_json(
+        {
+            "mode": "full",
+            "scenario": "scenario-a",
+            "n_particles": 3000,
+            "mean_baseline_error_m": mean_baseline,
+            "mean_quarantine_off_error_m": mean_off,
+            "mean_quarantine_on_error_m": mean_on,
+            "spoofed_sensors": list(SPOOFED_SENSORS),
+            "spoofed_fraction": len(SPOOFED_SENSORS) / 36,
+            "first_scored_step": FIRST_SCORED_STEP,
+            "error_cap_m": ERROR_CAP,
+            "cpu_count": os.cpu_count(),
+            "samples": samples,
+        }
+    )

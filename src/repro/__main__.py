@@ -23,6 +23,7 @@ Examples::
     python -m repro run-file my_scenario.json --repeats 3 --metrics
     python -m repro run c --checkpoint-every 5 --checkpoint-dir ckpts
     python -m repro resume ckpts/cell-v0-r0.ckpt.json --health
+    python -m repro run a --faults faults.json --integrity
 
 Every command accepts ``--verbose``/``-v`` (repeatable: ``-vv`` for debug)
 and ``--quiet``/``-q`` to control the library's stdlib logging; the
@@ -117,6 +118,35 @@ def _build_scenario(args) -> tuple:
     raise SystemExit(f"unknown scenario {args.scenario!r}; choose a, a3, b, or c")
 
 
+def _apply_robustness(scenario: Scenario, args) -> Scenario:
+    """Attach ``--faults`` / ``--integrity`` to a scenario (shared flags)."""
+    if getattr(args, "faults", None):
+        import json
+
+        from repro.faults import load_fault_schedule
+
+        try:
+            scenario = scenario.with_faults(load_fault_schedule(args.faults))
+        except OSError as exc:
+            raise SystemExit(f"cannot read fault schedule {args.faults}: {exc}")
+        except json.JSONDecodeError as exc:
+            raise SystemExit(
+                f"fault schedule {args.faults} is not valid JSON: {exc}"
+            )
+        except (ValueError, TypeError, KeyError) as exc:
+            raise SystemExit(f"bad fault schedule {args.faults}: {exc}")
+    if getattr(args, "integrity", False):
+        import dataclasses
+
+        scenario = dataclasses.replace(
+            scenario,
+            localizer_config=scenario.localizer_config.with_overrides(
+                integrity_enabled=True
+            ),
+        )
+    return scenario
+
+
 def _open_instrumentation(args):
     """(tracer, registry) from the shared ``--trace``/``--metrics`` flags."""
     tracer: Optional[Tracer] = jsonl_tracer(args.trace) if args.trace else None
@@ -191,6 +221,7 @@ def _report_run(scenario, policy, args) -> None:
 
 def cmd_run(args) -> int:
     scenario, policy = _build_scenario(args)
+    scenario = _apply_robustness(scenario, args)
     _report_run(scenario, policy, args)
     return 0
 
@@ -240,13 +271,18 @@ def cmd_sweep(args) -> int:
                 background_cpm=value,
                 n_time_steps=args.steps,
             )
+        scenario = _apply_robustness(scenario, args)
         variants.append(Variant(f"{args.parameter}={value:g}", scenario))
     spec = SweepSpec(
         variants=tuple(variants), n_repeats=args.repeats, base_seed=args.seed
     )
+    # Always collect engine metrics here: the summary line reports the
+    # retry/fallback counters so a degraded pool is visible at a glance.
+    registry = MetricsRegistry()
     sweep = run_sweep(
         spec,
         workers=args.workers,
+        metrics=registry,
         checkpoint_every=args.checkpoint_every,
         checkpoint_dir=args.checkpoint_dir,
     )
@@ -273,6 +309,11 @@ def cmd_sweep(args) -> int:
             f"{sweep.elapsed_seconds:.1f}s)",
         )
     )
+    print(
+        f"\nsweep summary: {spec.n_cells} cells, "
+        f"retries {registry.counter('sweep.retries').value}, "
+        f"serial fallbacks {registry.counter('sweep.serial_fallbacks').value}"
+    )
     return 0
 
 
@@ -290,6 +331,7 @@ def cmd_run_file(args) -> int:
     from repro.sim.serialization import load_scenario
 
     scenario = load_scenario(args.path)
+    scenario = _apply_robustness(scenario, args)
     _report_run(scenario, None, args)
     return 0
 
@@ -368,6 +410,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--health", action="store_true",
                        help="print the per-step population-health table")
 
+    def fault_flags(p):
+        p.add_argument(
+            "--faults", metavar="SPEC.json", default=None,
+            help="inject faults from a fault-schedule JSON document "
+            "(see docs/ROBUSTNESS.md)",
+        )
+        p.add_argument(
+            "--integrity", action="store_true",
+            help="enable the sensor-integrity layer (credibility "
+            "down-weighting and quarantine of suspect sensors)",
+        )
+
     def checkpoint_flags(p):
         p.add_argument(
             "--checkpoint-every", type=int, default=0, metavar="N",
@@ -396,6 +450,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--repeats", type=int, default=3,
                             help="runs to average (default 3; paper uses 10)")
     instrumentation_flags(run_parser)
+    fault_flags(run_parser)
     checkpoint_flags(run_parser)
     workers_flag(run_parser)
     common(run_parser)
@@ -432,6 +487,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("parameter", choices=("strength", "background"))
     sweep_parser.add_argument("--values", type=float, nargs="+", required=True)
     sweep_parser.add_argument("--repeats", type=int, default=3)
+    fault_flags(sweep_parser)
     checkpoint_flags(sweep_parser)
     workers_flag(sweep_parser)
     common(sweep_parser)
@@ -450,6 +506,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_file_parser.add_argument("--repeats", type=int, default=3)
     run_file_parser.add_argument("--seed", type=int, default=0)
     instrumentation_flags(run_file_parser)
+    fault_flags(run_file_parser)
     checkpoint_flags(run_file_parser)
     workers_flag(run_file_parser)
     logging_flags(run_file_parser)

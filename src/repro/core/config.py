@@ -137,6 +137,42 @@ class LocalizerConfig:
     #: treated as background artifacts and dropped.
     min_estimate_strength: float = 1.5
 
+    # --- sensor integrity --------------------------------------------------------
+    # Credibility scoring and quarantine for suspect sensors (spoofed /
+    # stuck / drifting counts); see repro.core.integrity and
+    # docs/ROBUSTNESS.md.  Disabled by default: scoring consults
+    # ``estimates()`` mid-iteration, which consumes filter RNG, so
+    # enabling it changes the RNG stream (fault-free *results* stay
+    # statistically equivalent, but not bitwise).
+    #: Master switch for the SensorCredibility layer.
+    integrity_enabled: bool = False
+    #: Surprise EMA (in Poisson sigmas) above which an active sensor's
+    #: likelihood is tempered below full strength.
+    integrity_soft_sigma: float = 4.0
+    #: Surprise EMA at which a sensor is quarantined outright (its
+    #: readings are skipped entirely until re-admission).
+    integrity_hard_sigma: float = 8.0
+    #: Smoothing factor of the per-sensor surprise EMA; higher reacts
+    #: faster to an attack, lower rides out honest Poisson flukes.
+    integrity_ema_alpha: float = 0.25
+    #: Readings per sensor before the state machine may act -- early
+    #: estimates are too unsettled to call anything surprising.
+    integrity_min_observations: int = 5
+    #: Calm readings required in probation before full re-admission.
+    integrity_probation_readings: int = 8
+    #: Credibility weight applied to a probation sensor's likelihood.
+    integrity_probation_weight: float = 0.5
+    #: Floor of the active-sensor down-weighting ramp (soft -> hard sigma
+    #: maps weight 1.0 -> this).
+    integrity_min_weight: float = 0.1
+    #: Leave-local-out radius: estimates within this distance of the
+    #: scored sensor are excluded from its predicted rate, so a phantom
+    #: estimate bred by a spoofed sensor cannot vouch for the spoof.
+    integrity_exclusion_radius: float = 12.0
+    #: Refresh cadence (readings) of the estimate set used as the
+    #: credibility reference (an estimates() call per refresh).
+    integrity_refresh: int = 25
+
     # --- compute fast path -------------------------------------------------------
     # Every knob below selects between a reference implementation and an
     # accelerated one; the defaults enable the fast paths.  Grid selection
@@ -217,6 +253,44 @@ class LocalizerConfig:
         if self.echo_noise_sigmas < 0:
             raise ValueError(
                 f"echo_noise_sigmas must be non-negative, got {self.echo_noise_sigmas}"
+            )
+        if not 0.0 < self.integrity_soft_sigma < self.integrity_hard_sigma:
+            raise ValueError(
+                f"need 0 < integrity_soft_sigma < integrity_hard_sigma, got "
+                f"[{self.integrity_soft_sigma}, {self.integrity_hard_sigma}]"
+            )
+        if not 0.0 < self.integrity_ema_alpha <= 1.0:
+            raise ValueError(
+                f"integrity_ema_alpha must be in (0, 1], got {self.integrity_ema_alpha}"
+            )
+        if self.integrity_min_observations < 1:
+            raise ValueError(
+                f"integrity_min_observations must be >= 1, "
+                f"got {self.integrity_min_observations}"
+            )
+        if self.integrity_probation_readings < 1:
+            raise ValueError(
+                f"integrity_probation_readings must be >= 1, "
+                f"got {self.integrity_probation_readings}"
+            )
+        if not 0.0 < self.integrity_probation_weight <= 1.0:
+            raise ValueError(
+                f"integrity_probation_weight must be in (0, 1], "
+                f"got {self.integrity_probation_weight}"
+            )
+        if not 0.0 <= self.integrity_min_weight < 1.0:
+            raise ValueError(
+                f"integrity_min_weight must be in [0, 1), "
+                f"got {self.integrity_min_weight}"
+            )
+        if self.integrity_exclusion_radius <= 0:
+            raise ValueError(
+                f"integrity_exclusion_radius must be positive, "
+                f"got {self.integrity_exclusion_radius}"
+            )
+        if self.integrity_refresh < 1:
+            raise ValueError(
+                f"integrity_refresh must be >= 1, got {self.integrity_refresh}"
             )
         if self.resample_noise_sigma < 0:
             raise ValueError(

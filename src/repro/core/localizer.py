@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.config import LocalizerConfig
 from repro.core.estimator import SourceEstimate, extract_estimates
 from repro.core.fusion import FixedFusionRange, FusionRangePolicy
+from repro.core.integrity import SensorCredibility
 from repro.core.parallel import MeanShiftPool
 from repro.core.particles import ParticleSet
 from repro.core.resampling import NO_RESAMPLE, resample_subset
@@ -104,6 +105,20 @@ class MultiSourceLocalizer:
         # following a moving source within ~3 time steps.
         self._reading_ema: dict = {}
         self._ema_alpha = 0.3
+        # Sensor-integrity layer (config.integrity_enabled): scores each
+        # reading's surprise against the credibility reference estimates
+        # (refreshed every config.integrity_refresh readings, like the
+        # interference cache) and maps it to a likelihood weight --
+        # 0 quarantines the sensor outright.  Off by default: the
+        # reference refresh consumes filter RNG, so enabling it changes
+        # the stream relative to a vanilla run.
+        self.credibility: Optional[SensorCredibility] = (
+            SensorCredibility(config, tracer=self.tracer, metrics=self.metrics)
+            if config.integrity_enabled
+            else None
+        )
+        self._credibility_sources: np.ndarray = np.zeros((0, 3))
+        self._credibility_age = 0
         # Estimate cache: (particle revision, unfiltered candidates).  The
         # mean-shift extraction depends only on the population, so it is
         # reusable until the next mutation; the echo filter (which also
@@ -153,6 +168,22 @@ class MultiSourceLocalizer:
             t_start = t_prev = perf_counter()
         self._in_observe = True
         try:
+            # Sensor integrity: score the reading before it touches anything.
+            # A quarantined sensor's reading is dropped wholesale -- no echo
+            # EMA update, no particle selection, no grid query, no reweight.
+            credibility_weight = 1.0
+            if self.credibility is not None:
+                credibility_weight = self._assess_credibility(
+                    sensor_id, sensor_x, sensor_y, cpm
+                )
+                if credibility_weight <= 0.0:
+                    self._reading_ema.pop(
+                        (round(sensor_x, 6), round(sensor_y, 6)), None
+                    )
+                    if self.metrics.enabled:
+                        self.metrics.counter("integrity.skipped_readings").inc()
+                    return
+
             fusion_range = self.fusion_policy.range_for(sensor_id, sensor_x, sensor_y)
 
             # Track a smoothed reading per sensor location for the echo filter.
@@ -223,6 +254,7 @@ class MultiSourceLocalizer:
                 background_cpm=config.assumed_background_cpm,
                 under_prediction_tempering=config.under_prediction_tempering,
                 interference_cpm=interference,
+                credibility_weight=credibility_weight,
             )
             self.particles.normalize()
             if traced:
@@ -279,6 +311,42 @@ class MultiSourceLocalizer:
                 self._flush_grid_metrics()
         finally:
             self._in_observe = False
+
+    def _assess_credibility(
+        self, sensor_id: int, sensor_x: float, sensor_y: float, cpm: float
+    ) -> float:
+        """Refresh the credibility reference if stale, then score the reading.
+
+        The reference is the current estimate set, refreshed every
+        ``config.integrity_refresh`` readings (an ``estimates()`` call per
+        refresh, mirroring the interference cache's cadence).
+        """
+        config = self.config
+        self._credibility_age += 1
+        if (
+            self._credibility_age >= config.integrity_refresh
+            or (
+                self._credibility_sources.shape[0] == 0
+                and self._credibility_age == 1
+            )
+        ):
+            self._credibility_sources = np.array(
+                [[e.x, e.y, e.strength] for e in self.estimates()], dtype=float
+            ).reshape(-1, 3)
+            self._credibility_age = 0
+
+        from repro.physics.units import CPM_PER_MICROCURIE
+
+        return self.credibility.assess(
+            sensor_id,
+            sensor_x,
+            sensor_y,
+            cpm,
+            self._credibility_sources,
+            self._reading_ema,
+            config.assumed_background_cpm,
+            CPM_PER_MICROCURIE * config.assumed_efficiency,
+        )
 
     def _indices_within(
         self, x: float, y: float, radius: float
@@ -580,6 +648,12 @@ class MultiSourceLocalizer:
             "estimate_cache": cache,
             "rng_state": self.rng.bit_generator.state,
         }
+        # Integrity state only when the layer is on: a vanilla localizer's
+        # checkpoint document stays byte-for-byte what it always was.
+        if self.credibility is not None:
+            arrays["credibility_sources"] = self._credibility_sources.copy()
+            meta["credibility_age"] = self._credibility_age
+            meta["credibility"] = self.credibility.export_state()
         return {"meta": meta, "arrays": arrays}
 
     @classmethod
@@ -637,6 +711,14 @@ class MultiSourceLocalizer:
                 int(cache["revision"]),
                 [SourceEstimate(**e) for e in cache["candidates"]],
             )
+        credibility_state = meta.get("credibility")
+        if credibility_state is not None and localizer.credibility is not None:
+            localizer.credibility.load_state(credibility_state)
+            localizer._credibility_age = int(meta.get("credibility_age", 0))
+            if "credibility_sources" in arrays:
+                localizer._credibility_sources = np.asarray(
+                    arrays["credibility_sources"], dtype=float
+                ).reshape(-1, 3)
         return localizer
 
     # --- diagnostics -----------------------------------------------------------

@@ -119,6 +119,7 @@ def reweight_in_place(
     background_cpm: float = 0.0,
     under_prediction_tempering: float = 1.0,
     interference_cpm: np.ndarray | float = 0.0,
+    credibility_weight: float = 1.0,
 ) -> None:
     """Apply the Bayesian weight update to the selected particles.
 
@@ -128,7 +129,16 @@ def reweight_in_place(
     one shared population track many sources at once (see DESIGN.md for the
     discussion of this design point; the ablation
     ``resample_weight_mode="preserve"`` explores the alternative).
+
+    ``credibility_weight`` tempers the whole likelihood (``L^w``) for
+    readings from suspect sensors (see :mod:`repro.core.integrity`): 1.0
+    is full trust, values toward 0 flatten the update so the reading
+    barely moves the particles.
     """
+    if not 0.0 <= credibility_weight <= 1.0:
+        raise ValueError(
+            f"credibility_weight must be in [0, 1], got {credibility_weight}"
+        )
     if len(indices) == 0:
         return
     # Every path below (including the degenerate-subset backfill and the
@@ -152,6 +162,12 @@ def reweight_in_place(
     log_like = tempered_poisson_log_likelihood(
         observed_cpm, rates, under_prediction_tempering
     )
+    if credibility_weight != 1.0:
+        # -inf (impossible hypothesis) stays -inf at any trust level;
+        # scaling it directly would produce nan at weight 0.
+        log_like = np.where(
+            np.isfinite(log_like), credibility_weight * log_like, log_like
+        )
     with np.errstate(divide="ignore"):
         log_prior = np.log(particles.weights[indices])
     log_post = log_like + log_prior

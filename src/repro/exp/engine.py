@@ -39,6 +39,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.parallel import WorkerPool
 from repro.exp.spec import SweepCell, SweepSpec
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
@@ -53,6 +55,33 @@ from repro.sim.serialization import (
 from repro.sim.session import LocalizerSession
 
 logger = logging.getLogger(__name__)
+
+
+#: Base unit (seconds) of the seed-derived retry backoff below.
+RETRY_BACKOFF_BASE = 0.1
+
+#: Upper bound on a single retry pause, whatever the derivation says.
+RETRY_BACKOFF_MAX = 1.0
+
+
+def retry_backoff_seconds(seed: int, attempt: int = 1) -> float:
+    """Deterministic pause before resubmitting a failed cell.
+
+    Cells that failed together usually failed on a *shared* bottleneck
+    (an overloaded host, a memory spike); re-landing them on the rebuilt
+    pool at the same instant invites the same collision.  The stagger is
+    derived from the cell's seed through :class:`numpy.random.SeedSequence`
+    -- no wall-clock randomness, so a re-run of the same sweep backs off
+    by exactly the same amounts -- and spans ``[0.5, 1.5) *
+    RETRY_BACKOFF_BASE * attempt``, capped at :data:`RETRY_BACKOFF_MAX`.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    unit = (
+        np.random.SeedSequence(entropy=(int(seed), int(attempt))).generate_state(1)[0]
+        / 2**32
+    )
+    return min(RETRY_BACKOFF_MAX, RETRY_BACKOFF_BASE * attempt * (0.5 + unit))
 
 
 def cell_checkpoint_path(checkpoint_dir: str | Path, cell: SweepCell) -> Path:
@@ -269,7 +298,17 @@ def run_cells(
             pool.discard()
             if metrics.enabled:
                 metrics.counter("sweep.retries").inc(len(failed))
-            retry_futures = {i: pool.submit(_execute_cell, payloads[i]) for i in failed}
+            retry_futures = {}
+            for i in failed:
+                # Seed-derived stagger (see retry_backoff_seconds): failed
+                # cells re-land on the rebuilt pool spread apart, not as
+                # the same thundering herd that just died together.
+                delay = retry_backoff_seconds(payloads[i]["seed"])
+                logger.info(
+                    "sweep cell %d retrying after %.3fs backoff", i, delay
+                )
+                time.sleep(delay)
+                retry_futures[i] = pool.submit(_execute_cell, payloads[i])
             fallback: List[int] = []
             for i, future in retry_futures.items():
                 try:

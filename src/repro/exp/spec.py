@@ -18,6 +18,7 @@ from typing import List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.config import LocalizerConfig
 from repro.core.fusion import FusionRangePolicy
+from repro.faults.schedule import FaultSchedule
 from repro.sim.rng import derive_run_seed
 from repro.sim.scenario import Scenario
 
@@ -142,5 +143,32 @@ class SweepSpec:
                 ),
             )
             for name, config in configs.items()
+        )
+        return cls(variants=variants, n_repeats=n_repeats, base_seed=base_seed)
+
+    @classmethod
+    def fault_grid(
+        cls,
+        scenario: Scenario,
+        faults: Mapping[str, Optional[FaultSchedule]],
+        n_repeats: int = 10,
+        base_seed: int = 0,
+    ) -> "SweepSpec":
+        """One scenario under several fault schedules -- the robustness axis.
+
+        Each variant is the scenario with its ``faults`` replaced (``None``
+        or an empty schedule is the fault-free control).  Repeat ``r`` of
+        every variant shares the same derived run seed, so compared
+        schedules see identical ground-truth noise and transport
+        realizations -- the fault injection is the *only* difference.
+        """
+        variants = tuple(
+            Variant(
+                name,
+                dataclasses.replace(
+                    scenario, name=f"{scenario.name}[{name}]", faults=schedule
+                ),
+            )
+            for name, schedule in faults.items()
         )
         return cls(variants=variants, n_repeats=n_repeats, base_seed=base_seed)

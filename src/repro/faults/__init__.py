@@ -1,0 +1,54 @@
+"""Deterministic fault injection for sensor networks.
+
+See :mod:`repro.faults.models` for the fault taxonomy,
+:mod:`repro.faults.schedule` for schedules/injectors, and
+``docs/ROBUSTNESS.md`` for the design narrative.
+"""
+
+from repro.faults.models import (
+    MODEL_KINDS,
+    BackgroundDrift,
+    CorruptedMessages,
+    DropoutWindow,
+    DuplicatedMessages,
+    EfficiencyDrift,
+    FaultContext,
+    FaultModel,
+    NetworkPartition,
+    SensorDeath,
+    SpoofedCounts,
+    StuckCounter,
+)
+from repro.faults.schedule import EMPTY_SCHEDULE, FaultInjector, FaultSchedule
+from repro.faults.serialization import (
+    fault_model_from_dict,
+    fault_model_to_dict,
+    fault_schedule_from_dict,
+    fault_schedule_to_dict,
+    load_fault_schedule,
+    save_fault_schedule,
+)
+
+__all__ = [
+    "MODEL_KINDS",
+    "BackgroundDrift",
+    "CorruptedMessages",
+    "DropoutWindow",
+    "DuplicatedMessages",
+    "EfficiencyDrift",
+    "EMPTY_SCHEDULE",
+    "FaultContext",
+    "FaultInjector",
+    "FaultModel",
+    "FaultSchedule",
+    "NetworkPartition",
+    "SensorDeath",
+    "SpoofedCounts",
+    "StuckCounter",
+    "fault_model_from_dict",
+    "fault_model_to_dict",
+    "fault_schedule_from_dict",
+    "fault_schedule_to_dict",
+    "load_fault_schedule",
+    "save_fault_schedule",
+]

@@ -1,0 +1,413 @@
+"""Declarative fault models: pure, composable measurement-batch transforms.
+
+Each model describes one failure mode of a deployed sensor network --
+sensor death, dropout windows, stuck counters, calibration drift, spoofed
+(Byzantine) counts, duplicated or corrupted messages, network partitions.
+A model is a frozen dataclass (a *description*); all mutable per-run state
+(stuck values, partition buffers) lives in a JSON-safe dict owned by the
+:class:`~repro.faults.schedule.FaultInjector`, so an active schedule can
+be checkpointed bitwise and resumed mid-run.
+
+Models are applied in schedule order to each generated batch, *between*
+:meth:`repro.sensors.SensorNetwork.measure_time_step` and
+:meth:`repro.network.transport.DeliveryStream.push`: faults corrupt what
+sensors report, transport decides how (and whether) the corrupted reports
+arrive.  Every model draws its randomness from the injector's dedicated
+generator, never from the session's measurement/transport/filter streams,
+so an empty schedule leaves a run bitwise-identical to a fault-free one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sensors.measurement import Measurement
+
+
+@dataclass
+class FaultContext:
+    """Per-application context handed to each model's :meth:`~FaultModel.apply`.
+
+    * ``time_step`` -- the generation time step of the batch.
+    * ``rng`` -- the injector's dedicated generator (shared across models,
+      consumed in schedule order -- deterministic and checkpointable).
+    * ``state`` -- this model's private mutable state dict (JSON-safe).
+    * ``counts`` -- fault-kind -> number injected, aggregated by the
+      injector into ``faults.injected.*`` metrics and ``fault`` events.
+    """
+
+    time_step: int
+    rng: np.random.Generator
+    state: dict
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: str, n: int = 1) -> None:
+        if n:
+            self.counts[kind] = self.counts.get(kind, 0) + n
+
+
+def _normalize_ids(sensor_ids) -> Optional[Tuple[int, ...]]:
+    if sensor_ids is None:
+        return None
+    return tuple(int(s) for s in sensor_ids)
+
+
+class FaultModel(ABC):
+    """One deterministic failure mode applied to measurement batches."""
+
+    #: Registry key used by the serialization codec and metric names.
+    kind: str = "abstract"
+
+    @abstractmethod
+    def apply(
+        self, batch: Sequence[Measurement], ctx: FaultContext
+    ) -> List[Measurement]:
+        """Transform one generation batch (never mutates the input)."""
+
+    def initial_state(self) -> dict:
+        """Fresh per-run mutable state (JSON-safe)."""
+        return {}
+
+    def params(self) -> dict:
+        """The model's declarative parameters (JSON-safe), for codecs."""
+        return dataclasses.asdict(self)
+
+    def _targets(self, measurement: Measurement) -> bool:
+        ids = getattr(self, "sensor_ids", None)
+        return ids is None or measurement.sensor_id in ids
+
+    def _in_window(self, time_step: int) -> bool:
+        start = getattr(self, "start", 0)
+        end = getattr(self, "end", None)
+        return time_step >= start and (end is None or time_step < end)
+
+
+def _check_window(start: int, end: Optional[int]) -> None:
+    if start < 0:
+        raise ValueError(f"fault window start must be >= 0, got {start}")
+    if end is not None and end <= start:
+        raise ValueError(f"fault window end must be > start, got [{start}, {end})")
+
+
+def _check_probability(p: float) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {p}")
+
+
+@dataclass(frozen=True)
+class SensorDeath(FaultModel):
+    """Permanent failure: the sensors stop reporting from ``at_step`` on."""
+
+    sensor_ids: Tuple[int, ...]
+    at_step: int = 0
+    kind = "death"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sensor_ids", _normalize_ids(self.sensor_ids))
+        if not self.sensor_ids:
+            raise ValueError("SensorDeath needs at least one sensor id")
+        if self.at_step < 0:
+            raise ValueError(f"at_step must be >= 0, got {self.at_step}")
+
+    def apply(self, batch, ctx):
+        if ctx.time_step < self.at_step:
+            return list(batch)
+        kept = [m for m in batch if m.sensor_id not in self.sensor_ids]
+        ctx.record(self.kind, len(batch) - len(kept))
+        return kept
+
+
+@dataclass(frozen=True)
+class DropoutWindow(FaultModel):
+    """Temporary outage: no reports during ``[start, end)``."""
+
+    sensor_ids: Tuple[int, ...]
+    start: int
+    end: int
+    kind = "dropout"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sensor_ids", _normalize_ids(self.sensor_ids))
+        if not self.sensor_ids:
+            raise ValueError("DropoutWindow needs at least one sensor id")
+        _check_window(self.start, self.end)
+
+    def apply(self, batch, ctx):
+        if not self._in_window(ctx.time_step):
+            return list(batch)
+        kept = [m for m in batch if m.sensor_id not in self.sensor_ids]
+        ctx.record(self.kind, len(batch) - len(kept))
+        return kept
+
+
+@dataclass(frozen=True)
+class StuckCounter(FaultModel):
+    """The counter freezes: every report repeats the first in-window value.
+
+    Models a hung ADC / firmware fault: the sensor keeps transmitting but
+    its count never changes.  The frozen value is captured per sensor at
+    the first in-window report (state key ``values``), so it is whatever
+    the sensor genuinely read when it got stuck.
+    """
+
+    sensor_ids: Tuple[int, ...]
+    start: int = 0
+    end: Optional[int] = None
+    kind = "stuck"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sensor_ids", _normalize_ids(self.sensor_ids))
+        if not self.sensor_ids:
+            raise ValueError("StuckCounter needs at least one sensor id")
+        _check_window(self.start, self.end)
+
+    def initial_state(self) -> dict:
+        return {"values": {}}
+
+    def apply(self, batch, ctx):
+        if not self._in_window(ctx.time_step):
+            return list(batch)
+        values = ctx.state["values"]
+        out = []
+        for m in batch:
+            if self._targets(m):
+                key = str(m.sensor_id)
+                if key not in values:
+                    values[key] = float(m.cpm)
+                else:
+                    m = dataclasses.replace(m, cpm=values[key])
+                    ctx.record(self.kind)
+            out.append(m)
+        return out
+
+
+@dataclass(frozen=True)
+class EfficiencyDrift(FaultModel):
+    """Multiplicative gain drift: reported counts scale by
+    ``(1 + per_step) ** (t - start)`` -- a slowly de-calibrating detector."""
+
+    sensor_ids: Tuple[int, ...]
+    per_step: float
+    start: int = 0
+    end: Optional[int] = None
+    kind = "efficiency_drift"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sensor_ids", _normalize_ids(self.sensor_ids))
+        if not self.sensor_ids:
+            raise ValueError("EfficiencyDrift needs at least one sensor id")
+        if self.per_step <= -1.0:
+            raise ValueError(
+                f"per_step must be > -1 (gain stays positive), got {self.per_step}"
+            )
+        _check_window(self.start, self.end)
+
+    def apply(self, batch, ctx):
+        if not self._in_window(ctx.time_step):
+            return list(batch)
+        factor = (1.0 + self.per_step) ** (ctx.time_step - self.start)
+        out = []
+        for m in batch:
+            if self._targets(m) and factor != 1.0:
+                m = dataclasses.replace(m, cpm=float(m.cpm * factor))
+                ctx.record(self.kind)
+            out.append(m)
+        return out
+
+
+@dataclass(frozen=True)
+class BackgroundDrift(FaultModel):
+    """Additive drift: reported counts gain ``per_step * (t - start + 1)``
+    CPM -- contamination building up on the detector housing."""
+
+    sensor_ids: Tuple[int, ...]
+    per_step: float
+    start: int = 0
+    end: Optional[int] = None
+    kind = "background_drift"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sensor_ids", _normalize_ids(self.sensor_ids))
+        if not self.sensor_ids:
+            raise ValueError("BackgroundDrift needs at least one sensor id")
+        _check_window(self.start, self.end)
+
+    def apply(self, batch, ctx):
+        if not self._in_window(ctx.time_step):
+            return list(batch)
+        shift = self.per_step * (ctx.time_step - self.start + 1)
+        out = []
+        for m in batch:
+            if self._targets(m) and shift != 0.0:
+                m = dataclasses.replace(m, cpm=max(0.0, float(m.cpm + shift)))
+                ctx.record(self.kind)
+            out.append(m)
+        return out
+
+
+@dataclass(frozen=True)
+class SpoofedCounts(FaultModel):
+    """Byzantine sensors: reports are replaced with adversarial counts
+    drawn uniformly from ``[low, high]`` -- consistent with a strong
+    phantom source parked on the sensor."""
+
+    sensor_ids: Tuple[int, ...]
+    low: float
+    high: float
+    start: int = 0
+    end: Optional[int] = None
+    kind = "spoof"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sensor_ids", _normalize_ids(self.sensor_ids))
+        if not self.sensor_ids:
+            raise ValueError("SpoofedCounts needs at least one sensor id")
+        if not 0.0 <= self.low <= self.high:
+            raise ValueError(
+                f"need 0 <= low <= high, got [{self.low}, {self.high}]"
+            )
+        _check_window(self.start, self.end)
+
+    def apply(self, batch, ctx):
+        if not self._in_window(ctx.time_step):
+            return list(batch)
+        out = []
+        for m in batch:
+            if self._targets(m):
+                spoofed = float(ctx.rng.uniform(self.low, self.high))
+                m = dataclasses.replace(m, cpm=spoofed)
+                ctx.record(self.kind)
+            out.append(m)
+        return out
+
+
+@dataclass(frozen=True)
+class DuplicatedMessages(FaultModel):
+    """Each targeted report is re-sent with probability ``probability``
+    (at-least-once transport duplicating evidence at the fusion center)."""
+
+    probability: float
+    sensor_ids: Optional[Tuple[int, ...]] = None
+    start: int = 0
+    end: Optional[int] = None
+    kind = "duplicate"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sensor_ids", _normalize_ids(self.sensor_ids))
+        _check_probability(self.probability)
+        _check_window(self.start, self.end)
+
+    def apply(self, batch, ctx):
+        if not self._in_window(ctx.time_step) or self.probability == 0.0:
+            return list(batch)
+        out = []
+        for m in batch:
+            out.append(m)
+            if self._targets(m) and ctx.rng.random() < self.probability:
+                out.append(m)
+                ctx.record(self.kind)
+        return out
+
+
+@dataclass(frozen=True)
+class CorruptedMessages(FaultModel):
+    """Bit-rot in transit: with probability ``probability`` a report's
+    count is multiplied by a log-uniform factor in ``[1/scale, scale]``."""
+
+    probability: float
+    scale: float = 8.0
+    sensor_ids: Optional[Tuple[int, ...]] = None
+    start: int = 0
+    end: Optional[int] = None
+    kind = "corrupt"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sensor_ids", _normalize_ids(self.sensor_ids))
+        _check_probability(self.probability)
+        if self.scale <= 1.0:
+            raise ValueError(f"scale must be > 1, got {self.scale}")
+        _check_window(self.start, self.end)
+
+    def apply(self, batch, ctx):
+        if not self._in_window(ctx.time_step) or self.probability == 0.0:
+            return list(batch)
+        log_scale = math.log(self.scale)
+        out = []
+        for m in batch:
+            if self._targets(m) and ctx.rng.random() < self.probability:
+                factor = math.exp(ctx.rng.uniform(-log_scale, log_scale))
+                m = dataclasses.replace(m, cpm=float(m.cpm * factor))
+                ctx.record(self.kind)
+            out.append(m)
+        return out
+
+
+@dataclass(frozen=True)
+class NetworkPartition(FaultModel):
+    """The sensors are cut off during ``[start, end)``.
+
+    With ``drop=False`` (default) their reports are buffered at the edge
+    and released in one burst at the heal step ``end`` -- the buffered
+    messages are *prepended* to the heal step's batch in generation order,
+    so the transport layer sees old messages sent first.  With
+    ``drop=True`` the reports are lost outright.
+    """
+
+    sensor_ids: Tuple[int, ...]
+    start: int
+    end: int
+    drop: bool = False
+    kind = "partition"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sensor_ids", _normalize_ids(self.sensor_ids))
+        if not self.sensor_ids:
+            raise ValueError("NetworkPartition needs at least one sensor id")
+        _check_window(self.start, self.end)
+
+    def initial_state(self) -> dict:
+        return {"buffered": []}
+
+    def apply(self, batch, ctx):
+        buffered = ctx.state["buffered"]
+        out: List[Measurement] = []
+        if ctx.time_step == self.end and buffered:
+            out.extend(Measurement(**doc) for doc in buffered)
+            ctx.record("partition_released", len(buffered))
+            buffered.clear()
+        if self._in_window(ctx.time_step):
+            for m in batch:
+                if m.sensor_id in self.sensor_ids:
+                    if self.drop:
+                        ctx.record("partition_dropped")
+                    else:
+                        buffered.append(dataclasses.asdict(m))
+                        ctx.record("partition_buffered")
+                else:
+                    out.append(m)
+            return out
+        out.extend(batch)
+        return out
+
+
+#: Codec registry: kind -> model class (see repro.faults.serialization).
+MODEL_KINDS = {
+    model.kind: model
+    for model in (
+        SensorDeath,
+        DropoutWindow,
+        StuckCounter,
+        EfficiencyDrift,
+        BackgroundDrift,
+        SpoofedCounts,
+        DuplicatedMessages,
+        CorruptedMessages,
+        NetworkPartition,
+    )
+}

@@ -1,0 +1,149 @@
+"""Fault schedules and the per-run injector that executes them.
+
+A :class:`FaultSchedule` is a frozen, declarative bundle of
+:class:`~repro.faults.models.FaultModel` instances plus a schedule seed.
+It describes *what goes wrong* in a run; the per-run
+:class:`FaultInjector` (built via :meth:`FaultSchedule.injector`) owns
+the mutable execution state: a dedicated RNG derived from
+``(schedule.seed, run_seed)`` via :class:`numpy.random.SeedSequence`,
+one private state dict per model, and injection counters.
+
+Determinism contract:
+
+* The injector's RNG is **independent** of the session's measurement /
+  transport / filter streams -- attaching an empty schedule (or none) to
+  a run leaves every downstream draw bitwise-identical to a fault-free
+  run, and the same ``(schedule, run_seed)`` pair always injects the
+  same faults.
+* :meth:`FaultInjector.export_state` / :meth:`FaultInjector.load_state`
+  round-trip the RNG bit-state and all model states through JSON, so an
+  active schedule checkpoints and resumes bitwise-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.faults.models import FaultContext, FaultModel
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.sensors.measurement import Measurement
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A declarative, seed-derived list of fault models for one scenario.
+
+    ``seed`` decorrelates fault randomness from the run seed: two runs of
+    the same scenario with different run seeds inject *different* spoofed
+    values (entropy couples both seeds), while re-running the same
+    ``(schedule, run_seed)`` pair reproduces the injection exactly.
+    """
+
+    models: Tuple[FaultModel, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "models", tuple(self.models))
+        for model in self.models:
+            if not isinstance(model, FaultModel):
+                raise TypeError(
+                    f"FaultSchedule models must be FaultModel instances, "
+                    f"got {type(model).__name__}"
+                )
+
+    def __bool__(self) -> bool:
+        return bool(self.models)
+
+    def injector(
+        self,
+        run_seed: int,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> "FaultInjector":
+        return FaultInjector(self, run_seed, tracer=tracer, metrics=metrics)
+
+
+EMPTY_SCHEDULE = FaultSchedule()
+
+
+class FaultInjector:
+    """Executes a :class:`FaultSchedule` against one run's batches."""
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        run_seed: int,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.schedule = schedule
+        self.run_seed = int(run_seed)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=(int(schedule.seed), self.run_seed))
+        )
+        self._states: List[dict] = [m.initial_state() for m in schedule.models]
+        self.injected: Dict[str, int] = {}
+
+    def apply(
+        self, time_step: int, batch: Sequence[Measurement]
+    ) -> List[Measurement]:
+        """Run every model over the batch, in schedule order."""
+        out = list(batch)
+        if not self.schedule.models:
+            return out
+        counts: Dict[str, int] = {}
+        for model, state in zip(self.schedule.models, self._states):
+            ctx = FaultContext(
+                time_step=time_step, rng=self.rng, state=state, counts=counts
+            )
+            out = model.apply(out, ctx)
+        if counts:
+            for kind, n in counts.items():
+                self.injected[kind] = self.injected.get(kind, 0) + n
+            if self.metrics.enabled:
+                for kind, n in counts.items():
+                    self.metrics.counter(f"faults.injected.{kind}").inc(n)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "fault",
+                    step=time_step,
+                    injected=dict(sorted(counts.items())),
+                    batch_in=len(batch),
+                    batch_out=len(out),
+                )
+        return out
+
+    # --- checkpoint / restore ---------------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-safe injector state (RNG bit-state + per-model states)."""
+
+        def _clean(value):
+            if isinstance(value, dict):
+                return {k: _clean(v) for k, v in value.items()}
+            if isinstance(value, str):
+                return value
+            return int(value)
+
+        return {
+            "rng": _clean(self.rng.bit_generator.state),
+            "model_states": [dict(s) for s in self._states],
+            "injected": dict(self.injected),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.rng.bit_generator.state = state["rng"]
+        model_states = state["model_states"]
+        if len(model_states) != len(self.schedule.models):
+            raise ValueError(
+                f"fault state has {len(model_states)} model states but the "
+                f"schedule has {len(self.schedule.models)} models"
+            )
+        self._states = [dict(s) for s in model_states]
+        self.injected = {k: int(v) for k, v in state.get("injected", {}).items()}

@@ -1,0 +1,78 @@
+"""JSON codecs for fault models and schedules.
+
+The document form is the canonical representation (same fixed-point
+contract as the link/delivery codecs in :mod:`repro.sim.serialization`):
+``fault_model_to_dict(fault_model_from_dict(doc)) == doc`` for any valid
+document.  Schedules embed in scenario/checkpoint documents and load from
+standalone spec files (CLI ``--faults faults.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.faults.models import MODEL_KINDS, FaultModel
+from repro.faults.schedule import FaultSchedule
+
+
+def fault_model_to_dict(model: FaultModel) -> dict:
+    doc = {"kind": model.kind}
+    for key, value in model.params().items():
+        doc[key] = list(value) if isinstance(value, tuple) else value
+    return doc
+
+
+def fault_model_from_dict(doc: dict) -> FaultModel:
+    if not isinstance(doc, dict) or "kind" not in doc:
+        raise ValueError(f"fault model document needs a 'kind' field: {doc!r}")
+    params = dict(doc)
+    kind = params.pop("kind")
+    cls = MODEL_KINDS.get(kind)
+    if cls is None:
+        known = ", ".join(sorted(MODEL_KINDS))
+        raise ValueError(f"unknown fault model kind {kind!r} (known: {known})")
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise ValueError(f"bad parameters for fault model {kind!r}: {exc}") from exc
+
+
+def fault_schedule_to_dict(schedule: Optional[FaultSchedule]) -> Optional[dict]:
+    if schedule is None or not schedule.models:
+        return None
+    return {
+        "seed": schedule.seed,
+        "models": [fault_model_to_dict(m) for m in schedule.models],
+    }
+
+
+def fault_schedule_from_dict(doc: Optional[dict]) -> Optional[FaultSchedule]:
+    if doc is None:
+        return None
+    if not isinstance(doc, dict) or "models" not in doc:
+        raise ValueError(
+            f"fault schedule document needs a 'models' list: {doc!r}"
+        )
+    return FaultSchedule(
+        models=tuple(fault_model_from_dict(m) for m in doc["models"]),
+        seed=int(doc.get("seed", 0)),
+    )
+
+
+def load_fault_schedule(path: str | Path) -> FaultSchedule:
+    """Load a fault-schedule spec file (as passed to ``--faults``)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    schedule = fault_schedule_from_dict(doc)
+    if schedule is None:
+        return FaultSchedule()
+    return schedule
+
+
+def save_fault_schedule(schedule: FaultSchedule, path: str | Path) -> None:
+    doc = fault_schedule_to_dict(schedule) or {"seed": 0, "models": []}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2)
+        handle.write("\n")

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Tuple
 
@@ -29,8 +30,14 @@ class Measurement:
     sequence: int
 
     def __post_init__(self) -> None:
-        if self.cpm < 0:
-            raise ValueError(f"measurement CPM must be non-negative, got {self.cpm}")
+        if not math.isfinite(self.cpm) or self.cpm < 0:
+            raise ValueError(
+                f"measurement CPM must be finite and non-negative, got {self.cpm}"
+            )
+        if not (math.isfinite(self.x) and math.isfinite(self.y)):
+            raise ValueError(
+                f"measurement position must be finite, got ({self.x}, {self.y})"
+            )
 
     @property
     def position(self) -> Tuple[float, float]:

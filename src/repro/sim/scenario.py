@@ -8,6 +8,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.config import LocalizerConfig
+from repro.faults.schedule import FaultSchedule
 from repro.network.transport import DeliveryModel, InOrderDelivery
 from repro.physics.intensity import RadiationField
 from repro.physics.obstacle import Obstacle
@@ -34,6 +35,10 @@ class Scenario:
     n_time_steps: int = 30
     localizer_config: Optional[LocalizerConfig] = None
     delivery: DeliveryModel = field(default_factory=InOrderDelivery)
+    #: Optional fault schedule injected between measurement generation and
+    #: the transport stream (see repro.faults).  None or an empty schedule
+    #: leaves the run bitwise-identical to a fault-free one.
+    faults: Optional[FaultSchedule] = None
 
     def __post_init__(self) -> None:
         if not self.sources:
@@ -72,6 +77,10 @@ class Scenario:
     def with_sources(self, sources: Sequence[RadiationSource]) -> "Scenario":
         """A copy with a different source set."""
         return replace(self, sources=list(sources))
+
+    def with_faults(self, faults: Optional[FaultSchedule]) -> "Scenario":
+        """A copy with the given fault schedule attached (None clears it)."""
+        return replace(self, faults=faults)
 
     def source_positions(self) -> np.ndarray:
         """(K, 2) array of true source positions."""

@@ -42,6 +42,10 @@ from repro.core.fusion import (
 )
 from repro.core.particles import ParticleSet
 from repro.eval.metrics import StepMetrics
+from repro.faults.serialization import (
+    fault_schedule_from_dict,
+    fault_schedule_to_dict,
+)
 from repro.sim.results import RunResult, StepRecord
 from repro.geometry.polygon import Polygon
 from repro.network.link import (
@@ -207,7 +211,7 @@ def fusion_policy_from_dict(data: Dict[str, Any]) -> Optional[FusionRangePolicy]
 
 def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
     """A JSON-serializable document describing the scenario."""
-    return {
+    doc = {
         "format_version": FORMAT_VERSION,
         "name": scenario.name,
         "area": list(scenario.area),
@@ -239,6 +243,12 @@ def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
         "localizer_config": dataclasses.asdict(scenario.localizer_config),
         "delivery": _delivery_to_dict(scenario.delivery),
     }
+    # Only present when a schedule is attached: fault-free documents stay
+    # byte-for-byte what they always were.
+    faults = fault_schedule_to_dict(scenario.faults)
+    if faults is not None:
+        doc["faults"] = faults
+    return doc
 
 
 def scenario_from_dict(data: Dict[str, Any]) -> Scenario:
@@ -290,6 +300,7 @@ def scenario_from_dict(data: Dict[str, Any]) -> Scenario:
         n_time_steps=data.get("n_time_steps", 30),
         localizer_config=config,
         delivery=_delivery_from_dict(data.get("delivery", {})),
+        faults=fault_schedule_from_dict(data.get("faults")),
     )
 
 
@@ -480,21 +491,37 @@ def load_checkpoint(path: str | Path) -> Dict[str, Any]:
             f"checkpoint {path} has format version {version!r}; this build "
             f"supports {CHECKPOINT_VERSION}"
         )
-    sidecar = path.parent / document["arrays_file"]
+    try:
+        arrays_file = document["arrays_file"]
+        expected_sha = document["arrays_sha256"]
+        state = document["state"]
+    except KeyError as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is missing required field {exc}"
+        ) from exc
+    sidecar = path.parent / arrays_file
     try:
         blob = sidecar.read_bytes()
     except OSError as exc:
         raise CheckpointError(
             f"checkpoint arrays sidecar {sidecar} is missing: {exc}"
         ) from exc
-    if hashlib.sha256(blob).hexdigest() != document["arrays_sha256"]:
+    if hashlib.sha256(blob).hexdigest() != expected_sha:
         raise CheckpointError(
             f"checkpoint arrays sidecar {sidecar} is corrupted "
             "(SHA-256 mismatch)"
         )
-    with np.load(io.BytesIO(blob)) as npz:
-        arrays = {key: npz[key] for key in npz.files}
-    state = document["state"]
+    # The SHA-256 gate catches truncation/tampering; this catches a
+    # sidecar that was never a valid npz in the first place (the document
+    # hashes whatever bytes it was written with).
+    try:
+        with np.load(io.BytesIO(blob)) as npz:
+            arrays = {key: npz[key] for key in npz.files}
+    except Exception as exc:
+        raise CheckpointError(
+            f"checkpoint arrays sidecar {sidecar} is not a readable npz "
+            f"archive: {exc}"
+        ) from exc
     state["arrays"] = arrays
     return state
 

@@ -142,6 +142,18 @@ class LocalizerSession:
             stable_checks=convergence_checks,
         )
         self.stream = scenario.delivery.open_stream(transport_rng)
+        # Fault injector (scenario.faults): applied between measurement
+        # generation and stream.push.  Its RNG derives from
+        # (schedule.seed, run seed) independently of the spawn_rngs
+        # fan-out, so an absent/empty schedule leaves every session
+        # stream untouched.
+        self.injector = (
+            scenario.faults.injector(
+                seed, tracer=self.tracer, metrics=self.metrics
+            )
+            if scenario.faults
+            else None
+        )
 
         self.step_index = 0
         self.records: List[StepRecord] = []
@@ -171,7 +183,10 @@ class LocalizerSession:
         self._ensure_started()
         scenario = self.scenario
         step = self.step_index
-        batch = self.stream.push(self.network.measure_time_step(step))
+        generated = self.network.measure_time_step(step)
+        if self.injector is not None:
+            generated = self.injector.apply(step, generated)
+        batch = self.stream.push(generated)
         elapsed = self._consume(batch)
         record = self._record(step, len(batch), elapsed / max(1, len(batch)))
         self.records.append(record)
@@ -340,7 +355,7 @@ class LocalizerSession:
             f"localizer.{name}": array
             for name, array in localizer_state["arrays"].items()
         }
-        return {
+        state = {
             "session": {
                 "scenario": scenario_to_dict(self.scenario),
                 "seed": self.seed,
@@ -369,6 +384,11 @@ class LocalizerSession:
             "monitor": self.monitor.export_state(),
             "arrays": arrays,
         }
+        # Fault-injector state only when a schedule is attached, so
+        # fault-free checkpoint documents are unchanged.
+        if self.injector is not None:
+            state["faults"] = self.injector.export_state()
+        return state
 
     @classmethod
     def from_state(
@@ -408,6 +428,9 @@ class LocalizerSession:
         session.network._sequence = int(state["network"]["sequence"])
         session.transport_rng.bit_generator.state = state["transport"]["rng"]
         session.stream.load_state(state["transport"]["stream"])
+        faults_state = state.get("faults")
+        if faults_state is not None and session.injector is not None:
+            session.injector.load_state(faults_state)
         localizer_arrays = {
             name.split(".", 1)[1]: array
             for name, array in state["arrays"].items()

@@ -70,3 +70,80 @@ class TestAutoFusionRange:
             AutoFusionRange(positions, k=0)
         with pytest.raises(ValueError):
             AutoFusionRange(positions, slack=0.0)
+
+
+class TestQuarantinedSensorIsolation:
+    """A quarantined sensor's reading must do *no* particle work at all:
+    no selection (grid query), no reweighting (revision bump), no echo
+    EMA entry -- it is dropped before the fusion range is even computed."""
+
+    def make_localizer(self, metrics=None):
+        import numpy as np
+
+        from repro.core.config import LocalizerConfig
+        from repro.core.localizer import MultiSourceLocalizer
+
+        config = LocalizerConfig(
+            area=(60.0, 60.0),
+            n_particles=400,
+            assumed_background_cpm=5.0,
+            integrity_enabled=True,
+        )
+        return MultiSourceLocalizer(
+            config, rng=np.random.default_rng(0), metrics=metrics
+        )
+
+    def quarantine(self, localizer, sensor_id):
+        from repro.core.integrity import QUARANTINED
+
+        localizer.credibility._sensors[sensor_id] = {
+            "ema": 100.0, "n": 50, "status": QUARANTINED, "probation_left": 0,
+        }
+
+    def test_no_reweight_no_grid_query_no_echo_entry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        localizer = self.make_localizer(metrics=registry)
+        # Prime with honest readings and a cached extraction so any later
+        # estimate refresh is a cache hit, not new particle work.
+        for i, (x, y) in enumerate([(10.0, 10.0), (30.0, 30.0), (50.0, 10.0)]):
+            localizer.observe_reading(x, y, 6.0, sensor_id=i)
+        localizer.estimates()
+        self.quarantine(localizer, 9)
+
+        revision = localizer.particles.revision
+        queries = localizer.particles.grid_queries
+        iterations = localizer.iteration
+
+        localizer.observe_reading(20.0, 20.0, 5000.0, sensor_id=9)
+
+        assert localizer.particles.revision == revision
+        assert localizer.particles.grid_queries == queries
+        assert localizer.iteration == iterations
+        assert (20.0, 20.0) not in localizer._reading_ema
+        assert registry.counter("integrity.skipped_readings").value == 1
+
+    def test_quarantine_drops_existing_echo_entry(self):
+        """The sensor's pre-quarantine smoothed reading is forgotten, so
+        the echo filter stops trusting its history too."""
+        localizer = self.make_localizer()
+        localizer.observe_reading(20.0, 20.0, 8.0, sensor_id=9)
+        assert (20.0, 20.0) in localizer._reading_ema
+        self.quarantine(localizer, 9)
+        localizer.observe_reading(20.0, 20.0, 5000.0, sensor_id=9)
+        assert (20.0, 20.0) not in localizer._reading_ema
+
+    def test_integrity_disabled_has_no_credibility_layer(self):
+        import numpy as np
+
+        from repro.core.config import LocalizerConfig
+        from repro.core.localizer import MultiSourceLocalizer
+
+        config = LocalizerConfig(
+            area=(60.0, 60.0), n_particles=400, assumed_background_cpm=5.0
+        )
+        localizer = MultiSourceLocalizer(config, rng=np.random.default_rng(0))
+        assert localizer.credibility is None
+        localizer.observe_reading(20.0, 20.0, 5000.0, sensor_id=9)
+        assert localizer.iteration == 1

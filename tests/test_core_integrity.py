@@ -1,0 +1,310 @@
+"""Sensor-integrity layer: surprise scoring and the quarantine machine.
+
+The scoring tests pin the two traps the design works around (see the
+module docstring of :mod:`repro.core.integrity`):
+
+* a spoofed sensor must not be defended by the phantom estimate it bred
+  at its own position (leave-local-out exclusion);
+* an honest sensor next to a genuine source must not be condemned for
+  the filter's own transient localization/strength error (charitable
+  under-reading expectation, neighbor corroboration).
+
+The state-machine tests drive ``assess`` through every transition:
+warm-up, active -> quarantined, quarantined -> probation, probation ->
+active, and probation re-quarantine on a single hard spike.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import LocalizerConfig
+from repro.core.integrity import (
+    ACTIVE,
+    PROBATION,
+    QUARANTINED,
+    SensorCredibility,
+    poisson_deviance,
+)
+from repro.obs.metrics import MetricsRegistry
+
+SCALE = 222.0  # CPM per microcurie at distance zero (2.22e6 * 1e-4)
+BACKGROUND = 5.0
+
+
+def make_config(**overrides):
+    defaults = dict(
+        area=(100.0, 100.0),
+        n_particles=400,
+        assumed_background_cpm=BACKGROUND,
+        integrity_enabled=True,
+    )
+    defaults.update(overrides)
+    return LocalizerConfig(**defaults)
+
+
+def credibility(**overrides) -> SensorCredibility:
+    return SensorCredibility(make_config(**overrides))
+
+
+NO_SOURCES = np.zeros((0, 3))
+
+
+class TestPoissonDeviance:
+    def test_zero_at_agreement(self):
+        assert poisson_deviance(50.0, 50.0) == 0.0
+
+    def test_zero_count(self):
+        assert poisson_deviance(0.0, 10.0) == pytest.approx(20.0)
+
+    def test_zero_rate(self):
+        assert poisson_deviance(0.0, 0.0) == 0.0
+        assert poisson_deviance(3.0, 0.0) == math.inf
+
+    def test_grows_with_disagreement(self):
+        near = poisson_deviance(90.0, 100.0)
+        far = poisson_deviance(50.0, 100.0)
+        assert 0.0 < near < far
+
+    def test_matches_normal_approximation_in_the_bulk(self):
+        # sqrt(deviance) ~ (count - rate) / sqrt(rate) for small deviations.
+        z = math.sqrt(poisson_deviance(10100.0, 10000.0))
+        assert z == pytest.approx(1.0, rel=0.05)
+
+
+class TestSurprise:
+    def test_background_reading_is_unsurprising(self):
+        cred = credibility()
+        z = cred.surprise(10.0, 10.0, BACKGROUND, NO_SOURCES, {}, BACKGROUND, SCALE)
+        assert z == pytest.approx(0.0, abs=0.5)
+
+    def test_uncorroborated_excess_is_surprising(self):
+        """A huge count nobody nearby confirms: the Byzantine signature."""
+        cred = credibility()
+        reading_ema = {
+            (10.0, 10.0): 2000.0,   # the suspect itself
+            (15.0, 10.0): BACKGROUND,  # a close neighbor seeing nothing
+        }
+        z = cred.surprise(
+            10.0, 10.0, 2000.0, NO_SOURCES, reading_ema, BACKGROUND, SCALE
+        )
+        assert z > 50.0
+
+    def test_corroborated_excess_is_not_surprising(self):
+        """A genuine new source: the neighbor sees its inverse-square share."""
+        cred = credibility()
+        excess = 2000.0 - BACKGROUND
+        d_sq = 25.0
+        reading_ema = {
+            (10.0, 10.0): 2000.0,
+            (15.0, 10.0): BACKGROUND + excess / (1.0 + d_sq),
+        }
+        z = cred.surprise(
+            10.0, 10.0, 2000.0, NO_SOURCES, reading_ema, BACKGROUND, SCALE
+        )
+        assert z == pytest.approx(0.0, abs=1e-9)
+
+    def test_excess_no_neighbor_could_confirm_is_exonerated(self):
+        """With every neighbor too far to expect a share above the noise
+        floor, corroboration defaults to 1: absence of evidence."""
+        cred = credibility()
+        reading_ema = {
+            (10.0, 10.0): 60.0,
+            (90.0, 90.0): BACKGROUND,  # far: predicted share ~ 0
+        }
+        z = cred.surprise(
+            10.0, 10.0, 60.0, NO_SOURCES, reading_ema, BACKGROUND, SCALE
+        )
+        assert z == 0.0
+
+    def test_phantom_estimate_cannot_defend_its_sensor(self):
+        """An estimate within the exclusion radius is left out of the
+        leave-local-out prediction, so the spoof stays unexplained."""
+        cred = credibility()
+        phantom = np.array([[10.0, 10.0, 9.0]])  # parked on the sensor
+        reading_ema = {
+            (10.0, 10.0): 2000.0,
+            (15.0, 10.0): BACKGROUND,
+        }
+        z = cred.surprise(
+            10.0, 10.0, 2000.0, phantom, reading_ema, BACKGROUND, SCALE
+        )
+        assert z > 50.0
+
+    def test_distant_estimate_does_explain_the_reading(self):
+        source = np.array([[40.0, 10.0, 10.0]])  # 30m away: outside exclusion
+        expected = BACKGROUND + SCALE * 10.0 / (1.0 + 900.0)
+        z = credibility().surprise(
+            10.0, 10.0, expected, source, {}, BACKGROUND, SCALE
+        )
+        assert z == pytest.approx(0.0, abs=0.5)
+
+    def test_under_reading_far_below_charity_is_surprising(self):
+        """A stuck counter at background level next to a confirmed strong
+        source: even the most charitable expectation is far above it."""
+        cred = credibility()
+        source = np.array([[12.0, 10.0, 10.0]])  # 2m from the sensor
+        z = cred.surprise(
+            10.0, 10.0, BACKGROUND, source, {}, BACKGROUND, SCALE
+        )
+        assert z > cred.config.integrity_hard_sigma
+
+    def test_honest_sensor_survives_transient_overshoot(self):
+        """The filter briefly over-estimates strength by 40% with a meter
+        of position error; the true reading must stay unsurprising."""
+        cred = credibility()
+        overshoot = np.array([[12.0, 11.0, 14.0]])  # truth: (13, 11, 10)
+        true_mu = BACKGROUND + SCALE * 10.0 / (1.0 + 10.0)
+        z = cred.surprise(
+            10.0, 10.0, true_mu, overshoot, {}, BACKGROUND, SCALE
+        )
+        assert z < cred.config.integrity_soft_sigma
+
+
+def spike(cred, sensor_id=7, n=1):
+    """Feed ``n`` wildly uncorroborated readings; return the last weight."""
+    reading_ema = {(10.0, 10.0): 3000.0, (14.0, 10.0): BACKGROUND}
+    weight = 1.0
+    for _ in range(n):
+        weight = cred.assess(
+            sensor_id, 10.0, 10.0, 3000.0, NO_SOURCES, reading_ema,
+            BACKGROUND, SCALE,
+        )
+    return weight
+
+
+def calm(cred, sensor_id=7, n=1):
+    weight = 1.0
+    for _ in range(n):
+        weight = cred.assess(
+            sensor_id, 10.0, 10.0, BACKGROUND, NO_SOURCES, {}, BACKGROUND, SCALE
+        )
+    return weight
+
+
+class TestQuarantineMachine:
+    def test_warm_up_never_flags(self):
+        cred = credibility(integrity_min_observations=5)
+        assert spike(cred, n=4) == 1.0
+        assert cred.status(7) == ACTIVE
+
+    def test_active_to_quarantined_at_hard_sigma(self):
+        cred = credibility(integrity_min_observations=2)
+        weight = spike(cred, n=3)
+        assert weight == 0.0
+        assert cred.status(7) == QUARANTINED
+        assert cred.quarantined_ids() == [7]
+
+    def test_quarantined_readings_are_scored_but_worthless(self):
+        cred = credibility(integrity_min_observations=2)
+        spike(cred, n=3)
+        assert spike(cred, n=2) == 0.0
+        assert cred.surprise_ema(7) > cred.config.integrity_hard_sigma
+
+    def test_decay_reaches_probation_then_active(self):
+        cred = credibility(
+            integrity_min_observations=2,
+            integrity_ema_alpha=0.5,
+            integrity_probation_readings=3,
+        )
+        spike(cred, n=3)
+        assert cred.status(7) == QUARANTINED
+        # Calm readings decay the EMA below soft sigma -> probation.
+        weights = [calm(cred) for _ in range(20)]
+        assert cred.status(7) == ACTIVE
+        assert weights[-1] == 1.0
+        probation_weights = [
+            w for w in weights if w == cred.config.integrity_probation_weight
+        ]
+        assert len(probation_weights) == cred.config.integrity_probation_readings
+
+    def test_probation_spike_requarantines(self):
+        cred = credibility(
+            integrity_min_observations=2,
+            integrity_ema_alpha=0.5,
+            integrity_probation_readings=8,
+        )
+        spike(cred, n=3)
+        calm(cred, n=10)
+        assert cred.status(7) == PROBATION
+        assert spike(cred, n=1) == 0.0
+        assert cred.status(7) == QUARANTINED
+
+    def test_anonymous_readings_are_never_tracked(self):
+        cred = credibility(integrity_min_observations=1)
+        for _ in range(10):
+            weight = cred.assess(
+                -1, 10.0, 10.0, 3000.0,
+                NO_SOURCES, {(10.0, 10.0): 3000.0, (14.0, 10.0): BACKGROUND},
+                BACKGROUND, SCALE,
+            )
+        assert weight == 1.0
+        assert cred.quarantined_ids() == []
+
+    def test_active_weight_ramps_between_soft_and_hard(self):
+        cred = credibility(
+            integrity_min_observations=1, integrity_ema_alpha=1.0
+        )
+        config = cred.config
+        mid = (config.integrity_soft_sigma + config.integrity_hard_sigma) / 2
+        cred._sensors[3] = {
+            "ema": 0.0, "n": 10, "status": ACTIVE, "probation_left": 0,
+        }
+        assert cred._active_weight(3, config.integrity_soft_sigma) == 1.0
+        mid_weight = cred._active_weight(3, mid)
+        assert config.integrity_min_weight < mid_weight < 1.0
+
+    def test_metrics_follow_the_lifecycle(self):
+        registry = MetricsRegistry()
+        cred = SensorCredibility(
+            make_config(
+                integrity_min_observations=2, integrity_ema_alpha=0.5,
+                integrity_probation_readings=2,
+            ),
+            metrics=registry,
+        )
+        spike(cred, n=3)
+        assert registry.counter("integrity.quarantined").value == 1
+        assert registry.gauge("integrity.quarantined_now").value == 1
+        calm(cred, n=20)
+        assert registry.counter("integrity.readmitted").value == 1
+        assert registry.gauge("integrity.quarantined_now").value == 0
+
+    def test_state_roundtrips_through_json(self):
+        import json
+
+        cred = credibility(integrity_min_observations=2)
+        spike(cred, sensor_id=7, n=3)
+        calm(cred, sensor_id=9, n=4)
+        state = json.loads(json.dumps(cred.export_state()))
+        restored = credibility(integrity_min_observations=2)
+        restored.load_state(state)
+        assert restored.status(7) == QUARANTINED
+        assert restored.status(9) == ACTIVE
+        assert restored.surprise_ema(7) == cred.surprise_ema(7)
+        assert restored._sensors == cred._sensors
+
+
+class TestConfigValidation:
+    def test_threshold_ordering(self):
+        with pytest.raises(ValueError):
+            make_config(integrity_soft_sigma=8.0, integrity_hard_sigma=4.0)
+        with pytest.raises(ValueError):
+            make_config(integrity_soft_sigma=0.0)
+
+    def test_ranges(self):
+        with pytest.raises(ValueError):
+            make_config(integrity_ema_alpha=0.0)
+        with pytest.raises(ValueError):
+            make_config(integrity_ema_alpha=1.5)
+        with pytest.raises(ValueError):
+            make_config(integrity_min_observations=0)
+        with pytest.raises(ValueError):
+            make_config(integrity_probation_weight=0.0)
+        with pytest.raises(ValueError):
+            make_config(integrity_min_weight=1.0)
+        with pytest.raises(ValueError):
+            make_config(integrity_exclusion_radius=0.0)
+        with pytest.raises(ValueError):
+            make_config(integrity_refresh=0)

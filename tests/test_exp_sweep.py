@@ -210,3 +210,78 @@ class TestFailureHandling:
         results = run_cells(spec.cells(), workers=0)
         assert len(results) == 2
         assert all(r.n_steps == 2 for r in results)
+
+
+class TestRetryBackoff:
+    def test_deterministic_in_seed_and_attempt(self):
+        from repro.exp.engine import retry_backoff_seconds
+
+        assert retry_backoff_seconds(42, 1) == retry_backoff_seconds(42, 1)
+        assert retry_backoff_seconds(42, 1) != retry_backoff_seconds(43, 1)
+        assert retry_backoff_seconds(42, 1) != retry_backoff_seconds(42, 2)
+
+    def test_bounds_scale_with_attempt_and_cap(self):
+        from repro.exp.engine import (
+            RETRY_BACKOFF_BASE,
+            RETRY_BACKOFF_MAX,
+            retry_backoff_seconds,
+        )
+
+        for attempt in (1, 2, 3):
+            for seed in range(20):
+                delay = retry_backoff_seconds(seed, attempt)
+                low = min(RETRY_BACKOFF_MAX, 0.5 * RETRY_BACKOFF_BASE * attempt)
+                high = min(RETRY_BACKOFF_MAX, 1.5 * RETRY_BACKOFF_BASE * attempt)
+                assert low <= delay <= high
+        assert retry_backoff_seconds(7, 1000) == RETRY_BACKOFF_MAX
+
+    def test_rejects_bad_attempt(self):
+        from repro.exp.engine import retry_backoff_seconds
+
+        with pytest.raises(ValueError):
+            retry_backoff_seconds(1, 0)
+
+
+class TestFaultGrid:
+    def test_fault_grid_replaces_schedules_and_shares_seeds(self):
+        from repro.faults import DropoutWindow, FaultSchedule
+
+        scenario = tiny_scenario()
+        schedule = FaultSchedule(
+            models=(DropoutWindow(sensor_ids=(0,), start=0, end=2),), seed=4
+        )
+        spec = SweepSpec.fault_grid(
+            scenario,
+            {"clean": None, "dropout": schedule},
+            n_repeats=2,
+            base_seed=9,
+        )
+        assert spec.variant_names() == ["clean", "dropout"]
+        by_name = {v.name: v for v in spec.variants}
+        assert by_name["clean"].scenario.faults is None
+        assert by_name["clean"].scenario.name == "exp-tiny[clean]"
+        assert by_name["dropout"].scenario.faults == schedule
+        # Repeat r of every variant shares the derived seed: compared
+        # schedules see identical ground-truth noise.
+        cells = spec.cells()
+        seeds = {}
+        for cell in cells:
+            seeds.setdefault(cell.repeat_index, set()).add(cell.seed)
+        assert all(len(s) == 1 for s in seeds.values())
+
+    def test_fault_free_control_cell_matches_plain_run(self):
+        from repro.faults import FaultSchedule
+
+        scenario = tiny_scenario(n_time_steps=3)
+        spec = SweepSpec.fault_grid(
+            scenario,
+            {"control": FaultSchedule()},
+            n_repeats=1,
+            base_seed=5,
+        )
+        faulted = run_cells(spec.cells(), workers=0)
+        plain = run_cells(
+            SweepSpec.single(scenario, n_repeats=1, base_seed=5).cells(),
+            workers=0,
+        )
+        assert faulted[0].error_series(0) == plain[0].error_series(0)

@@ -134,6 +134,20 @@ class TestMeasurement:
         with pytest.raises(ValueError):
             Measurement(0, 0, 0, -1.0, 0, 0)
 
+    def test_non_finite_cpm_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="finite and non-negative"):
+                Measurement(0, 0.0, 0.0, bad, 0, 0)
+
+    def test_non_finite_position_rejected(self):
+        with pytest.raises(ValueError, match="position must be finite"):
+            Measurement(0, float("nan"), 0.0, 5.0, 0, 0)
+        with pytest.raises(ValueError, match="position must be finite"):
+            Measurement(0, 0.0, float("inf"), 5.0, 0, 0)
+
+    def test_zero_cpm_is_valid(self):
+        assert Measurement(0, 0.0, 0.0, 0.0, 0, 0).cpm == 0.0
+
 
 class TestSensorNetwork:
     def _network(self, seed=0, background=None):

@@ -226,7 +226,9 @@ def links(depth=2):
         base,
         st.tuples(
             links(depth - 1),
-            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            st.floats(
+                min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False
+            ),
         ).map(lambda pair: LossyLink(pair[0], pair[1])),
     )
 
@@ -321,3 +323,118 @@ class TestCodecProperties:
             fusion_policy_to_dict(Weird())
         with pytest.raises(CheckpointError, match="unknown fusion policy"):
             fusion_policy_from_dict({"type": "weird"})
+
+
+class TestCheckpointCorruption:
+    """Every checkpoint failure mode surfaces as a typed CheckpointError,
+    never a raw KeyError/OSError/zipfile traceback."""
+
+    @pytest.fixture()
+    def checkpoint(self, tmp_path):
+        from repro.core.config import LocalizerConfig
+        from repro.physics.source import RadiationSource
+        from repro.sensors.placement import grid_placement
+        from repro.sim.scenario import Scenario
+        from repro.sim.session import LocalizerSession
+
+        scenario = Scenario(
+            name="ckpt-tiny",
+            area=(60.0, 60.0),
+            sources=[RadiationSource(22.0, 38.0, 10.0, label="S1")],
+            sensors=grid_placement(
+                3, 3, 60.0, 60.0, efficiency=1e-4, background_cpm=5.0,
+                margin_fraction=0.0,
+            ),
+            background_cpm=5.0,
+            n_time_steps=3,
+            localizer_config=LocalizerConfig(
+                area=(60.0, 60.0), n_particles=200, assumed_background_cpm=5.0
+            ),
+        )
+        session = LocalizerSession(scenario, seed=1)
+        session.step()
+        path = tmp_path / "session.ckpt.json"
+        session.save_checkpoint(path)
+        return path
+
+    def load(self, path):
+        from repro.sim.serialization import load_checkpoint
+
+        return load_checkpoint(path)
+
+    def test_intact_checkpoint_loads(self, checkpoint):
+        state = self.load(checkpoint)
+        assert "arrays" in state
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            self.load(tmp_path / "nope.ckpt.json")
+
+    def test_invalid_json(self, checkpoint):
+        checkpoint.write_text("{not json")
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            self.load(checkpoint)
+
+    def test_wrong_magic(self, checkpoint):
+        checkpoint.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(CheckpointError, match="document"):
+            self.load(checkpoint)
+
+    def test_unsupported_version(self, checkpoint):
+        document = json.loads(checkpoint.read_text())
+        document["format_version"] = 999
+        checkpoint.write_text(json.dumps(document))
+        with pytest.raises(CheckpointError, match="format version"):
+            self.load(checkpoint)
+
+    @pytest.mark.parametrize(
+        "field", ["arrays_file", "arrays_sha256", "state"]
+    )
+    def test_missing_required_field(self, checkpoint, field):
+        document = json.loads(checkpoint.read_text())
+        del document[field]
+        checkpoint.write_text(json.dumps(document))
+        with pytest.raises(CheckpointError, match="missing required field"):
+            self.load(checkpoint)
+
+    def test_missing_sidecar(self, checkpoint):
+        (checkpoint.parent / (checkpoint.name + ".npz")).unlink()
+        with pytest.raises(CheckpointError, match="sidecar .* missing"):
+            self.load(checkpoint)
+
+    def test_truncated_sidecar(self, checkpoint):
+        sidecar = checkpoint.parent / (checkpoint.name + ".npz")
+        blob = sidecar.read_bytes()
+        sidecar.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError, match="SHA-256 mismatch"):
+            self.load(checkpoint)
+
+    def test_tampered_sidecar_byte(self, checkpoint):
+        sidecar = checkpoint.parent / (checkpoint.name + ".npz")
+        blob = bytearray(sidecar.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        sidecar.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="SHA-256 mismatch"):
+            self.load(checkpoint)
+
+    def test_sidecar_that_was_never_an_npz(self, checkpoint):
+        """A document whose hash matches garbage bytes: the SHA gate
+        passes, the npz parser must still fail typed."""
+        import hashlib
+
+        sidecar = checkpoint.parent / (checkpoint.name + ".npz")
+        garbage = b"this was never an npz archive"
+        sidecar.write_bytes(garbage)
+        document = json.loads(checkpoint.read_text())
+        document["arrays_sha256"] = hashlib.sha256(garbage).hexdigest()
+        checkpoint.write_text(json.dumps(document))
+        with pytest.raises(CheckpointError, match="not a readable npz"):
+            self.load(checkpoint)
+
+    def test_resume_surfaces_typed_error(self, checkpoint):
+        """The session-level entry point propagates CheckpointError."""
+        from repro.sim.session import LocalizerSession
+
+        checkpoint.write_text("{not json")
+        with pytest.raises(CheckpointError):
+            LocalizerSession.resume_from_checkpoint(checkpoint)

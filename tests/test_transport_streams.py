@@ -247,3 +247,53 @@ class TestSessionStreamingEdgeCases:
             return docs
 
         assert comparable(a) == comparable(b)
+
+
+class TestFaultedSessionStreams:
+    """Injected sensor faults compose with the streaming transport: a
+    dead sensor's reports never reach the delivery stream, so they can
+    never trigger filter work downstream."""
+
+    def test_sensor_death_fault_shrinks_batches_at_the_stream(self):
+        from repro.faults import FaultSchedule, SensorDeath
+
+        schedule = FaultSchedule(
+            models=(SensorDeath(sensor_ids=(0,), at_step=2),), seed=1
+        )
+        scenario = tiny_scenario(faults=schedule)
+        session = LocalizerSession(scenario, seed=3)
+        result = session.run()
+        assert [r.n_measurements for r in result.steps] == [16, 16, 15, 15, 15]
+        assert session.injector.injected == {"death": 3}
+
+    def test_dead_sensor_triggers_no_filter_work(self):
+        """Per-reading iteration counts drop exactly with the batch size:
+        the dropped reports do zero selections/reweights."""
+        from repro.faults import FaultSchedule, SensorDeath
+
+        schedule = FaultSchedule(
+            models=(SensorDeath(sensor_ids=(0, 5), at_step=0),), seed=1
+        )
+        plain = LocalizerSession(tiny_scenario(), seed=3)
+        faulty = LocalizerSession(tiny_scenario(faults=schedule), seed=3)
+        plain.step()
+        faulty.step()
+        assert faulty.localizer.iteration == plain.localizer.iteration - 2
+
+    def test_faults_compose_with_lossy_links(self):
+        """Injection happens before transport: the lossy link sees the
+        already-shrunken batch and the session still finishes cleanly."""
+        from repro.faults import DropoutWindow, FaultSchedule
+
+        schedule = FaultSchedule(
+            models=(DropoutWindow(sensor_ids=(1, 2), start=1, end=4),), seed=2
+        )
+        scenario = tiny_scenario(
+            faults=schedule,
+            delivery=OutOfOrderDelivery(LossyLink(PerfectLink(), 0.2)),
+        )
+        session = LocalizerSession(scenario, seed=3)
+        result = session.run()
+        assert session.finished
+        assert all(r.n_measurements <= 16 for r in result.steps)
+        assert session.injector.injected["dropout"] == 6
