@@ -19,11 +19,10 @@ particle count through Table-I-class populations and reports how
 save/restore latency and document size grow with state.
 """
 
-import json
 import os
 import time
 
-from benchmarks.conftest import BENCH_SEED, RESULTS_DIR
+from benchmarks.conftest import BENCH_SEED, write_bench_json
 from repro.eval.reporting import format_table
 from repro.sim.scenarios import scenario_a
 from repro.sim.serialization import load_checkpoint, step_record_to_dict
@@ -65,10 +64,13 @@ def _checkpoint_cycle(scenario, seed, split, path):
     }
 
 
-def _write_json(payload):
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_checkpoint.json").write_text(
-        json.dumps(payload, indent=2)
+def _write_json(mode, scenario_name, metrics, detail):
+    write_bench_json(
+        "checkpoint",
+        metrics=metrics,
+        config={"mode": mode, "scenario": scenario_name, "split_step": 2},
+        context={"cpu_count": os.cpu_count()},
+        detail=detail,
     )
 
 
@@ -91,15 +93,10 @@ def test_checkpoint_parity_smoke(report, tmp_path):
         )
     )
     _write_json(
-        {
-            "mode": "smoke",
-            "scenario": scenario.name,
-            "n_particles": 800,
-            "split_step": 2,
-            "cpu_count": os.cpu_count(),
-            "parity": "bitwise",
-            **cycle,
-        }
+        "smoke",
+        scenario.name,
+        metrics={"parity_ok": 1.0, **cycle},
+        detail={"n_particles": 800, "parity": "bitwise"},
     )
 
 
@@ -128,13 +125,15 @@ def test_checkpoint_scaling(report, tmp_path):
             title="checkpoint latency/size vs particle count (scenario A)",
         )
     )
+    largest = samples[-1]
     _write_json(
-        {
-            "mode": "full",
-            "scenario": "scenario-a",
-            "split_step": 2,
-            "cpu_count": os.cpu_count(),
-            "parity": "bitwise",
-            "samples": samples,
-        }
+        "full",
+        "scenario-a",
+        metrics={
+            "parity_ok": 1.0,
+            "save_seconds": largest["save_seconds"],
+            "restore_seconds": largest["restore_seconds"],
+            "bytes": float(largest["bytes"]),
+        },
+        detail={"parity": "bitwise", "samples": samples},
     )

@@ -16,13 +16,12 @@ asserts parity only (never wall-clock), so CI can catch fast-path
 regressions on shared runners without flaking on timing.
 """
 
-import json
 import time
 
 import numpy as np
 import pytest
 
-from benchmarks.conftest import BENCH_SEED, RESULTS_DIR
+from benchmarks.conftest import BENCH_SEED, write_bench_json
 from repro.core.estimator import extract_estimates
 from repro.core.localizer import MultiSourceLocalizer
 from repro.eval.reporting import format_table
@@ -142,25 +141,27 @@ def test_fastpath_speedup_table1(report, benchmark):
         f"max deviation {max(deltas):.4f} (tolerance {PARITY_TOLERANCE})"
     )
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    payload = {
-        "scenario": {
+    write_bench_json(
+        "fastpath",
+        metrics={
+            "reference_ms_per_iteration": ref_seconds * 1000,
+            "fast_ms_per_iteration": fast_seconds * 1000,
+            "speedup": speedup,
+            "parity_ok": float(max(deltas) <= PARITY_TOLERANCE),
+        },
+        config={
             "n_particles": n_particles,
             "n_sensors": 196,
             "seed": BENCH_SEED,
             "timed_iterations": TIMED_ITERATIONS,
         },
-        "reference_ms_per_iteration": ref_seconds * 1000,
-        "fast_ms_per_iteration": fast_seconds * 1000,
-        "speedup": speedup,
-        "parity": {
-            "n_candidates": len(deltas),
-            "max_position_deviation": max(deltas),
-            "tolerance": PARITY_TOLERANCE,
+        detail={
+            "parity": {
+                "n_candidates": len(deltas),
+                "max_position_deviation": max(deltas),
+                "tolerance": PARITY_TOLERANCE,
+            },
         },
-    }
-    (RESULTS_DIR / "BENCH_fastpath.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
     )
     assert speedup >= 2.0, (
         f"fast path is only {speedup:.2f}x the reference "

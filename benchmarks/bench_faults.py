@@ -28,11 +28,10 @@ error stays within 2x the fault-free baseline while quarantine-off
 exceeds 4x.
 """
 
-import json
 import os
 from dataclasses import replace
 
-from benchmarks.conftest import BENCH_SEED, RESULTS_DIR
+from benchmarks.conftest import BENCH_SEED, write_bench_json
 from repro.eval.aggregate import mean_over_steps
 from repro.eval.reporting import format_table
 from repro.faults.models import DropoutWindow, SpoofedCounts
@@ -123,9 +122,14 @@ def _checkpoint_replay(scenario, seed, split, path):
     return _comparable(full) == _comparable(resumed.result())
 
 
-def _write_json(payload):
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_faults.json").write_text(json.dumps(payload, indent=2))
+def _write_json(mode, scenario_name, metrics, detail):
+    write_bench_json(
+        "faults",
+        metrics=metrics,
+        config={"mode": mode, "scenario": scenario_name},
+        context={"cpu_count": os.cpu_count()},
+        detail=detail,
+    )
 
 
 def test_faults_parity_smoke(report, tmp_path):
@@ -157,14 +161,14 @@ def test_faults_parity_smoke(report, tmp_path):
         )
     )
     _write_json(
-        {
-            "mode": "smoke",
-            "scenario": scenario.name,
+        "smoke",
+        scenario.name,
+        metrics={"parity_ok": 1.0, "replay_ok": 1.0},
+        detail={
             "n_particles": 800,
-            "cpu_count": os.cpu_count(),
             "fault_free_parity": "bitwise",
             "checkpoint_replay": "bitwise",
-        }
+        },
     )
 
 
@@ -222,18 +226,20 @@ def test_byzantine_degradation(report):
         )
     )
     _write_json(
-        {
-            "mode": "full",
-            "scenario": "scenario-a",
-            "n_particles": 3000,
+        "full",
+        "scenario-a",
+        metrics={
             "mean_baseline_error_m": mean_baseline,
             "mean_quarantine_off_error_m": mean_off,
             "mean_quarantine_on_error_m": mean_on,
+            "worst_error_ratio": mean_on / mean_baseline,
+        },
+        detail={
+            "n_particles": 3000,
             "spoofed_sensors": list(SPOOFED_SENSORS),
             "spoofed_fraction": len(SPOOFED_SENSORS) / 36,
             "first_scored_step": FIRST_SCORED_STEP,
             "error_cap_m": ERROR_CAP,
-            "cpu_count": os.cpu_count(),
             "samples": samples,
-        }
+        },
     )

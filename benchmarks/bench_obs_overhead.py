@@ -140,6 +140,54 @@ def test_tracing_cost(report, benchmark):
     assert len(sink.of_type("iteration")) > 0
 
 
+def test_ledger_emission_overhead(report, tmp_path):
+    """Ledger emission must add < 1% to a Table-1 cell run.
+
+    A manifest is built and appended once per *run*, not per iteration,
+    so its cost is bounded against the shortest realistic run: the
+    Table-1 summary's 15-iteration cell on this scenario.  The measured
+    quantity is (manifest build + JSONL append) / run wall-clock.
+    """
+    from repro.obs.ledger import Ledger, RunManifest
+
+    localizer, measurements = _prepared()
+    rounds = 15  # the Table-1 summary cell's round count
+    start = time.perf_counter()
+    for i in range(rounds):
+        localizer.observe(measurements[i % len(measurements)])
+        localizer.estimates()
+    run_seconds = time.perf_counter() - start
+
+    ledger = Ledger(tmp_path / "ledger")
+    start = time.perf_counter()
+    manifest = RunManifest.create(
+        kind="bench",
+        name="obs-overhead",
+        metrics={"iter_seconds": run_seconds / rounds},
+        timings={"wall_seconds": run_seconds},
+        seeds=[BENCH_SEED],
+        config={"n_particles": N_PARTICLES, "rounds": rounds},
+    )
+    ledger.append(manifest)
+    emit_seconds = time.perf_counter() - start
+
+    ratio = emit_seconds / run_seconds
+    report.add(
+        format_table(
+            ["quantity", "seconds", "fraction of run"],
+            [
+                ["table-1 cell run (15 iters)", round(run_seconds, 4), 1.0],
+                ["manifest build + append", round(emit_seconds, 6),
+                 round(ratio, 6)],
+            ],
+            title="Ledger emission cost vs one Table-1 cell run",
+        )
+    )
+    assert ratio < 0.01, (
+        f"ledger emission cost {ratio:.2%} of the run exceeds the 1% budget"
+    )
+
+
 def test_trace_phase_accounting_matches_wallclock(report):
     """Acceptance criterion: phase sums within 5% of measured runtime."""
     from repro.obs.report import summarize_trace

@@ -20,13 +20,12 @@ skipped on machines with fewer than 4 cores, where the bar is
 unreachable by construction.
 """
 
-import json
 import os
 import time
 
 import pytest
 
-from benchmarks.conftest import BENCH_SEED, RESULTS_DIR
+from benchmarks.conftest import BENCH_SEED, write_bench_json
 from repro.core.config import LocalizerConfig
 from repro.eval.reporting import format_table
 from repro.physics.source import RadiationSource
@@ -57,9 +56,18 @@ def _assert_bitwise_identical(serial, parallel):
         )
 
 
-def _write_json(payload):
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_sweep.json").write_text(json.dumps(payload, indent=2))
+def _write_json(mode, scenario_name, workers, metrics, detail):
+    write_bench_json(
+        "sweep",
+        metrics=metrics,
+        config={
+            "mode": mode,
+            "scenario": scenario_name,
+            "workers": workers,
+        },
+        context={"cpu_count": os.cpu_count()},
+        detail=detail,
+    )
 
 
 def _tiny_scenario():
@@ -100,16 +108,15 @@ def test_sweep_parity_smoke(report):
         )
     )
     _write_json(
-        {
-            "mode": "smoke",
-            "scenario": scenario.name,
-            "n_repeats": 3,
-            "workers": 2,
-            "cpu_count": os.cpu_count(),
+        "smoke",
+        scenario.name,
+        2,
+        metrics={
             "serial_seconds": serial_seconds,
             "parallel_seconds": parallel_seconds,
-            "parity": "bitwise",
-        }
+            "parity_ok": 1.0,
+        },
+        detail={"n_repeats": 3, "parity": "bitwise"},
     )
 
 
@@ -152,17 +159,16 @@ def test_sweep_speedup_table1(report):
         )
     )
     _write_json(
-        {
-            "mode": "full",
-            "scenario": scenario.name,
-            "n_repeats": FULL_REPEATS,
-            "workers": FULL_WORKERS,
-            "cpu_count": cores,
+        "full",
+        scenario.name,
+        FULL_WORKERS,
+        metrics={
             "serial_seconds": serial_seconds,
             "parallel_seconds": parallel_seconds,
             "speedup": speedup,
-            "parity": "bitwise",
-        }
+            "parity_ok": 1.0,
+        },
+        detail={"n_repeats": FULL_REPEATS, "parity": "bitwise"},
     )
     assert speedup >= SPEEDUP_BAR, (
         f"expected >= {SPEEDUP_BAR}x speedup at workers={FULL_WORKERS}, "

@@ -22,7 +22,7 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import BENCH_SEED
+from benchmarks.conftest import BENCH_SEED, write_bench_json
 from repro.core.localizer import MultiSourceLocalizer
 from repro.core.meanshift import mean_shift_modes, select_seeds
 from repro.core.parallel import make_executor, parallel_mean_shift_modes
@@ -114,6 +114,22 @@ def test_table1_summary(report, benchmark):
             title="Table I analog: mean per-iteration time "
             "(this machine, vectorized single process)",
         )
+    )
+    write_bench_json(
+        "table1",
+        metrics={
+            f"p{n_particles}_n{n_sensors}_ms_per_iter": (
+                table[(n_particles, n_sensors)] * 1000
+            )
+            for n_particles in PARTICLE_COUNTS
+            for n_sensors in (36, 196)
+        },
+        config={
+            "particle_counts": list(PARTICLE_COUNTS),
+            "sensor_counts": [36, 196],
+            "rounds": 15,
+        },
+        context={"cpu_count": os.cpu_count()},
     )
     # Shape: cost grows with particles...
     assert table[(15000, 36)] > table[(2000, 36)]

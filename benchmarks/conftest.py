@@ -12,16 +12,31 @@ Repeats default to 5 per configuration (the paper averages 10); set
 ``REPRO_BENCH_WORKERS=N`` to fan each figure's repeats out to N worker
 processes via the experiment engine -- results are bitwise-identical to
 the serial run, only faster on multi-core boxes.
+
+Machine-readable artifacts all flow through :func:`write_bench_json`:
+one ``BENCH_<name>.json`` per bench in the converged ``repro-bench v1``
+schema (an embedded run manifest plus free-form detail), and the same
+manifest appended to the run-ledger history (``.repro/ledger/`` or
+``$REPRO_LEDGER_DIR``) so ``python -m repro report trends|gate`` can
+track every number across commits.  See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
 
+import json
+import logging
 import os
 from pathlib import Path
+from typing import Dict, Optional, Sequence
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Schema tag of every BENCH_*.json artifact.
+BENCH_FORMAT = "repro-bench v1"
+
+logger = logging.getLogger(__name__)
 
 #: Repeats per configuration.  The paper uses 10; 5 keeps the full harness
 #: in the minutes range while leaving the trends clear.
@@ -33,6 +48,55 @@ BENCH_SEED = 1000
 #: Worker processes for the repeat axis (0 = serial).  Opt-in because the
 #: pool start-up is pure overhead on small scenarios and single-core CI.
 BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
+
+
+def write_bench_json(
+    name: str,
+    metrics: Dict[str, float],
+    config: Optional[object] = None,
+    timings: Optional[Dict[str, float]] = None,
+    seeds: Sequence[int] = (BENCH_SEED,),
+    context: Optional[Dict[str, object]] = None,
+    detail: Optional[dict] = None,
+    ledger: bool = True,
+) -> Path:
+    """Write ``results/BENCH_<name>.json`` and append to the run ledger.
+
+    The converged artifact schema (``repro-bench v1``): a run manifest
+    (commit sha, config hash, seeds, flat gateable ``metrics``, timings)
+    under ``"manifest"``, plus free-form ``"detail"`` for anything that
+    does not need gating.  The same manifest is appended to the ledger
+    history so trends/gate see bench numbers alongside run manifests;
+    ``ledger=False`` (or an unwritable ledger, which only logs) skips
+    that.
+    """
+    from repro.obs.ledger import Ledger, RunManifest
+
+    manifest = RunManifest.create(
+        kind="bench",
+        name=name,
+        metrics=metrics,
+        timings=timings,
+        seeds=seeds,
+        config=config,
+        context=context,
+    )
+    payload = {
+        "format": BENCH_FORMAT,
+        "name": name,
+        "manifest": manifest.to_dict(),
+    }
+    if detail:
+        payload["detail"] = detail
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    if ledger:
+        try:
+            Ledger().append(manifest)
+        except OSError as exc:
+            logger.warning("bench %s: ledger append failed: %s", name, exc)
+    return path
 
 
 class BenchReport:

@@ -8,14 +8,24 @@ Commands
 ``export``    Write a paper scenario to a JSON document.
 ``run-file``  Run a scenario loaded from a JSON document.
 ``resume``    Resume a checkpointed run and print its metrics.
-``report``    Summarize a JSONL trace written by ``run --trace``.
+``report``    The observability readout, four subcommands:
+              ``trace`` summarizes a JSONL trace (``report PATH`` is a
+              shorthand for ``report trace PATH``); ``trends`` tabulates
+              a ledger series' metric history; ``compare`` diffs two
+              manifests; ``gate`` exits nonzero when a tracked metric
+              regressed beyond tolerance.  All four accept ``--json``.
 
 Examples::
 
     python -m repro run a --strength 50 --repeats 3
     python -m repro run b --seed 7
     python -m repro run a --trace trace.jsonl --metrics --health
+    python -m repro run a --ledger .repro/ledger --flight-dir flights
     python -m repro report trace.jsonl
+    python -m repro report trace trace.jsonl --json
+    python -m repro report trends --ledger .repro/ledger
+    python -m repro report compare old.json new.json
+    python -m repro report gate --baseline .repro/ledger/scenario-a.jsonl
     python -m repro layout b
     python -m repro sweep strength --values 4 10 50 100 --workers 4
     python -m repro run b --repeats 10 --workers 4
@@ -34,15 +44,25 @@ CLI does.
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import sys
 from typing import List, Optional
 
 from repro.eval.aggregate import mean_over_steps
 from repro.eval.reporting import format_health_series, format_series, format_table
+from repro.obs.ledger import Ledger
 from repro.obs.metrics import MetricsRegistry, format_metrics
 from repro.obs.report import format_trace_report, summarize_trace
 from repro.obs.trace import Tracer, jsonl_tracer
+from repro.obs.trends import (
+    compare_manifests,
+    compare_table,
+    gate_report,
+    load_manifest_source,
+    resolve_series,
+    trend_table,
+)
 from repro.exp.engine import run_sweep
 from repro.exp.spec import SweepSpec, Variant
 from repro.sim.runner import run_repeated
@@ -192,10 +212,18 @@ def _print_aggregate(scenario, agg, args) -> None:
         )
 
 
+def _open_ledger(args) -> Optional[Ledger]:
+    """The run ledger from the shared ``--ledger`` flag (None = off)."""
+    if getattr(args, "ledger", None) is None:
+        return None
+    return Ledger(args.ledger)
+
+
 def _report_run(scenario, policy, args) -> None:
     """Run + report a scenario with the shared CLI flags applied."""
     print(scenario.describe())
     tracer, registry = _open_instrumentation(args)
+    ledger = _open_ledger(args)
     try:
         agg = run_repeated(
             scenario,
@@ -207,6 +235,8 @@ def _report_run(scenario, policy, args) -> None:
             workers=args.workers,
             checkpoint_every=args.checkpoint_every,
             checkpoint_dir=args.checkpoint_dir,
+            ledger=ledger,
+            flight_dir=getattr(args, "flight_dir", None),
         )
         if tracer is not None and registry is not None:
             # The trace carries the final metrics snapshot too, so a
@@ -217,6 +247,12 @@ def _report_run(scenario, policy, args) -> None:
             tracer.close()
     _print_aggregate(scenario, agg, args)
     _print_instrumentation(args, registry)
+    if ledger is not None:
+        print(
+            f"\nappended {args.repeats} manifest(s) to the ledger at "
+            f"{ledger.root} (inspect with: "
+            f"python -m repro report trends --ledger {ledger.root})"
+        )
 
 
 def cmd_run(args) -> int:
@@ -226,7 +262,7 @@ def cmd_run(args) -> int:
     return 0
 
 
-def cmd_report(args) -> int:
+def cmd_report_trace(args) -> int:
     try:
         summary = summarize_trace(args.path)
     except OSError as exc:
@@ -238,8 +274,93 @@ def cmd_report(args) -> int:
     if summary.n_events == 0:
         print(f"{args.path}: no trace events found", file=sys.stderr)
         return 1
-    print(format_trace_report(summary))
+    if args.as_json:
+        print(json.dumps(summary.to_dict(), indent=2))
+    else:
+        print(format_trace_report(summary))
     return 0
+
+
+def cmd_report_trends(args) -> int:
+    try:
+        name, manifests = resolve_series(
+            Ledger(args.ledger), args.series, source=args.source
+        )
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "series": name,
+                    "entries": [m.to_dict() for m in manifests],
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(trend_table(name, manifests, metrics=args.metrics, last=args.last))
+    return 0
+
+
+def cmd_report_compare(args) -> int:
+    try:
+        baseline = load_manifest_source(args.baseline)[-1]
+        current = load_manifest_source(args.current)[-1]
+        checks = compare_manifests(
+            baseline, current, tolerance=args.tolerance, metrics=args.metrics
+        )
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.as_json:
+        print(json.dumps(gate_report(baseline, current, checks), indent=2))
+    else:
+        print(compare_table(baseline, current, checks))
+    return 0
+
+
+def cmd_report_gate(args) -> int:
+    """Compare and *enforce*: exit 1 when a gated metric regressed.
+
+    With only ``--baseline`` pointing at a ledger series, the latest
+    entry is gated against the previous one; ``--current`` gates an
+    explicit manifest (e.g. a fresh ``BENCH_*.json``) against the
+    baseline source's last entry.  Data/usage problems exit 2 so CI can
+    tell a true regression from a broken gate.
+    """
+    try:
+        history = load_manifest_source(args.baseline)
+        if args.current is not None:
+            baseline = history[-1]
+            current = load_manifest_source(args.current)[-1]
+        elif len(history) >= 2:
+            baseline, current = history[-2], history[-1]
+        else:
+            print(
+                f"{args.baseline}: only {len(history)} manifest(s); "
+                "gating needs --current or a series with >= 2 entries",
+                file=sys.stderr,
+            )
+            return 2
+        checks = compare_manifests(
+            baseline, current, tolerance=args.tolerance, metrics=args.metrics
+        )
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    report = gate_report(baseline, current, checks)
+    if args.as_json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(compare_table(baseline, current, checks))
+        print(
+            f"\ngate: {report['n_gated']} gated metric(s), "
+            f"{report['n_regressed']} regression(s) -> "
+            + ("OK" if report["ok"] else "FAIL")
+        )
+    return 0 if report["ok"] else 1
 
 
 def cmd_layout(args) -> int:
@@ -285,6 +406,7 @@ def cmd_sweep(args) -> int:
         metrics=registry,
         checkpoint_every=args.checkpoint_every,
         checkpoint_dir=args.checkpoint_dir,
+        ledger=_open_ledger(args),
     )
     rows = []
     for value, variant in zip(args.values, variants):
@@ -314,6 +436,11 @@ def cmd_sweep(args) -> int:
         f"retries {registry.counter('sweep.retries').value}, "
         f"serial fallbacks {registry.counter('sweep.serial_fallbacks').value}"
     )
+    if sweep.failures:
+        print(f"{len(sweep.failures)} failed worker attempt(s), all recovered:")
+        for failure in sweep.failures:
+            print(f"  {failure.summary_line()}")
+        print("(full tracebacks in the trace stream's cell_failure events)")
     return 0
 
 
@@ -348,6 +475,8 @@ def cmd_resume(args) -> int:
                 tracer=tracer,
                 metrics=registry,
                 checkpoint_every=args.checkpoint_every,
+                ledger=_open_ledger(args),
+                flight_path=getattr(args, "flight", None),
             )
         except CheckpointError as exc:
             print(str(exc), file=sys.stderr)
@@ -377,8 +506,37 @@ def cmd_resume(args) -> int:
     return 0
 
 
+#: ``report``'s nested subcommands; a bare path is shorthand for ``trace``.
+_REPORT_SUBCOMMANDS = ("trace", "trends", "compare", "gate")
+
+
+def _shim_report_argv(argv: List[str]) -> List[str]:
+    """Rewrite ``report PATH ...`` to ``report trace PATH ...``.
+
+    Keeps the original single-purpose CLI (``python -m repro report
+    trace.jsonl``) working now that ``report`` has subcommands.
+    """
+    if (
+        len(argv) >= 2
+        and argv[0] == "report"
+        and argv[1] not in _REPORT_SUBCOMMANDS
+        and not argv[1].startswith("-")
+    ):
+        return [argv[0], "trace", *argv[1:]]
+    return argv
+
+
+class _ReproParser(argparse.ArgumentParser):
+    """ArgumentParser that applies the ``report`` shorthand shim."""
+
+    def parse_args(self, args=None, namespace=None):  # type: ignore[override]
+        if args is None:
+            args = sys.argv[1:]
+        return super().parse_args(_shim_report_argv(list(args)), namespace)
+
+
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = _ReproParser(
         prog="python -m repro",
         description="Multiple radiation source localization (ICDCS 2011 reproduction)",
     )
@@ -434,6 +592,19 @@ def build_parser() -> argparse.ArgumentParser:
             "(required with --checkpoint-every)",
         )
 
+    def ledger_flags(p, flight: bool = True):
+        p.add_argument(
+            "--ledger", default=None, metavar="DIR",
+            help="append one run manifest per run to the ledger at DIR "
+            "(inspect with: python -m repro report trends --ledger DIR)",
+        )
+        if flight:
+            p.add_argument(
+                "--flight-dir", default=None, metavar="DIR",
+                help="arm a flight recorder per run; on a crash the last "
+                "trace events dump to DIR/run-<r>.flight.json",
+            )
+
     def common(p):
         logging_flags(p)
         p.add_argument("--steps", type=int, default=30, help="time steps (default 30)")
@@ -452,6 +623,7 @@ def build_parser() -> argparse.ArgumentParser:
     instrumentation_flags(run_parser)
     fault_flags(run_parser)
     checkpoint_flags(run_parser)
+    ledger_flags(run_parser)
     workers_flag(run_parser)
     common(run_parser)
     run_parser.set_defaults(func=cmd_run)
@@ -466,16 +638,113 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint-every", type=int, default=0, metavar="N",
         help="keep snapshotting every N steps to the same file (0 = off)",
     )
+    resume_parser.add_argument(
+        "--ledger", default=None, metavar="DIR",
+        help="append the finished run's manifest to the ledger at DIR",
+    )
+    resume_parser.add_argument(
+        "--flight", default=None, metavar="PATH",
+        help="arm a flight recorder; on a crash the last trace events "
+        "dump to PATH",
+    )
     instrumentation_flags(resume_parser)
     logging_flags(resume_parser)
     resume_parser.set_defaults(func=cmd_resume)
 
     report_parser = sub.add_parser(
-        "report", help="summarize a JSONL trace (phase times, health, counts)"
+        "report",
+        help="observability readout: trace summaries, ledger trends, "
+        "manifest compare, and the regression gate",
     )
-    report_parser.add_argument("path", help="trace JSONL path (from run --trace)")
-    logging_flags(report_parser)
-    report_parser.set_defaults(func=cmd_report)
+    report_sub = report_parser.add_subparsers(dest="report_command", required=True)
+
+    def json_flag(p):
+        p.add_argument(
+            "--json", action="store_true", dest="as_json",
+            help="emit a machine-readable JSON document instead of tables",
+        )
+
+    trace_parser = report_sub.add_parser(
+        "trace", help="summarize a JSONL trace (phase times, health, counts)"
+    )
+    trace_parser.add_argument("path", help="trace JSONL path (from run --trace)")
+    json_flag(trace_parser)
+    logging_flags(trace_parser)
+    trace_parser.set_defaults(func=cmd_report_trace)
+
+    trends_parser = report_sub.add_parser(
+        "trends", help="tabulate a ledger series' metric history"
+    )
+    trends_parser.add_argument(
+        "series", nargs="?", default=None,
+        help="series name (optional when the ledger has exactly one)",
+    )
+    trends_parser.add_argument(
+        "--ledger", default=None, metavar="DIR",
+        help="ledger root (default: $REPRO_LEDGER_DIR or .repro/ledger)",
+    )
+    trends_parser.add_argument(
+        "--source", default=None, metavar="FILE",
+        help="read manifests from a file (ledger JSONL, manifest JSON, "
+        "or BENCH_*.json) instead of the ledger",
+    )
+    trends_parser.add_argument(
+        "--metrics", nargs="+", default=None, metavar="NAME",
+        help="only these metric columns",
+    )
+    trends_parser.add_argument(
+        "--last", type=int, default=0, metavar="N",
+        help="only the last N entries (0 = all)",
+    )
+    json_flag(trends_parser)
+    logging_flags(trends_parser)
+    trends_parser.set_defaults(func=cmd_report_trends)
+
+    compare_parser = report_sub.add_parser(
+        "compare", help="diff the metrics of two manifest sources"
+    )
+    compare_parser.add_argument(
+        "baseline", help="manifest source (ledger JSONL / JSON / BENCH_*.json)"
+    )
+    compare_parser.add_argument("current", help="manifest source to compare")
+    compare_parser.add_argument(
+        "--tolerance", type=float, default=0.10, metavar="FRAC",
+        help="relative tolerance before a delta counts as a regression "
+        "(default 0.10)",
+    )
+    compare_parser.add_argument(
+        "--metrics", nargs="+", default=None, metavar="NAME",
+        help="check (and force-gate) only these metrics",
+    )
+    json_flag(compare_parser)
+    logging_flags(compare_parser)
+    compare_parser.set_defaults(func=cmd_report_compare)
+
+    gate_parser = report_sub.add_parser(
+        "gate",
+        help="exit nonzero when a tracked metric regressed beyond tolerance",
+    )
+    gate_parser.add_argument(
+        "--baseline", required=True, metavar="SRC",
+        help="baseline manifest source; alone, a series with >= 2 entries "
+        "gates latest against previous",
+    )
+    gate_parser.add_argument(
+        "--current", default=None, metavar="SRC",
+        help="manifest source to gate (e.g. a fresh BENCH_*.json); "
+        "default: the baseline series' latest entry vs its previous",
+    )
+    gate_parser.add_argument(
+        "--tolerance", type=float, default=0.10, metavar="FRAC",
+        help="relative tolerance before a delta fails the gate (default 0.10)",
+    )
+    gate_parser.add_argument(
+        "--metrics", nargs="+", default=None, metavar="NAME",
+        help="check (and force-gate) only these metrics",
+    )
+    json_flag(gate_parser)
+    logging_flags(gate_parser)
+    gate_parser.set_defaults(func=cmd_report_gate)
 
     layout_parser = sub.add_parser("layout", help="render a scenario layout")
     layout_parser.add_argument("scenario", help="a, a3, b, or c")
@@ -489,6 +758,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--repeats", type=int, default=3)
     fault_flags(sweep_parser)
     checkpoint_flags(sweep_parser)
+    ledger_flags(sweep_parser, flight=False)
     workers_flag(sweep_parser)
     common(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
@@ -508,6 +778,7 @@ def build_parser() -> argparse.ArgumentParser:
     instrumentation_flags(run_file_parser)
     fault_flags(run_file_parser)
     checkpoint_flags(run_file_parser)
+    ledger_flags(run_file_parser)
     workers_flag(run_file_parser)
     logging_flags(run_file_parser)
     run_file_parser.set_defaults(func=cmd_run_file)

@@ -41,17 +41,35 @@ class WorkerPool:
       recovery path for stuck or killed workers -- while :meth:`close`
       shuts down cleanly.  Either way the pool stays usable: the next
       call builds a fresh executor.
+
+    An optional ``tracer`` (any object with an ``emit(type, **fields)``
+    method and an ``enabled`` flag, i.e. :class:`repro.obs.trace.Tracer`)
+    records the pool's lifecycle -- ``pool_build`` / ``pool_discard`` /
+    ``pool_close`` events tagged with the build count -- so a merged
+    sweep trace shows exactly when the pool was rebuilt and why results
+    arrived in the order they did.
     """
 
-    def __init__(self, n_workers: int, initializer=None, initargs: tuple = ()):
+    def __init__(
+        self,
+        n_workers: int,
+        initializer=None,
+        initargs: tuple = (),
+        tracer=None,
+    ):
         if n_workers < 1:
             raise ValueError(f"WorkerPool needs n_workers >= 1, got {n_workers}")
         self.n_workers = int(n_workers)
         self._initializer = initializer
         self._initargs = initargs
         self._executor: Optional[ProcessPoolExecutor] = None
+        self.tracer = tracer
         #: Executors created so far (1 after first use; +1 per repair).
         self.builds = 0
+
+    def _emit(self, event: str, **fields) -> None:
+        if self.tracer is not None and getattr(self.tracer, "enabled", False):
+            self.tracer.emit(event, n_workers=self.n_workers, **fields)
 
     def executor(self) -> ProcessPoolExecutor:
         """The live executor, building it on first use."""
@@ -62,6 +80,7 @@ class WorkerPool:
                 initargs=self._initargs,
             )
             self.builds += 1
+            self._emit("pool_build", build=self.builds)
         return self._executor
 
     def submit(self, fn: Callable, *args, **kwargs) -> Future:
@@ -89,15 +108,19 @@ class WorkerPool:
         executor, self._executor = self._executor, None
         processes = list(getattr(executor, "_processes", {}).values())
         executor.shutdown(wait=False, cancel_futures=True)
+        terminated = 0
         for process in processes:
             if process.is_alive():
                 process.terminate()
+                terminated += 1
+        self._emit("pool_discard", build=self.builds, terminated=terminated)
 
     def close(self) -> None:
         """Shut the executor down cleanly (the pool can be reused)."""
         if self._executor is not None:
             self._executor.shutdown()
             self._executor = None
+            self._emit("pool_close", build=self.builds)
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -15,10 +15,11 @@ See docs/PERFORMANCE.md ("The experiment engine") for knobs and the
 determinism guarantee.
 """
 
-from repro.exp.engine import SweepResult, run_cells, run_sweep
+from repro.exp.engine import CellFailure, SweepResult, run_cells, run_sweep
 from repro.exp.spec import SweepCell, SweepSpec, Variant
 
 __all__ = [
+    "CellFailure",
     "SweepCell",
     "SweepResult",
     "SweepSpec",

@@ -14,8 +14,23 @@ docs/OBSERVABILITY.md for the event schema and overhead numbers):
 * :func:`summarize_trace` / :func:`format_trace_report` -- turn a trace
   back into phase-time tables and health series
   (``python -m repro report``).
+* :class:`RunManifest` / :class:`Ledger` -- the durable run ledger tying
+  every benchmark number to its commit, config hash and seeds
+  (``.repro/ledger/``; see docs/OBSERVABILITY.md).
+* :class:`FlightRecorder` -- a bounded ring of the last N trace events,
+  dumped to a ``*.flight.json`` artifact on session crashes.
+* :mod:`repro.obs.trends` -- the regression observatory behind
+  ``python -m repro report trends|compare|gate``.
 """
 
+from repro.obs.flight import FlightRecorder, load_flight_dump
+from repro.obs.ledger import (
+    Ledger,
+    RunManifest,
+    config_digest,
+    current_git_sha,
+    manifest_from_result,
+)
 from repro.obs.metrics import (
     NULL_REGISTRY,
     Counter,
@@ -31,9 +46,19 @@ from repro.obs.report import (
     format_trace_report,
     summarize_trace,
 )
-from repro.obs.sinks import InMemorySink, JsonlSink, NullSink, Sink, read_jsonl
+from repro.obs.sinks import (
+    InMemorySink,
+    JsonlSink,
+    NullSink,
+    Sink,
+    TagSink,
+    TeeSink,
+    read_jsonl,
+    read_jsonl_lenient,
+)
 from repro.obs.timers import PhaseTimer, Stopwatch
 from repro.obs.trace import NULL_TRACER, Tracer, jsonl_tracer
+from repro.obs.trends import GateCheck, compare_manifests, metric_direction
 
 __all__ = [
     "Counter",
@@ -51,10 +76,23 @@ __all__ = [
     "NullSink",
     "InMemorySink",
     "JsonlSink",
+    "TeeSink",
+    "TagSink",
     "read_jsonl",
+    "read_jsonl_lenient",
     "PhaseTimer",
     "Stopwatch",
     "Tracer",
     "NULL_TRACER",
     "jsonl_tracer",
+    "Ledger",
+    "RunManifest",
+    "manifest_from_result",
+    "config_digest",
+    "current_git_sha",
+    "FlightRecorder",
+    "load_flight_dump",
+    "GateCheck",
+    "compare_manifests",
+    "metric_direction",
 ]

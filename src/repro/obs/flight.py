@@ -1,0 +1,138 @@
+"""Flight recorder: a bounded ring buffer of the most recent trace events.
+
+Post-mortem observability for exactly the moments a JSONL trace is least
+likely to exist: an unhandled exception mid-session, a corrupted
+checkpoint, a quarantine storm.  The recorder is a
+:class:`~repro.obs.sinks.Sink`, so it tees off the normal tracer path and
+keeps only the last ``capacity`` events in memory; :meth:`dump` writes
+them (plus the trigger reason and exception) to a ``*.flight.json``
+artifact in one atomic rename.
+
+The in-flight cost is one deque append per event -- and nothing at all
+when tracing is disabled, because a disabled tracer never reaches its
+sink.
+
+Dump document (``repro-flight v1``)::
+
+    {
+      "format": "repro-flight v1",
+      "reason": "exception" | "checkpoint_error" | "quarantine_storm" | ...,
+      "exception": {"type": ..., "message": ..., "traceback": ...} | null,
+      "capacity": 256,
+      "n_events": 256,
+      "n_dropped": 1234,          # events that aged out of the ring
+      "events": [...]             # oldest first
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import traceback as traceback_module
+from collections import deque
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.obs.sinks import Sink, _jsonable
+
+logger = logging.getLogger(__name__)
+
+FLIGHT_FORMAT = "repro-flight v1"
+
+#: Default ring capacity; enough to cover several full time steps of
+#: iteration/extract/step events without holding a whole run in memory.
+DEFAULT_CAPACITY = 256
+
+
+def exception_document(exception: Optional[BaseException]) -> Optional[Dict]:
+    """A JSON-safe description of an exception (type, message, traceback)."""
+    if exception is None:
+        return None
+    return {
+        "type": type(exception).__name__,
+        "message": str(exception),
+        "traceback": "".join(
+            traceback_module.format_exception(
+                type(exception), exception, exception.__traceback__
+            )
+        ),
+    }
+
+
+class FlightRecorder(Sink):
+    """Keeps the last ``capacity`` records; dumps them on demand."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.events: deque = deque(maxlen=self.capacity)
+        #: Total events ever written (dropped = total - len(events)).
+        self.total_events = 0
+        #: Dump reasons so far, in trigger order.
+        self.dumps: list = []
+
+    def write(self, record: Dict) -> None:
+        self.events.append(record)
+        self.total_events += 1
+
+    @property
+    def n_dropped(self) -> int:
+        return self.total_events - len(self.events)
+
+    def dump(
+        self,
+        path: Union[str, Path],
+        reason: str,
+        exception: Optional[BaseException] = None,
+        context: Optional[Dict] = None,
+    ) -> Path:
+        """Write the ring (oldest first) to ``path`` atomically.
+
+        Never raises on serialization oddities -- individual events fall
+        back to stringified values -- because the dump path runs inside
+        exception handlers where a second failure would mask the first.
+        """
+        path = Path(path)
+        document = {
+            "format": FLIGHT_FORMAT,
+            "reason": str(reason),
+            "exception": exception_document(exception),
+            "capacity": self.capacity,
+            "n_events": len(self.events),
+            "n_dropped": self.n_dropped,
+            "context": dict(context or {}),
+            "events": list(self.events),
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(document, indent=2, default=_jsonable) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+        self.dumps.append(str(reason))
+        logger.warning(
+            "flight recorder: dumped %d events to %s (reason: %s)",
+            len(self.events), path, reason,
+        )
+        return path
+
+    def __repr__(self) -> str:
+        return (
+            f"FlightRecorder({len(self.events)}/{self.capacity} events, "
+            f"{self.n_dropped} dropped, {len(self.dumps)} dumps)"
+        )
+
+
+def load_flight_dump(path: Union[str, Path]) -> Dict:
+    """Load and validate a ``*.flight.json`` dump document."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("format") != FLIGHT_FORMAT:
+        raise ValueError(
+            f"{path}: not a flight dump (format={document.get('format')!r})"
+        )
+    return document

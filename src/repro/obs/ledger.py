@@ -1,0 +1,365 @@
+"""The run ledger: durable manifests tying results to code, config, seeds.
+
+Every quantitative claim this repo makes -- runtime per iteration
+(Table 1), localization error vs. sensor count (Figs. 2-9), the fast-path
+speedup, the under-faults robustness contract -- is only as good as the
+record linking the number to the commit, configuration, and seeds that
+produced it.  A :class:`RunManifest` is that record: a small, versioned,
+JSON-shaped document with the git sha, a canonical config hash, the frozen
+seeds, the fault-schedule id, wall/phase timings, and a flat metrics
+snapshot (mean/worst source error, OSPA, iteration time, ...).
+
+Manifests append to a :class:`Ledger` -- a directory of per-series JSONL
+history files (default ``.repro/ledger/``, override with the
+``REPRO_LEDGER_DIR`` environment variable).  One series = one comparable
+experiment (``bench_fastpath``, ``run-a``, ...); each line is one run.
+The regression observatory (:mod:`repro.obs.trends`,
+``python -m repro report trends|compare|gate``) reads this history to
+render trend tables and to fail CI when a tracked metric regresses.
+
+Appends are single-write, line-atomic, open-append-close operations, so
+concurrent writers (parallel sweep parents, interleaved bench processes)
+can share one series file without a lock.  Reads are lenient: a line
+truncated by a crashed writer is skipped and counted, never fatal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import math
+import os
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.sinks import JsonlSink, read_jsonl_lenient
+
+logger = logging.getLogger(__name__)
+
+#: Version tag stamped into every manifest (bump on schema changes).
+MANIFEST_FORMAT = "repro-manifest v1"
+
+#: Default ledger root, relative to the current working directory.
+DEFAULT_LEDGER_DIR = Path(".repro") / "ledger"
+
+#: Environment variable overriding the default ledger root.
+LEDGER_DIR_ENV = "REPRO_LEDGER_DIR"
+
+_GIT_SHA_CACHE: Dict[str, Optional[str]] = {}
+
+
+def current_git_sha(cwd: Union[str, Path, None] = None) -> Optional[str]:
+    """The current commit sha (cached per directory), or None outside git."""
+    key = str(Path(cwd) if cwd is not None else Path.cwd())
+    if key not in _GIT_SHA_CACHE:
+        try:
+            out = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=key,
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=False,
+            )
+            sha = out.stdout.strip() if out.returncode == 0 else None
+        except (OSError, subprocess.SubprocessError):
+            sha = None
+        _GIT_SHA_CACHE[key] = sha or None
+    return _GIT_SHA_CACHE[key]
+
+
+def _canonical_json(value) -> str:
+    """Deterministic JSON for hashing (sorted keys, no whitespace)."""
+
+    def fallback(obj):
+        for caster in (float, int):
+            try:
+                return caster(obj)
+            except (TypeError, ValueError):
+                continue
+        return str(obj)
+
+    return json.dumps(value, sort_keys=True, separators=(",", ":"), default=fallback)
+
+
+def config_digest(value) -> str:
+    """A short stable hash of any JSON-able configuration document.
+
+    Two runs with the same digest consumed byte-identical configuration;
+    the trend observatory uses it to refuse apples-to-oranges comparisons
+    only when asked to (the digest is informational by default -- config
+    *changes* are often exactly what a trend table should surface).
+    """
+    return hashlib.sha256(_canonical_json(value).encode("utf-8")).hexdigest()[:16]
+
+
+def scenario_digest(scenario) -> str:
+    """Config hash of a :class:`~repro.sim.scenario.Scenario`."""
+    from repro.sim.serialization import scenario_to_dict
+
+    return config_digest(scenario_to_dict(scenario))
+
+
+def fault_schedule_id(schedule) -> Optional[str]:
+    """A short stable id of a fault schedule (None when no faults)."""
+    if schedule is None:
+        return None
+    from repro.faults.serialization import fault_schedule_to_dict
+
+    return config_digest(fault_schedule_to_dict(schedule))
+
+
+@dataclass
+class RunManifest:
+    """One ledger entry: everything needed to reproduce and compare a run.
+
+    ``metrics`` is deliberately flat (name -> float): it is the surface
+    the regression gate walks, and flatness keeps delta computation and
+    rendering trivial.  Structure that does not need gating belongs in
+    ``context``.
+    """
+
+    #: What produced this entry: "run", "session", "sweep", or "bench".
+    kind: str
+    #: Series name; entries with the same name form one trend history.
+    name: str
+    #: Unix timestamp of emission.
+    created_unix: float
+    #: Commit sha at emission time (None outside a git checkout).
+    git_sha: Optional[str] = None
+    #: Canonical hash of the scenario/bench configuration.
+    config_hash: Optional[str] = None
+    #: The frozen seeds that drove the run(s).
+    seeds: Tuple[int, ...] = ()
+    #: Id of the injected fault schedule (None for fault-free runs).
+    fault_schedule_id: Optional[str] = None
+    #: Wall-clock and per-phase timings, seconds (``wall_seconds`` at
+    #: minimum; phase keys mirror the trace-event phase names).
+    timings: Dict[str, float] = field(default_factory=dict)
+    #: Flat metrics snapshot -- the gate's surface.
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: Free-form reproduction context (particle counts, sensor counts,
+    #: scenario names, CLI argv, ...).
+    context: Dict[str, object] = field(default_factory=dict)
+    #: Schema version tag.
+    format: str = MANIFEST_FORMAT
+
+    @classmethod
+    def create(
+        cls,
+        kind: str,
+        name: str,
+        metrics: Optional[Dict[str, float]] = None,
+        timings: Optional[Dict[str, float]] = None,
+        seeds: Sequence[int] = (),
+        config: Optional[object] = None,
+        config_hash: Optional[str] = None,
+        fault_schedule_id: Optional[str] = None,
+        context: Optional[Dict[str, object]] = None,
+    ) -> "RunManifest":
+        """Build a manifest stamped with now + the current git sha.
+
+        ``config`` (any JSON-able document) is hashed via
+        :func:`config_digest` unless an explicit ``config_hash`` is given.
+        """
+        if config_hash is None and config is not None:
+            config_hash = config_digest(config)
+        return cls(
+            kind=kind,
+            name=name,
+            created_unix=time.time(),
+            git_sha=current_git_sha(),
+            config_hash=config_hash,
+            seeds=tuple(int(s) for s in seeds),
+            fault_schedule_id=fault_schedule_id,
+            timings={k: float(v) for k, v in (timings or {}).items()},
+            metrics={
+                k: float(v)
+                for k, v in (metrics or {}).items()
+                if v is not None and math.isfinite(float(v))
+            },
+            context=dict(context or {}),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "format": self.format,
+            "kind": self.kind,
+            "name": self.name,
+            "created_unix": self.created_unix,
+            "git_sha": self.git_sha,
+            "config_hash": self.config_hash,
+            "seeds": list(self.seeds),
+            "fault_schedule_id": self.fault_schedule_id,
+            "timings": dict(self.timings),
+            "metrics": dict(self.metrics),
+            "context": dict(self.context),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "RunManifest":
+        fmt = doc.get("format", MANIFEST_FORMAT)
+        if not str(fmt).startswith("repro-manifest"):
+            raise ValueError(f"not a run manifest (format={fmt!r})")
+        if "name" not in doc or "kind" not in doc:
+            raise ValueError("manifest document missing 'kind'/'name'")
+        return cls(
+            kind=str(doc["kind"]),
+            name=str(doc["name"]),
+            created_unix=float(doc.get("created_unix", 0.0)),
+            git_sha=doc.get("git_sha"),
+            config_hash=doc.get("config_hash"),
+            seeds=tuple(int(s) for s in doc.get("seeds", ())),
+            fault_schedule_id=doc.get("fault_schedule_id"),
+            timings={k: float(v) for k, v in doc.get("timings", {}).items()},
+            metrics={k: float(v) for k, v in doc.get("metrics", {}).items()},
+            context=dict(doc.get("context", {})),
+            format=str(fmt),
+        )
+
+    def __repr__(self) -> str:
+        sha = (self.git_sha or "no-git")[:9]
+        return (
+            f"RunManifest({self.kind}/{self.name}, {sha}, "
+            f"{len(self.metrics)} metrics)"
+        )
+
+
+def manifest_from_result(
+    result,
+    kind: str,
+    name: str,
+    seeds: Sequence[int],
+    scenario=None,
+    steady_state_skip: int = 5,
+    wall_seconds: Optional[float] = None,
+    context: Optional[Dict[str, object]] = None,
+) -> RunManifest:
+    """A manifest summarizing one :class:`~repro.sim.results.RunResult`.
+
+    The metrics snapshot mirrors what the paper reports: steady-state
+    mean error per source (worst source called out), FP/FN rates, final
+    OSPA against the scenario's true sources, and mean iteration time.
+    """
+    from repro.eval.aggregate import mean_over_steps
+    from repro.eval.ospa import ospa_distance
+
+    skip = min(steady_state_skip, max(0, result.n_steps - 1))
+    metrics: Dict[str, float] = {
+        "iter_seconds": result.mean_iteration_seconds(),
+        "fp_per_step": mean_over_steps(result.false_positive_series(), skip),
+        "fn_per_step": mean_over_steps(result.false_negative_series(), skip),
+    }
+    source_errors = []
+    for i in range(len(result.source_labels)):
+        series = [e for e in result.error_series(i)[skip:] if math.isfinite(e)]
+        if series:
+            source_errors.append(sum(series) / len(series))
+    if source_errors:
+        metrics["mean_source_error"] = sum(source_errors) / len(source_errors)
+        metrics["worst_source_error"] = max(source_errors)
+    if scenario is not None and result.steps:
+        truth = [(s.x, s.y) for s in scenario.sources]
+        final = [(e.x, e.y) for e in result.steps[-1].estimates]
+        metrics["final_ospa"] = ospa_distance(truth, final)
+    converged_at = result.converged_at
+    if converged_at is not None:
+        metrics["converged_at_step"] = float(converged_at)
+    timings = {}
+    if wall_seconds is not None:
+        timings["wall_seconds"] = float(wall_seconds)
+    ctx: Dict[str, object] = {
+        "scenario": result.scenario_name,
+        "n_steps": result.n_steps,
+        "source_labels": list(result.source_labels),
+    }
+    if scenario is not None:
+        ctx["n_sensors"] = len(scenario.sensors)
+        ctx["n_particles"] = scenario.localizer_config.n_particles
+    ctx.update(context or {})
+    return RunManifest.create(
+        kind=kind,
+        name=name,
+        metrics=metrics,
+        timings=timings,
+        seeds=seeds,
+        config=None if scenario is None else _scenario_doc(scenario),
+        fault_schedule_id=(
+            fault_schedule_id(scenario.faults) if scenario is not None else None
+        ),
+        context=ctx,
+    )
+
+
+def _scenario_doc(scenario) -> dict:
+    from repro.sim.serialization import scenario_to_dict
+
+    return scenario_to_dict(scenario)
+
+
+class Ledger:
+    """An append-only directory of per-series manifest history files.
+
+    Layout: ``<root>/<series>.jsonl``, one manifest per line, append-only.
+    The series name is the manifest's ``name`` with path separators
+    sanitized.  ``root`` resolution order: explicit argument, the
+    ``REPRO_LEDGER_DIR`` environment variable, ``.repro/ledger``.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        if root is None:
+            root = os.environ.get(LEDGER_DIR_ENV) or DEFAULT_LEDGER_DIR
+        self.root = Path(root)
+
+    def _series_path(self, name: str) -> Path:
+        safe = str(name).replace(os.sep, "_").replace("/", "_")
+        return self.root / f"{safe}.jsonl"
+
+    def append(self, manifest: RunManifest) -> Path:
+        """Append one manifest to its series file (created on demand)."""
+        path = self._series_path(manifest.name)
+        self.root.mkdir(parents=True, exist_ok=True)
+        with JsonlSink(path, mode="a") as sink:
+            sink.write(manifest.to_dict())
+        logger.info("ledger: appended %r to %s", manifest, path)
+        return path
+
+    def series(self) -> List[str]:
+        """All series names present in the ledger, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.jsonl"))
+
+    def read(self, name: str) -> List[RunManifest]:
+        """Every readable manifest of a series, in append order.
+
+        Unparseable lines and non-manifest records are skipped (a crashed
+        writer must not poison the whole history).
+        """
+        path = self._series_path(name)
+        if not path.exists():
+            return []
+        records, skipped = read_jsonl_lenient(path)
+        manifests = []
+        for record in records:
+            try:
+                manifests.append(RunManifest.from_dict(record))
+            except (ValueError, TypeError, KeyError):
+                skipped += 1
+        if skipped:
+            logger.warning(
+                "ledger series %s: skipped %d unreadable entries", name, skipped
+            )
+        return manifests
+
+    def latest(self, name: str, n: int = 1) -> List[RunManifest]:
+        """The last ``n`` entries of a series (oldest of those first)."""
+        entries = self.read(name)
+        return entries[-n:] if n > 0 else []
+
+    def __repr__(self) -> str:
+        return f"Ledger({self.root})"

@@ -18,7 +18,7 @@ no-op instruments, and instrumented code guards update batches with
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from repro.obs.sinks import Sink
 
@@ -69,15 +69,43 @@ class Histogram:
     Keeps every observation (runs here are at most tens of thousands of
     iterations, so the memory cost is a few hundred KB at worst) and
     summarizes with count / sum / min / max / selected percentiles.
+
+    An optional fixed bucket layout (``bucket_bounds``, ascending upper
+    edges) adds cumulative bucket counts to the snapshot -- the
+    service-style export shape.  Because the raw observations are always
+    kept, the layout is *presentation only*: merging histograms with
+    conflicting layouts keeps the destination's bounds and recomputes its
+    counts over the union of observations (see
+    :meth:`MetricsRegistry.merge`).
     """
 
-    __slots__ = ("name", "values")
+    __slots__ = ("name", "values", "bucket_bounds")
 
     PERCENTILES = (50.0, 90.0, 99.0)
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, buckets: Optional[Sequence[float]] = None):
         self.name = name
         self.values: List[float] = []
+        if buckets is not None:
+            bounds = tuple(float(b) for b in buckets)
+            if len(bounds) == 0:
+                raise ValueError("bucket layout must have at least one bound")
+            if any(b >= a for b, a in zip(bounds, bounds[1:])):
+                raise ValueError(f"bucket bounds must be ascending, got {bounds}")
+            self.bucket_bounds: Optional[tuple] = bounds
+        else:
+            self.bucket_bounds = None
+
+    def bucket_counts(self) -> Optional[Dict[str, int]]:
+        """Cumulative counts per upper bound (``le_<bound>`` plus ``inf``)."""
+        if self.bucket_bounds is None:
+            return None
+        counts = {
+            f"le_{bound:g}": sum(1 for v in self.values if v <= bound)
+            for bound in self.bucket_bounds
+        }
+        counts["inf"] = len(self.values)
+        return counts
 
     def observe(self, value: float) -> None:
         self.values.append(float(value))
@@ -100,16 +128,21 @@ class Histogram:
 
     def snapshot(self) -> Dict:
         if not self.values:
-            return {"kind": "histogram", "count": 0}
-        return {
-            "kind": "histogram",
-            "count": self.count,
-            "sum": self.sum,
-            "mean": self.sum / self.count,
-            "min": min(self.values),
-            "max": max(self.values),
-            **{f"p{int(q)}": self.percentile(q) for q in self.PERCENTILES},
-        }
+            data = {"kind": "histogram", "count": 0}
+        else:
+            data = {
+                "kind": "histogram",
+                "count": self.count,
+                "sum": self.sum,
+                "mean": self.sum / self.count,
+                "min": min(self.values),
+                "max": max(self.values),
+                **{f"p{int(q)}": self.percentile(q) for q in self.PERCENTILES},
+            }
+        buckets = self.bucket_counts()
+        if buckets is not None:
+            data["buckets"] = buckets
+        return data
 
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, count={self.count})"
@@ -165,17 +198,37 @@ class MetricsRegistry:
             return self._null_gauge
         return self._get(name, Gauge, Gauge)
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
         if not self.enabled:
             return self._null_histogram
-        return self._get(name, Histogram, Histogram)
+        instrument = self._get(
+            name, lambda n: Histogram(n, buckets=buckets), Histogram
+        )
+        if buckets is not None:
+            bounds = tuple(float(b) for b in buckets)
+            if instrument.bucket_bounds is None:
+                # Layout is presentation-only; adopting one later is safe.
+                instrument.bucket_bounds = Histogram(name, buckets).bucket_bounds
+            elif instrument.bucket_bounds != bounds:
+                raise ValueError(
+                    f"histogram {name!r} already registered with bucket layout "
+                    f"{instrument.bucket_bounds}, not {bounds}"
+                )
+        return instrument
 
     def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
         """Fold another registry's instruments into this one.
 
         Merge semantics per kind: **counters** sum, **gauges** keep the
         last write (``other``'s value wins when it has one), **histograms**
-        concatenate their observations.  This is how the experiment engine
+        concatenate their observations.  A histogram merged into one with
+        a *conflicting bucket layout* keeps the destination's bounds --
+        raw observations are the source of truth, so the destination's
+        bucket counts are simply recomputed over the union at snapshot
+        time; no observation is lost or re-binned lossily.  This is how
+        the experiment engine
         (:mod:`repro.exp`) folds per-worker registries into the parent, and
         it is equally useful for combining registries from any multi-run
         report.  Merging into a disabled registry is a no-op; a kind
@@ -192,7 +245,13 @@ class MetricsRegistry:
                 if not math.isnan(instrument.value):
                     self.gauge(name).set(instrument.value)
             elif isinstance(instrument, Histogram):
-                self.histogram(name).values.extend(instrument.values)
+                fresh = name not in self._instruments
+                destination = self.histogram(name)
+                if fresh:
+                    # A brand-new destination inherits the source layout;
+                    # an existing one keeps its own (see docstring).
+                    destination.bucket_bounds = instrument.bucket_bounds
+                destination.values.extend(instrument.values)
         return self
 
     def names(self) -> List[str]:

@@ -76,6 +76,13 @@ class TraceSummary:
     steps: Dict[int, StepSummary] = field(default_factory=dict)
     run_meta: List[Dict] = field(default_factory=list)
     metrics_snapshots: List[Dict] = field(default_factory=list)
+    #: Lines of the source JSONL file that did not parse (crashed-writer
+    #: truncation, corruption); counted and skipped, never fatal.
+    skipped_lines: int = 0
+    #: Events that parsed as JSON but whose fields were malformed.
+    malformed_events: int = 0
+    #: Worker/cell failures replayed into the trace (``cell_failure``).
+    cell_failures: List[Dict] = field(default_factory=list)
 
     @property
     def phase_total_seconds(self) -> float:
@@ -108,7 +115,58 @@ class TraceSummary:
                 problems.append(
                     f"only {count}/{self.n_iterations} iterations carry {label}"
                 )
+        if self.skipped_lines:
+            problems.append(
+                f"{self.skipped_lines} unparseable line(s) skipped"
+            )
+        if self.malformed_events:
+            problems.append(
+                f"{self.malformed_events} malformed event(s) ignored"
+            )
+        if self.cell_failures:
+            problems.append(
+                f"{len(self.cell_failures)} worker cell failure(s) recorded"
+            )
         return problems
+
+    def to_dict(self) -> Dict:
+        """The machine-readable summary (``repro report --json``)."""
+        return {
+            "n_events": self.n_events,
+            "n_runs": self.n_runs,
+            "n_iterations": self.n_iterations,
+            "n_extracts": self.n_extracts,
+            "n_steps": self.n_steps,
+            "phase_seconds": dict(self.phase_seconds),
+            "phase_total_seconds": self.phase_total_seconds,
+            "total_measured_seconds": self.total_measured_seconds,
+            "phase_coverage": self.phase_coverage,
+            "empty_subsets": self.empty_subsets,
+            "mean_touched": self.mean_touched,
+            "touched_max": self.touched_max,
+            "particles_resampled": self.particles_resampled,
+            "particles_injected": self.particles_injected,
+            "skipped_lines": self.skipped_lines,
+            "malformed_events": self.malformed_events,
+            "cell_failures": list(self.cell_failures),
+            "steps": {
+                str(step): {
+                    "ess_mean": StepSummary._mean(record.ess),
+                    "ess_fraction_mean": StepSummary._mean(record.ess_fraction),
+                    "spatial_spread_mean": StepSummary._mean(
+                        record.spatial_spread
+                    ),
+                    "n_estimates_mean": StepSummary._mean(
+                        [float(n) for n in record.n_estimates]
+                    ),
+                    "converged_runs": sum(record.converged),
+                }
+                for step, record in sorted(self.steps.items())
+            },
+            "run_meta": list(self.run_meta),
+            "metrics_snapshots": list(self.metrics_snapshots),
+            "problems": self.validate(),
+        }
 
 
 def _add_phases(
@@ -123,24 +181,31 @@ def _add_phases(
 
 
 def _ingest_iteration(summary: TraceSummary, event: Dict) -> None:
+    # Convert every field BEFORE mutating the summary: a malformed event
+    # must be dropped whole (counted in ``malformed_events``), never leave
+    # a half-ingested iteration behind.
+    total_seconds = float(event.get("total_seconds", 0.0))
+    touched = event.get("touched")
+    if touched is not None:
+        touched = int(touched)
+    resampled = int(event.get("resampled", 0))
+    injected = int(event.get("injected", 0))
     summary.n_iterations += 1
     phases = event.get("phases")
     if phases:
         summary.iterations_with_phases += 1
         _add_phases(summary, phases, ITERATION_PHASES)
-    summary.total_measured_seconds += float(event.get("total_seconds", 0.0))
-    touched = event.get("touched")
+    summary.total_measured_seconds += total_seconds
     if touched is not None:
         summary.iterations_with_touched += 1
-        touched = int(touched)
         summary.touched_total += touched
         summary.touched_max = max(summary.touched_max, touched)
         if touched == 0:
             summary.empty_subsets += 1
     if event.get("ess_before") is not None and event.get("ess_after") is not None:
         summary.iterations_with_ess += 1
-    summary.particles_resampled += int(event.get("resampled", 0))
-    summary.particles_injected += int(event.get("injected", 0))
+    summary.particles_resampled += resampled
+    summary.particles_injected += injected
 
 
 def _ingest_extract(summary: TraceSummary, event: Dict) -> None:
@@ -152,45 +217,71 @@ def _ingest_extract(summary: TraceSummary, event: Dict) -> None:
 
 
 def _ingest_step(summary: TraceSummary, event: Dict) -> None:
-    summary.n_steps += 1
+    # Convert-before-mutate, same contract as ``_ingest_iteration``.
     step = int(event.get("step", -1))
-    record = summary.steps.setdefault(step, StepSummary(step=step))
-    for attr, key in (
-        ("ess", "ess"),
-        ("ess_fraction", "ess_fraction"),
-        ("spatial_spread", "spatial_spread"),
-    ):
+    values = {}
+    for key in ("ess", "ess_fraction", "spatial_spread"):
         value = event.get(key)
         if value is not None:
-            getattr(record, attr).append(float(value))
-    if event.get("n_estimates") is not None:
-        record.n_estimates.append(int(event["n_estimates"]))
+            values[key] = float(value)
+    n_estimates = event.get("n_estimates")
+    if n_estimates is not None:
+        n_estimates = int(n_estimates)
+    summary.n_steps += 1
+    record = summary.steps.setdefault(step, StepSummary(step=step))
+    for key, value in values.items():
+        getattr(record, key).append(value)
+    if n_estimates is not None:
+        record.n_estimates.append(n_estimates)
     record.converged.append(bool(event.get("converged", False)))
 
 
 def summarize_trace(events: Union[Sequence[Dict], str]) -> TraceSummary:
-    """Reduce trace events (a list, or a JSONL path) to a summary."""
-    if isinstance(events, str) or hasattr(events, "__fspath__"):
-        from repro.obs.sinks import read_jsonl
+    """Reduce trace events (a list, or a JSONL path) to a summary.
 
-        events = read_jsonl(events)
+    Robustness contract: a path is loaded *leniently* -- unparseable
+    lines (a writer killed mid-record, disk corruption) are skipped and
+    counted in ``skipped_lines``, never fatal.  Events whose fields are
+    malformed are likewise counted in ``malformed_events`` and dropped,
+    so one bad record cannot abort summarization mid-file.  Event order
+    does not matter: every reduction is an order-independent
+    accumulation, so truncated or out-of-order streams (interleaved
+    worker spools, partial flight dumps) summarize to the same totals.
+    """
+    skipped = 0
+    if isinstance(events, str) or hasattr(events, "__fspath__"):
+        from repro.obs.sinks import read_jsonl_lenient
+
+        events, skipped = read_jsonl_lenient(events)
     summary = TraceSummary()
+    summary.skipped_lines = skipped
     for event in events:
+        if not isinstance(event, dict):
+            summary.malformed_events += 1
+            continue
         summary.n_events += 1
         event_type = event.get("type")
-        if event_type == "iteration":
-            _ingest_iteration(summary, event)
-        elif event_type == "extract":
-            _ingest_extract(summary, event)
-        elif event_type == "step":
-            _ingest_step(summary, event)
-        elif event_type == "run_start":
-            summary.n_runs += 1
-            summary.run_meta.append(
-                {k: v for k, v in event.items() if k not in ("type", "seq")}
-            )
-        elif event_type == "metrics":
-            summary.metrics_snapshots.append(event.get("metrics", {}))
+        try:
+            if event_type == "iteration":
+                _ingest_iteration(summary, event)
+            elif event_type == "extract":
+                _ingest_extract(summary, event)
+            elif event_type == "step":
+                _ingest_step(summary, event)
+            elif event_type == "run_start":
+                summary.n_runs += 1
+                summary.run_meta.append(
+                    {k: v for k, v in event.items() if k not in ("type", "seq")}
+                )
+            elif event_type == "metrics":
+                summary.metrics_snapshots.append(event.get("metrics", {}))
+            elif event_type == "cell_failure":
+                summary.cell_failures.append(
+                    {k: v for k, v in event.items() if k not in ("type", "seq")}
+                )
+        except (TypeError, ValueError):
+            summary.n_events -= 1
+            summary.malformed_events += 1
     logger.debug(
         "summarized %d events: %d runs, %d iterations",
         summary.n_events,
@@ -257,12 +348,38 @@ def counts_table(summary: TraceSummary) -> str:
     return format_table(["quantity", "value"], rows, title="Event counts")
 
 
+def failures_table(summary: TraceSummary) -> Optional[str]:
+    """Worker cell failures replayed into the trace, if any."""
+    from repro.eval.reporting import format_table
+
+    if not summary.cell_failures:
+        return None
+    rows = [
+        [
+            failure.get("cell", "-"),
+            failure.get("attempt", "-"),
+            failure.get("stage", "-"),
+            failure.get("exception_type", "-"),
+            failure.get("n_events_recovered", 0),
+        ]
+        for failure in summary.cell_failures
+    ]
+    return format_table(
+        ["cell", "attempt", "stage", "exception", "events recovered"],
+        rows,
+        title="Worker cell failures",
+    )
+
+
 def format_trace_report(summary: TraceSummary) -> str:
     """The full plain-text report for ``python -m repro report``."""
     sections = [counts_table(summary), phase_table(summary)]
     health = health_table(summary)
     if health is not None:
         sections.append(health)
+    failures = failures_table(summary)
+    if failures is not None:
+        sections.append(failures)
     for snapshot in summary.metrics_snapshots:
         from repro.obs.metrics import format_metrics
 

@@ -10,6 +10,11 @@ Three implementations cover the deployment spectrum:
   programmatic analysis within one process.
 * :class:`JsonlSink` -- one JSON object per line; the on-disk trace format
   consumed by ``python -m repro report``.
+
+Two combinators compose them: :class:`TeeSink` fans records out to several
+sinks, and :class:`TagSink` stamps constant fields (a worker's span id, a
+run's name) onto every record before forwarding -- the trace-context
+carrier for cross-process telemetry.
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ import json
 import logging
 from abc import ABC, abstractmethod
 from pathlib import Path
-from typing import IO, Dict, List, Optional, Union
+from typing import IO, Dict, List, Optional, Tuple, Union
 
 logger = logging.getLogger(__name__)
 
@@ -86,14 +91,76 @@ def _jsonable(value):
     return str(value)
 
 
+class TeeSink(Sink):
+    """Fans every record out to several sinks (written in order)."""
+
+    def __init__(self, *sinks: Sink):
+        self.sinks = tuple(s for s in sinks if s is not None)
+
+    def write(self, record: Dict) -> None:
+        for sink in self.sinks:
+            sink.write(record)
+
+    def flush(self) -> None:
+        for sink in self.sinks:
+            sink.flush()
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+    def __repr__(self) -> str:
+        return f"TeeSink({', '.join(repr(s) for s in self.sinks)})"
+
+
+class TagSink(Sink):
+    """Stamps constant fields onto every record before forwarding it.
+
+    The trace-context seam for cross-process telemetry: a sweep worker
+    wraps its sink in ``TagSink(inner, span="cell-3")`` so every event it
+    emits stays attributable after the parent merges many workers'
+    streams.  Record fields win over tags on collision (the record is
+    never mutated).
+    """
+
+    def __init__(self, inner: Sink, **tags):
+        self.inner = inner
+        self.tags = tags
+
+    def write(self, record: Dict) -> None:
+        self.inner.write({**self.tags, **record})
+
+    def flush(self) -> None:
+        self.inner.flush()
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __repr__(self) -> str:
+        return f"TagSink({self.inner!r}, tags={self.tags})"
+
+
 class JsonlSink(Sink):
     """Writes one compact JSON object per line to a file.
 
     Accepts a path (opened lazily, closed by :meth:`close`) or an already
-    open text handle (left open -- the caller owns it).
+    open text handle (left open -- the caller owns it).  ``mode="a"``
+    appends instead of truncating, which lets several processes share one
+    history file: each record is written as a single string, so
+    interleaved small appends stay line-atomic on POSIX filesystems.
+    ``autoflush=True`` pushes every record straight to the OS -- the
+    flight-recorder/spool mode, where the writer may be killed without
+    warning and whatever was flushed must survive.
     """
 
-    def __init__(self, destination: Union[str, Path, IO[str]]):
+    def __init__(
+        self,
+        destination: Union[str, Path, IO[str]],
+        mode: str = "w",
+        autoflush: bool = False,
+    ):
+        if mode not in ("w", "a"):
+            raise ValueError(f"JsonlSink mode must be 'w' or 'a', got {mode!r}")
         self._owns_handle = isinstance(destination, (str, Path))
         if self._owns_handle:
             self.path: Optional[Path] = Path(destination)
@@ -101,19 +168,22 @@ class JsonlSink(Sink):
         else:
             self.path = None
             self._handle = destination
+        self.mode = mode
+        self.autoflush = autoflush
         self.records_written = 0
 
     def write(self, record: Dict) -> None:
         if self._handle is None:
             if self.path is None:
                 raise ValueError("JsonlSink has been closed")
-            self._handle = open(self.path, "w", encoding="utf-8")
+            self._handle = open(self.path, self.mode, encoding="utf-8")
             logger.debug("opened trace file %s", self.path)
         self._handle.write(
-            json.dumps(record, separators=(",", ":"), default=_jsonable)
+            json.dumps(record, separators=(",", ":"), default=_jsonable) + "\n"
         )
-        self._handle.write("\n")
         self.records_written += 1
+        if self.autoflush:
+            self._handle.flush()
 
     def flush(self) -> None:
         if self._handle is not None:
@@ -147,3 +217,32 @@ def read_jsonl(path: Union[str, Path]) -> List[Dict]:
                     f"{path}:{line_number}: not valid JSON: {error}"
                 ) from error
     return records
+
+
+def read_jsonl_lenient(path: Union[str, Path]) -> Tuple[List[Dict], int]:
+    """Like :func:`read_jsonl`, but skip unparseable lines instead of raising.
+
+    Returns ``(records, n_skipped)``.  This is the right loader for files
+    that may end mid-line -- a spool file from a killed worker, a ledger a
+    crashed process was appending to -- where the recoverable prefix is
+    worth far more than an exception.  Non-object lines (a bare number or
+    string that is valid JSON) are skipped too.
+    """
+    records: List[Dict] = []
+    skipped = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                logger.debug("%s:%d: skipping unparseable line", path, line_number)
+                continue
+            if not isinstance(record, dict):
+                skipped += 1
+                continue
+            records.append(record)
+    return records, skipped

@@ -33,6 +33,7 @@ from typing import Optional, Sequence
 
 from repro.core.fusion import FusionRangePolicy
 from repro.eval.metrics import MATCH_RADIUS
+from repro.obs.ledger import Ledger, manifest_from_result
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.sim.results import RepeatedRunResult, RunResult
@@ -65,6 +66,9 @@ class SimulationRunner:
         run_index: Optional[int] = None,
         checkpoint_every: int = 0,
         checkpoint_path: Optional[str | Path] = None,
+        ledger: Optional[Ledger] = None,
+        manifest_name: Optional[str] = None,
+        flight_path: Optional[str | Path] = None,
     ):
         self.scenario = scenario
         self.seed = seed
@@ -83,6 +87,12 @@ class SimulationRunner:
         self.run_index = run_index
         self.checkpoint_every = checkpoint_every
         self.checkpoint_path = checkpoint_path
+        #: Optional run ledger -- when set, the finished session appends a
+        #: :class:`~repro.obs.ledger.RunManifest` to it (see
+        #: docs/OBSERVABILITY.md).
+        self.ledger = ledger
+        self.manifest_name = manifest_name
+        self.flight_path = flight_path
 
     def session(self) -> LocalizerSession:
         """A fresh session configured like this runner."""
@@ -100,6 +110,9 @@ class SimulationRunner:
             run_index=self.run_index,
             checkpoint_every=self.checkpoint_every,
             checkpoint_path=self.checkpoint_path,
+            ledger=self.ledger,
+            manifest_name=self.manifest_name,
+            flight_path=self.flight_path,
         )
 
     def run(self) -> RunResult:
@@ -136,6 +149,9 @@ def run_repeated(
     timeout: Optional[float] = None,
     checkpoint_every: int = 0,
     checkpoint_dir: Optional[str | Path] = None,
+    ledger: Optional[Ledger] = None,
+    manifest_name: Optional[str] = None,
+    flight_dir: Optional[str | Path] = None,
 ) -> RepeatedRunResult:
     """Run a scenario ``n_repeats`` times with distinct seeds and aggregate.
 
@@ -155,6 +171,13 @@ def run_repeated(
     each run checkpoints to its own file under ``checkpoint_dir``, and a
     retried (crashed / timed-out) run restores from its last checkpoint
     instead of starting over.
+
+    ``ledger`` appends one manifest per finished run.  On the parallel
+    path the appends happen parent-side after the results return, so a
+    crashed worker never leaves a half-written ledger line.
+    ``flight_dir`` (serial path only -- worker crashes already spool
+    their trace events to the parent) arms a per-run flight recorder at
+    ``flight_dir/run-<r>.flight.json``.
     """
     if n_repeats < 1:
         raise ValueError(f"n_repeats must be >= 1, got {n_repeats}")
@@ -177,9 +200,24 @@ def run_repeated(
             checkpoint_every=checkpoint_every,
             checkpoint_dir=checkpoint_dir,
         )
+        if ledger is not None:
+            for r, result in enumerate(runs):
+                ledger.append(
+                    manifest_from_result(
+                        result,
+                        kind="session",
+                        name=manifest_name or scenario.name,
+                        seeds=[derive_run_seed(base_seed, r)],
+                        scenario=scenario,
+                        context={"run_index": r},
+                    )
+                )
     else:
         runs = []
         for r in range(n_repeats):
+            flight_path = None
+            if flight_dir is not None:
+                flight_path = Path(flight_dir) / f"run-{r}.flight.json"
             runs.append(
                 SimulationRunner(
                     scenario,
@@ -188,6 +226,9 @@ def run_repeated(
                     tracer=tracer,
                     metrics=metrics,
                     run_index=r,
+                    ledger=ledger,
+                    manifest_name=manifest_name,
+                    flight_path=flight_path,
                 ).run()
             )
     return RepeatedRunResult(

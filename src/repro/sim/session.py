@@ -37,7 +37,10 @@ from repro.core.diagnostics import ConvergenceMonitor, population_health
 from repro.core.fusion import FusionRangePolicy
 from repro.core.localizer import MultiSourceLocalizer
 from repro.eval.metrics import MATCH_RADIUS, evaluate_step
+from repro.obs.flight import DEFAULT_CAPACITY, FlightRecorder
+from repro.obs.ledger import Ledger, manifest_from_result
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.sinks import TeeSink
 from repro.obs.timers import Stopwatch
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sensors.network import SensorNetwork
@@ -45,6 +48,7 @@ from repro.sim.results import RunResult, StepRecord
 from repro.sim.rng import spawn_rngs
 from repro.sim.scenario import Scenario
 from repro.sim.serialization import (
+    CheckpointError,
     fusion_policy_from_dict,
     fusion_policy_to_dict,
     load_checkpoint,
@@ -101,6 +105,11 @@ class LocalizerSession:
         run_index: Optional[int] = None,
         checkpoint_every: int = 0,
         checkpoint_path: Optional[str | Path] = None,
+        ledger: Optional[Ledger] = None,
+        manifest_name: Optional[str] = None,
+        flight_path: Optional[str | Path] = None,
+        flight_capacity: int = DEFAULT_CAPACITY,
+        flight_storm_fraction: float = 0.25,
     ):
         if checkpoint_every < 0:
             raise ValueError(
@@ -115,6 +124,23 @@ class LocalizerSession:
         self.match_radius = match_radius
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        #: Run ledger (None = no manifest emission, the zero-cost default).
+        self.ledger = ledger
+        self.manifest_name = manifest_name
+        # Flight recorder: a bounded ring of the last N trace events,
+        # dumped to flight_path on unhandled exception, CheckpointError,
+        # or quarantine storm.  Tees off the caller's sink (or becomes
+        # the sole sink, which force-enables tracing for this session).
+        self.flight_path = Path(flight_path) if flight_path is not None else None
+        self.flight_storm_fraction = flight_storm_fraction
+        self.flight: Optional[FlightRecorder] = None
+        self._storm_dumped = False
+        if self.flight_path is not None:
+            self.flight = FlightRecorder(flight_capacity)
+            if self.tracer.enabled:
+                self.tracer = Tracer(TeeSink(self.tracer.sink, self.flight))
+            else:
+                self.tracer = Tracer(self.flight)
         self.record_health = record_health
         self.run_index = run_index
         self.checkpoint_every = checkpoint_every
@@ -174,7 +200,33 @@ class LocalizerSession:
         The final call additionally drains the transport stream's
         straggler tail and folds it into the last record (matching the
         legacy runner's semantics), then emits ``run_end``.
+
+        With a flight recorder armed (``flight_path``), any exception
+        escaping the step -- including a :class:`CheckpointError` from the
+        automatic snapshot -- dumps the last N trace events to the
+        ``*.flight.json`` artifact before propagating, and a quarantine
+        storm (more than ``flight_storm_fraction`` of sensors quarantined
+        at once) dumps once without interrupting the run.
         """
+        if self.flight is None:
+            return self._step()
+        try:
+            record = self._step()
+        except Exception as exc:
+            reason = (
+                "checkpoint_error"
+                if isinstance(exc, CheckpointError)
+                else "exception"
+            )
+            self.flight.dump(
+                self.flight_path, reason, exception=exc,
+                context=self._flight_context(),
+            )
+            raise
+        self._check_quarantine_storm()
+        return record
+
+    def _step(self) -> StepRecord:
         if self._finished:
             raise RuntimeError(
                 f"session for {self.scenario.name!r} already finished "
@@ -273,6 +325,57 @@ class LocalizerSession:
             self.metrics.counter("runner.runs").inc()
             self.metrics.histogram("runner.run_seconds").observe(
                 self._total_seconds
+            )
+        if self.ledger is not None:
+            manifest = self.manifest()
+            self.ledger.append(manifest)
+            if self.metrics.enabled:
+                self.metrics.counter("ledger.appends").inc()
+
+    def manifest(self):
+        """The run's ledger manifest (callable any time; final at finish)."""
+        return manifest_from_result(
+            self.result(),
+            kind="session",
+            name=self.manifest_name or self.scenario.name,
+            seeds=[self.seed],
+            scenario=self.scenario,
+            wall_seconds=self._total_seconds,
+            context=(
+                {"run_index": self.run_index}
+                if self.run_index is not None
+                else None
+            ),
+        )
+
+    def _flight_context(self) -> dict:
+        return {
+            "scenario": self.scenario.name,
+            "seed": self.seed,
+            "run_index": self.run_index,
+            "step_index": self.step_index,
+        }
+
+    def _check_quarantine_storm(self) -> None:
+        """Dump the flight ring (once) when quarantines cross the storm bar."""
+        if self._storm_dumped or self.flight is None:
+            return
+        credibility = self.localizer.credibility
+        if credibility is None:
+            return
+        n_sensors = max(1, len(self.scenario.sensors))
+        threshold = max(2.0, self.flight_storm_fraction * n_sensors)
+        quarantined = len(credibility.quarantined_ids())
+        if quarantined >= threshold:
+            self._storm_dumped = True
+            self.flight.dump(
+                self.flight_path,
+                "quarantine_storm",
+                context={
+                    **self._flight_context(),
+                    "quarantined": quarantined,
+                    "n_sensors": n_sensors,
+                },
             )
 
     # --- per-step internals -----------------------------------------------------
@@ -398,12 +501,17 @@ class LocalizerSession:
         metrics: Optional[MetricsRegistry] = None,
         checkpoint_every: int = 0,
         checkpoint_path: Optional[str | Path] = None,
+        ledger: Optional[Ledger] = None,
+        flight_path: Optional[str | Path] = None,
     ) -> "LocalizerSession":
         """Rebuild a session from :meth:`export_state` output.
 
         The restored session continues exactly where the exported one
         stopped: no RNG is reseeded, the transport queue resumes with its
         in-flight messages, and ``run_start`` is *not* re-emitted.
+        Observability attachments (tracer, metrics, ledger, flight
+        recorder) are runtime concerns, not run state -- they are never
+        checkpointed and must be re-supplied on restore.
         """
         doc = state["session"]
         scenario = scenario_from_dict(doc["scenario"])
@@ -421,6 +529,8 @@ class LocalizerSession:
             run_index=doc["run_index"],
             checkpoint_every=checkpoint_every,
             checkpoint_path=checkpoint_path,
+            ledger=ledger,
+            flight_path=flight_path,
         )
         session.measurement_rng.bit_generator.state = state["network"][
             "measurement_rng"
@@ -481,6 +591,8 @@ class LocalizerSession:
         metrics: Optional[MetricsRegistry] = None,
         checkpoint_every: int = 0,
         checkpoint_path: Optional[str | Path] = None,
+        ledger: Optional[Ledger] = None,
+        flight_path: Optional[str | Path] = None,
     ) -> "LocalizerSession":
         """Load a checkpoint file and rebuild the session it captured.
 
@@ -496,6 +608,8 @@ class LocalizerSession:
             metrics=metrics,
             checkpoint_every=checkpoint_every,
             checkpoint_path=checkpoint_path,
+            ledger=ledger,
+            flight_path=flight_path,
         )
         session.tracer.emit("restore", step=session.step_index, path=str(path))
         if session.metrics.enabled:

@@ -161,9 +161,13 @@ class TestObservabilityMerge:
 
         serial_records = collect(0)
         parallel_records = collect(2)
-        assert [r["type"] for r in parallel_records] == [
-            r["type"] for r in serial_records
-        ]
+        # The parallel stream adds pool lifecycle events (pool_build /
+        # pool_close); the *cell* events must replay identically.
+        assert [
+            r["type"]
+            for r in parallel_records
+            if not r["type"].startswith("pool_")
+        ] == [r["type"] for r in serial_records]
         starts = [r for r in parallel_records if r["type"] == "run_start"]
         assert [r["run_index"] for r in starts] == [0, 1, 2]
         ends = [r for r in parallel_records if r["type"] == "run_end"]
