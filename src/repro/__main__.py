@@ -167,6 +167,25 @@ def _apply_robustness(scenario: Scenario, args) -> Scenario:
     return scenario
 
 
+def _apply_backend(scenario: Scenario, args) -> Scenario:
+    """Apply the shared ``--backend`` flag to a scenario's config.
+
+    The CLI flag has the highest selection precedence: it overwrites the
+    config field, which in turn shadows the ``REPRO_BACKEND`` env var.
+    """
+    backend = getattr(args, "backend", None)
+    if backend is None:
+        return scenario
+    import dataclasses
+
+    return dataclasses.replace(
+        scenario,
+        localizer_config=scenario.localizer_config.with_overrides(
+            backend=backend
+        ),
+    )
+
+
 def _open_instrumentation(args):
     """(tracer, registry) from the shared ``--trace``/``--metrics`` flags."""
     tracer: Optional[Tracer] = jsonl_tracer(args.trace) if args.trace else None
@@ -258,6 +277,7 @@ def _report_run(scenario, policy, args) -> None:
 def cmd_run(args) -> int:
     scenario, policy = _build_scenario(args)
     scenario = _apply_robustness(scenario, args)
+    scenario = _apply_backend(scenario, args)
     _report_run(scenario, policy, args)
     return 0
 
@@ -393,6 +413,7 @@ def cmd_sweep(args) -> int:
                 n_time_steps=args.steps,
             )
         scenario = _apply_robustness(scenario, args)
+        scenario = _apply_backend(scenario, args)
         variants.append(Variant(f"{args.parameter}={value:g}", scenario))
     spec = SweepSpec(
         variants=tuple(variants), n_repeats=args.repeats, base_seed=args.seed
@@ -459,6 +480,7 @@ def cmd_run_file(args) -> int:
 
     scenario = load_scenario(args.path)
     scenario = _apply_robustness(scenario, args)
+    scenario = _apply_backend(scenario, args)
     _report_run(scenario, None, args)
     return 0
 
@@ -477,6 +499,8 @@ def cmd_resume(args) -> int:
                 checkpoint_every=args.checkpoint_every,
                 ledger=_open_ledger(args),
                 flight_path=getattr(args, "flight", None),
+                strict_backend=getattr(args, "strict_backend", False),
+                backend_override=getattr(args, "backend", None),
             )
         except CheckpointError as exc:
             print(str(exc), file=sys.stderr)
@@ -568,6 +592,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--health", action="store_true",
                        help="print the per-step population-health table")
 
+    def backend_flag(p):
+        p.add_argument(
+            "--backend", default=None, choices=("default", "fast", "numba"),
+            help="array backend for the localizer hot path (overrides the "
+            "scenario config and REPRO_BACKEND; see docs/PERFORMANCE.md)",
+        )
+
     def fault_flags(p):
         p.add_argument(
             "--faults", metavar="SPEC.json", default=None,
@@ -621,6 +652,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--repeats", type=int, default=3,
                             help="runs to average (default 3; paper uses 10)")
     instrumentation_flags(run_parser)
+    backend_flag(run_parser)
     fault_flags(run_parser)
     checkpoint_flags(run_parser)
     ledger_flags(run_parser)
@@ -646,6 +678,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--flight", default=None, metavar="PATH",
         help="arm a flight recorder; on a crash the last trace events "
         "dump to PATH",
+    )
+    backend_flag(resume_parser)
+    resume_parser.add_argument(
+        "--strict-backend", action="store_true",
+        help="refuse to restore under a different array backend than the "
+        "one that wrote the checkpoint (default: warn and continue)",
     )
     instrumentation_flags(resume_parser)
     logging_flags(resume_parser)
@@ -756,6 +794,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("parameter", choices=("strength", "background"))
     sweep_parser.add_argument("--values", type=float, nargs="+", required=True)
     sweep_parser.add_argument("--repeats", type=int, default=3)
+    backend_flag(sweep_parser)
     fault_flags(sweep_parser)
     checkpoint_flags(sweep_parser)
     ledger_flags(sweep_parser, flight=False)
@@ -776,6 +815,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_file_parser.add_argument("--repeats", type=int, default=3)
     run_file_parser.add_argument("--seed", type=int, default=0)
     instrumentation_flags(run_file_parser)
+    backend_flag(run_file_parser)
     fault_flags(run_file_parser)
     checkpoint_flags(run_file_parser)
     ledger_flags(run_file_parser)

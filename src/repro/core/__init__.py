@@ -21,6 +21,16 @@ iteration** with no ordering requirement:
 :class:`repro.core.MultiSourceLocalizer` ties the steps together.
 """
 
+from repro.core.backend import (
+    ArrayBackend,
+    BackendUnavailableError,
+    FastNumpyBackend,
+    NumpyBackend,
+    ScratchPool,
+    available_backends,
+    get_backend,
+    resolve_backend_name,
+)
 from repro.core.config import LocalizerConfig
 from repro.core.grid import SpatialGridIndex
 from repro.core.particles import ParticleSet
@@ -51,6 +61,14 @@ from repro.core.diagnostics import (
 )
 
 __all__ = [
+    "ArrayBackend",
+    "BackendUnavailableError",
+    "FastNumpyBackend",
+    "NumpyBackend",
+    "ScratchPool",
+    "available_backends",
+    "get_backend",
+    "resolve_backend_name",
     "LocalizerConfig",
     "ParticleSet",
     "FusionRangePolicy",

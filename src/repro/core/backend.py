@@ -1,0 +1,1106 @@
+"""Pluggable array backends for the localizer's hot kernels.
+
+Profiling the Table-1 cell (15000 particles, N = 196) shows the remaining
+wall is not numpy itself but *how* the kernels are driven: one Python
+round-trip per sensor in the weight path, ragged per-seed gathers and
+``np.repeat`` copies in the truncated mean-shift, and a fresh temporary
+for every intermediate array.  An :class:`ArrayBackend` owns those four
+kernels -- fused Poisson log-likelihood over a whole step's delivered
+measurements, disc-query gather, the segmented mean-shift reduction, and
+the resampling prefix-sum -- so the driver code (``weighting``,
+``resampling``, ``estimator``, ``localizer``) stays backend-agnostic:
+
+* :class:`NumpyBackend` (``"default"``) delegates to the float64
+  reference implementations and is **bitwise-identical** to the code it
+  replaced -- the existing parity contract is untouched.
+* :class:`FastNumpyBackend` (``"fast"``) computes in float32 over
+  structure-of-arrays scratch buffers preallocated per step: every O(n)
+  temporary on the weight path comes from the :class:`ScratchPool`, so
+  steady-state iterations allocate **zero** new buffers (verified by the
+  pool's allocation counter, surfaced as the
+  ``backend.allocations_per_step`` metric).  Accelerated kernels carry a
+  tolerance-based parity suite, not a bitwise one.
+* :class:`NumbaBackend` (``"numba"``) JIT-compiles the fused likelihood
+  when numba is importable; it is auto-detected at import time and
+  requesting it without numba raises :class:`BackendUnavailableError`.
+
+Selection precedence: CLI ``--backend`` (which overwrites the config
+field) > ``LocalizerConfig.backend`` > the ``REPRO_BACKEND`` environment
+variable > ``"default"``.  See docs/PERFORMANCE.md for the capability
+matrix.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.special import gammaln
+
+from repro.physics.units import CPM_PER_MICROCURIE
+
+if TYPE_CHECKING:
+    from repro.core.config import LocalizerConfig
+    from repro.core.particles import ParticleSet
+
+logger = logging.getLogger(__name__)
+
+#: Environment variable consulted when the config leaves the backend unset.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Every selectable backend name, in documentation order.
+BACKEND_NAMES: Tuple[str, ...] = ("default", "fast", "numba")
+
+#: Compute dtype per backend (importable without instantiating anything).
+BACKEND_DTYPES: Dict[str, str] = {
+    "default": "float64",
+    "fast": "float32",
+    "numba": "float32",
+}
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+except ImportError:  # the supported degraded mode: numba stays optional
+    _numba = None
+
+#: True when the numba backend can actually compile (import-time probe).
+HAVE_NUMBA = _numba is not None
+
+
+class BackendUnavailableError(RuntimeError):
+    """An explicitly requested backend cannot run in this environment."""
+
+
+def resolve_backend_name(configured: Optional[str]) -> str:
+    """The effective backend name for a config value.
+
+    ``configured`` wins when set; otherwise the ``REPRO_BACKEND``
+    environment variable is consulted, and ``"default"`` closes the
+    chain.  (The CLI ``--backend`` flag overwrites the config field, so
+    the full precedence is CLI > config > env > default.)
+    """
+    name = configured or os.environ.get(BACKEND_ENV) or "default"
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown backend {name!r}; choose from {', '.join(BACKEND_NAMES)}"
+        )
+    return name
+
+
+def available_backends() -> Dict[str, bool]:
+    """Name -> availability in this environment."""
+    return {
+        "default": True,
+        "fast": True,
+        "numba": HAVE_NUMBA,
+    }
+
+
+def get_backend(configured: Optional[str] = None) -> "ArrayBackend":
+    """A fresh backend instance for a config value (see :func:`resolve_backend_name`).
+
+    Instances own their scratch pools, so every localizer gets its own
+    (two localizers must never share hot buffers).
+    """
+    name = resolve_backend_name(configured)
+    if name == "default":
+        return NumpyBackend()
+    if name == "fast":
+        return FastNumpyBackend()
+    if name == "numba":
+        return NumbaBackend()
+    raise ValueError(f"unknown backend {name!r}")  # pragma: no cover
+
+
+class ScratchPool:
+    """Named, capacity-growing scratch buffers with allocation accounting.
+
+    ``get(key, shape, dtype)`` returns a view of a per-key buffer,
+    allocating only when the key is new, the dtype changed, or the
+    requested size outgrew the capacity (which then doubles, so repeated
+    near-miss sizes converge instead of thrashing).  The counters are the
+    backing data of the ``backend.allocations_per_step`` /
+    ``backend.scratch_reuse`` metrics: a warmed-up weight path must show
+    zero allocations per step.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[str, np.ndarray] = {}
+        #: Buffers allocated over the pool's lifetime.
+        self.allocations = 0
+        #: ``get`` calls served from an existing buffer.
+        self.reuses = 0
+        #: Allocations since the last :meth:`begin_step`.
+        self.allocations_this_step = 0
+        #: Minimum capacity for *new* buffers.  Owners set this to the
+        #: particle count so stochastic subset sizes (selection draws a
+        #: different subset every iteration) cannot outgrow a warm buffer
+        #: and re-trigger allocation mid-run.
+        self.reserve_hint = 0
+
+    def begin_step(self) -> None:
+        """Open a new accounting window (one localizer iteration/batch)."""
+        self.allocations_this_step = 0
+
+    def get(self, key: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """A ``shape``-sized view of the reusable buffer behind ``key``.
+
+        The contents are *unspecified* (whatever the previous use left
+        behind); callers must fully overwrite what they read.
+        """
+        dtype = np.dtype(dtype)
+        size = 1
+        for dim in shape:
+            size *= int(dim)
+        buffer = self._buffers.get(key)
+        if buffer is None or buffer.dtype != dtype or buffer.size < size:
+            target = self.reserve_hint if size <= self.reserve_hint else size
+            capacity = 1
+            while capacity < target:
+                capacity *= 2
+            buffer = np.empty(capacity, dtype=dtype)
+            self._buffers[key] = buffer
+            self.allocations += 1
+            self.allocations_this_step += 1
+        else:
+            self.reuses += 1
+        return buffer[:size].reshape(shape)
+
+
+class ArrayBackend:
+    """Kernel provider interface plus the shared bookkeeping.
+
+    The base class *is* the reference provider contract: subclasses
+    override the kernels they accelerate and inherit exact behavior for
+    the rest.  ``accelerated`` is the dispatch switch the drivers test --
+    a non-accelerated backend routes every call through the unmodified
+    reference code paths, preserving the bitwise-parity contract by
+    construction.
+    """
+
+    name: str = "default"
+    dtype: np.dtype = np.dtype(np.float64)
+    accelerated: bool = False
+
+    def __init__(self) -> None:
+        self.scratch = ScratchPool()
+
+    def describe(self) -> Dict[str, str]:
+        """JSON-safe identity, recorded in manifests and checkpoints."""
+        return {"name": self.name, "dtype": str(self.dtype)}
+
+    def begin_step(self) -> None:
+        self.scratch.begin_step()
+
+    # --- weight path -----------------------------------------------------------
+
+    def reweight(
+        self,
+        particles: "ParticleSet",
+        indices: np.ndarray,
+        observed_cpm: float,
+        sensor_x: float,
+        sensor_y: float,
+        efficiency: float = 1.0,
+        background_cpm: float = 0.0,
+        under_prediction_tempering: float = 1.0,
+        interference_cpm: np.ndarray | float = 0.0,
+        credibility_weight: float = 1.0,
+    ) -> None:
+        """One measurement's Bayesian weight update (reference float64)."""
+        from repro.core.weighting import reweight_in_place
+
+        reweight_in_place(
+            particles,
+            indices,
+            observed_cpm,
+            sensor_x,
+            sensor_y,
+            efficiency=efficiency,
+            background_cpm=background_cpm,
+            under_prediction_tempering=under_prediction_tempering,
+            interference_cpm=interference_cpm,
+            credibility_weight=credibility_weight,
+        )
+
+    def log_likelihood_batch(
+        self,
+        particles: "ParticleSet",
+        sensor_x: np.ndarray,
+        sensor_y: np.ndarray,
+        counts: np.ndarray,
+        efficiency: float = 1.0,
+        background_cpm: float = 0.0,
+        under_prediction_tempering: float = 1.0,
+        interference_cpm: Optional[np.ndarray] = None,
+        credibility_weights: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Fused log-likelihood of a whole step's delivered measurements.
+
+        Returns an ``(n_delivered, n_particles)`` matrix: row ``b`` is the
+        (tempered, credibility-scaled) log-likelihood of measurement ``b``
+        under every particle's single-source hypothesis, evaluated at the
+        *current* particle positions.  The reference implementation loops
+        the per-sensor kernel; accelerated backends compute the whole
+        matrix in one fused pass and are parity-tested against this.
+        """
+        from repro.core.weighting import tempered_poisson_log_likelihood
+        from repro.physics.intensity import expected_cpm_free_space
+
+        sensor_x = np.asarray(sensor_x, dtype=float)
+        counts = np.asarray(counts, dtype=float)
+        n_delivered = len(counts)
+        out = np.empty((n_delivered, len(particles)), dtype=self.dtype)
+        for b in range(n_delivered):
+            rates = expected_cpm_free_space(
+                float(sensor_x[b]),
+                float(np.asarray(sensor_y, dtype=float)[b]),
+                particles.xs,
+                particles.ys,
+                particles.strengths,
+                efficiency=efficiency,
+                background_cpm=background_cpm,
+            )
+            if interference_cpm is not None:
+                rates = rates + float(interference_cpm[b])
+            log_like = tempered_poisson_log_likelihood(
+                float(counts[b]), rates, under_prediction_tempering
+            )
+            if credibility_weights is not None and credibility_weights[b] != 1.0:
+                log_like = np.where(
+                    np.isfinite(log_like),
+                    float(credibility_weights[b]) * log_like,
+                    log_like,
+                )
+            out[b] = log_like
+        return out
+
+    def apply_log_likelihood(
+        self,
+        particles: "ParticleSet",
+        indices: np.ndarray,
+        log_like_row: np.ndarray,
+    ) -> None:
+        """Apply one precomputed likelihood row to the selected subset.
+
+        Mirrors ``reweight_in_place`` exactly (subset-mass preservation,
+        degenerate-subset backfill, all-impossible early return, relative
+        floor) but takes the log-likelihood as data instead of computing
+        it -- the composition point of the fused batch update.
+        """
+        from repro.core.weighting import RELATIVE_FLOOR
+
+        m = len(indices)
+        if m == 0:
+            return
+        particles.mark_reweighted()
+        subset_mass = float(particles.weights[indices].sum())
+        if subset_mass <= 0:
+            subset_mass = m / len(particles)
+            particles.weights[indices] = subset_mass / m
+        log_like = np.asarray(log_like_row, dtype=float)[indices]
+        with np.errstate(divide="ignore"):
+            log_prior = np.log(particles.weights[indices])
+        log_post = log_like + log_prior
+        finite = np.isfinite(log_post)
+        if not np.any(finite):
+            return
+        peak = log_post[finite].max()
+        posterior = np.exp(np.maximum(log_post - peak, np.log(RELATIVE_FLOOR)))
+        particles.weights[indices] = posterior * (subset_mass / posterior.sum())
+
+    # --- resampling ------------------------------------------------------------
+
+    def prefix_sum(self, weights: np.ndarray, total: float) -> np.ndarray:
+        """Normalized inclusive prefix-sum of positive-total weights.
+
+        The systematic-resampling comb searches this; the reference form
+        is ``np.cumsum(weights / total)`` with the final entry clamped to
+        exactly 1.0.
+        """
+        cumulative = np.cumsum(weights / total)
+        cumulative[-1] = 1.0
+        return cumulative
+
+    # --- estimation ------------------------------------------------------------
+
+    def meanshift_modes(
+        self,
+        particles: "ParticleSet",
+        seeds: np.ndarray,
+        config: "LocalizerConfig",
+        stats: Optional[dict] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Segmented mean-shift reduction over the particle population.
+
+        Only accelerated backends provide this; the default routes
+        through the existing truncated/dense drivers in
+        :mod:`repro.core.meanshift`.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} has no mean-shift kernel; "
+            "use the meanshift module drivers"
+        )
+
+    # --- ground-truth transport -------------------------------------------------
+
+    def source_intensity_fold(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        sources: Sequence,
+        exponents: np.ndarray,
+    ) -> np.ndarray:
+        """Total attenuated intensity of all sources at each point.
+
+        The inner fold of :func:`repro.physics.intensity.batched_expected_cpm`
+        (before the CPM conversion / efficiency / background affine).  The
+        reference left-fold accumulates sources in order, matching the
+        scalar summation bitwise.
+        """
+        total = np.zeros(len(xs), dtype=float)
+        for j, source in enumerate(sources):
+            dx = xs - source.x
+            dy = ys - source.y
+            total += (
+                source.strength
+                / (1.0 + dx * dx + dy * dy)
+                * np.exp(-exponents[:, j])
+            )
+        return total
+
+
+class NumpyBackend(ArrayBackend):
+    """The float64 reference backend (``"default"``): bitwise parity."""
+
+
+class FastNumpyBackend(ArrayBackend):
+    """Float32 SoA backend (``"fast"``): fused kernels, preallocated scratch.
+
+    Compute dtype is float32 throughout the hot kernels (particle storage
+    stays float64 -- the filter state is unchanged); float32 halves
+    memory traffic and doubles SIMD width, and the Poisson log-likelihood
+    needs nowhere near 53 bits (the weights are clamped at a 1e-30
+    *relative* floor anyway).  Parity with the reference kernels is
+    tolerance-based, proportional to float32 resolution of the values
+    involved (see tests/test_core_backend.py).
+    """
+
+    name = "fast"
+    dtype = np.dtype(np.float32)
+    accelerated = True
+
+    #: Kernel values below exp(-0.5 * 4^2) * safety are what truncation
+    #: discards; this tiny total guards the mean-shift ratio denominator.
+    _TINY_TOTAL = np.float32(1e-30)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mirror_revision = -1
+        self._mirror_size = -1
+
+    # --- float32 mirrors -------------------------------------------------------
+
+    def _position_mirrors(
+        self, particles: "ParticleSet"
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Float32 copies of xs/ys/strengths, synced by position revision.
+
+        Positions and strengths only mutate together (movement, resample,
+        injection -- all ``mark_moved``), so one revision key covers all
+        three.  Sync is a cast-copy into the same scratch buffers: zero
+        allocations once warmed up.
+        """
+        scratch = self.scratch
+        n = len(particles)
+        if n > scratch.reserve_hint:
+            scratch.reserve_hint = n
+        xs32 = scratch.get("mirror.xs", (n,), np.float32)
+        ys32 = scratch.get("mirror.ys", (n,), np.float32)
+        st32 = scratch.get("mirror.strengths", (n,), np.float32)
+        revision = particles._position_revision
+        if revision != self._mirror_revision or n != self._mirror_size:
+            np.copyto(xs32, particles.xs)
+            np.copyto(ys32, particles.ys)
+            np.copyto(st32, particles.strengths)
+            self._mirror_revision = revision
+            self._mirror_size = n
+        return xs32, ys32, st32
+
+    # --- weight path -----------------------------------------------------------
+
+    def reweight(
+        self,
+        particles: "ParticleSet",
+        indices: np.ndarray,
+        observed_cpm: float,
+        sensor_x: float,
+        sensor_y: float,
+        efficiency: float = 1.0,
+        background_cpm: float = 0.0,
+        under_prediction_tempering: float = 1.0,
+        interference_cpm: np.ndarray | float = 0.0,
+        credibility_weight: float = 1.0,
+    ) -> None:
+        if not 0.0 <= credibility_weight <= 1.0:
+            raise ValueError(
+                f"credibility_weight must be in [0, 1], got {credibility_weight}"
+            )
+        m = len(indices)
+        if m == 0:
+            return
+        particles.mark_reweighted()
+        scratch = self.scratch
+        prior = scratch.get("rw.prior", (m,), np.float64)
+        np.take(particles.weights, indices, out=prior)
+        subset_mass = float(prior.sum())
+        if subset_mass <= 0:
+            subset_mass = m / len(particles)
+            particles.weights[indices] = subset_mass / m
+            prior.fill(subset_mass / m)
+        log_like = self._subset_log_likelihood(
+            particles,
+            indices,
+            observed_cpm,
+            sensor_x,
+            sensor_y,
+            efficiency,
+            background_cpm,
+            under_prediction_tempering,
+            interference_cpm,
+        )
+        if credibility_weight != 1.0:
+            scaled = scratch.get("rw.cred", (m,), np.float32)
+            np.multiply(log_like, np.float32(credibility_weight), out=scaled)
+            finite32 = scratch.get("rw.finite32", (m,), bool)
+            np.isfinite(log_like, out=finite32)
+            np.copyto(log_like, scaled, where=finite32)
+        self._apply_posterior(particles, indices, prior, log_like, subset_mass)
+
+    def _subset_log_likelihood(
+        self,
+        particles: "ParticleSet",
+        indices: np.ndarray,
+        count: float,
+        sensor_x: float,
+        sensor_y: float,
+        efficiency: float,
+        background_cpm: float,
+        tempering: float,
+        interference_cpm: np.ndarray | float,
+    ) -> np.ndarray:
+        """Tempered Poisson log-likelihood of the subset, fused in float32."""
+        scratch = self.scratch
+        m = len(indices)
+        xs32, ys32, st32 = self._position_mirrors(particles)
+        d_sq = scratch.get("rw.dsq", (m,), np.float32)
+        tmp = scratch.get("rw.tmp", (m,), np.float32)
+        np.take(xs32, indices, out=d_sq)
+        np.subtract(d_sq, np.float32(sensor_x), out=d_sq)
+        np.multiply(d_sq, d_sq, out=d_sq)
+        np.take(ys32, indices, out=tmp)
+        np.subtract(tmp, np.float32(sensor_y), out=tmp)
+        np.multiply(tmp, tmp, out=tmp)
+        np.add(d_sq, tmp, out=d_sq)
+        np.add(d_sq, np.float32(1.0), out=d_sq)
+        rates = scratch.get("rw.rates", (m,), np.float32)
+        np.take(st32, indices, out=rates)
+        np.divide(rates, d_sq, out=rates)
+        np.multiply(
+            rates, np.float32(CPM_PER_MICROCURIE * efficiency), out=rates
+        )
+        offset = background_cpm
+        if np.ndim(interference_cpm) == 0:
+            offset = background_cpm + float(interference_cpm)
+            np.add(rates, np.float32(offset), out=rates)
+        else:
+            np.add(rates, np.float32(background_cpm), out=rates)
+            intf = scratch.get("rw.intf", (m,), np.float32)
+            np.copyto(intf, interference_cpm)
+            np.add(rates, intf, out=rates)
+        log_like = scratch.get("rw.ll", (m,), np.float32)
+        positive = scratch.get("rw.positive", (m,), bool)
+        np.greater(rates, 0.0, out=positive)
+        log_gamma = float(gammaln(count + 1.0))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            np.log(rates, out=log_like, where=positive)
+        np.multiply(log_like, np.float32(count), out=log_like, where=positive)
+        np.subtract(log_like, rates, out=log_like, where=positive)
+        np.subtract(
+            log_like, np.float32(log_gamma), out=log_like, where=positive
+        )
+        zero_rate_fill = np.float32(0.0 if count == 0 else -np.inf)
+        np.logical_not(positive, out=positive)
+        np.copyto(log_like, zero_rate_fill, where=positive)
+        if tempering < 1.0:
+            at_count = (
+                count * np.log(count) - count - log_gamma if count > 0 else 0.0
+            )
+            under = positive  # reuse: positive mask is spent
+            np.less(rates, np.float32(count), out=under)
+            tempered = scratch.get("rw.tempered", (m,), np.float32)
+            np.multiply(log_like, np.float32(tempering), out=tempered)
+            np.add(
+                tempered,
+                np.float32((1.0 - tempering) * at_count),
+                out=tempered,
+            )
+            np.copyto(log_like, tempered, where=under)
+        return log_like
+
+    def _apply_posterior(
+        self,
+        particles: "ParticleSet",
+        indices: np.ndarray,
+        prior: np.ndarray,
+        log_like: np.ndarray,
+        subset_mass: float,
+    ) -> None:
+        """Shared tail of the weight update: prior + likelihood -> weights."""
+        from repro.core.weighting import RELATIVE_FLOOR
+
+        scratch = self.scratch
+        m = len(indices)
+        log_post = scratch.get("rw.logpost", (m,), np.float64)
+        with np.errstate(divide="ignore"):
+            np.log(prior, out=log_post)
+        log_post += log_like
+        finite = scratch.get("rw.finite", (m,), bool)
+        np.isfinite(log_post, out=finite)
+        if not finite.any():
+            return
+        peak = float(np.max(log_post, initial=-np.inf, where=finite))
+        np.subtract(log_post, peak, out=log_post)
+        np.maximum(log_post, np.log(RELATIVE_FLOOR), out=log_post)
+        np.exp(log_post, out=log_post)
+        total = float(log_post.sum())
+        np.multiply(log_post, subset_mass / total, out=log_post)
+        particles.weights[indices] = log_post
+
+    def log_likelihood_batch(
+        self,
+        particles: "ParticleSet",
+        sensor_x: np.ndarray,
+        sensor_y: np.ndarray,
+        counts: np.ndarray,
+        efficiency: float = 1.0,
+        background_cpm: float = 0.0,
+        under_prediction_tempering: float = 1.0,
+        interference_cpm: Optional[np.ndarray] = None,
+        credibility_weights: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """One fused ``(n_delivered, n_particles)`` float32 pass.
+
+        The per-sensor Python loop of the reference collapses into
+        broadcasted row arithmetic over scratch matrices; quarantined
+        readings never reach this kernel (the localizer drops them during
+        admission), and per-row credibility weights compose here exactly
+        as in the scalar path.  The returned matrix is a scratch view --
+        consume it before the next batch call.
+        """
+        scratch = self.scratch
+        counts = np.asarray(counts, dtype=np.float64)
+        n_delivered = len(counts)
+        n = len(particles)
+        xs32, ys32, st32 = self._position_mirrors(particles)
+        shape = (n_delivered, n)
+        sx = scratch.get("batch.sx", (n_delivered,), np.float32)
+        sy = scratch.get("batch.sy", (n_delivered,), np.float32)
+        np.copyto(sx, sensor_x)
+        np.copyto(sy, sensor_y)
+        counts32 = scratch.get("batch.counts", (n_delivered,), np.float32)
+        np.copyto(counts32, counts)
+        # log Gamma(count + 1) per row, in float64 (large counts lose all
+        # fractional precision in float32; one tiny host-side vector).
+        log_gamma = gammaln(counts + 1.0)
+
+        d_sq = scratch.get("batch.dsq", shape, np.float32)
+        tmp = scratch.get("batch.tmp", shape, np.float32)
+        np.subtract(xs32[None, :], sx[:, None], out=d_sq)
+        np.multiply(d_sq, d_sq, out=d_sq)
+        np.subtract(ys32[None, :], sy[:, None], out=tmp)
+        np.multiply(tmp, tmp, out=tmp)
+        np.add(d_sq, tmp, out=d_sq)
+        np.add(d_sq, np.float32(1.0), out=d_sq)
+        rates = tmp  # d_sq holds 1 + d^2; tmp is free to become the rates
+        np.divide(st32[None, :], d_sq, out=rates)
+        np.multiply(
+            rates, np.float32(CPM_PER_MICROCURIE * efficiency), out=rates
+        )
+        np.add(rates, np.float32(background_cpm), out=rates)
+        if interference_cpm is not None:
+            intf = scratch.get("batch.intf", (n_delivered,), np.float32)
+            np.copyto(intf, interference_cpm)
+            np.add(rates, intf[:, None], out=rates)
+
+        log_like = d_sq  # 1 + d^2 is spent; reuse as the output matrix
+        positive = scratch.get("batch.positive", shape, bool)
+        np.greater(rates, 0.0, out=positive)
+        row = scratch.get("batch.row", (n_delivered,), np.float32)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            np.log(rates, out=log_like, where=positive)
+        np.multiply(log_like, counts32[:, None], out=log_like, where=positive)
+        np.subtract(log_like, rates, out=log_like, where=positive)
+        np.copyto(row, log_gamma)
+        np.subtract(log_like, row[:, None], out=log_like, where=positive)
+        fill = scratch.get("batch.fill", (n_delivered,), np.float32)
+        np.copyto(fill, np.where(counts == 0.0, 0.0, -np.inf))
+        np.logical_not(positive, out=positive)
+        np.copyto(log_like, fill[:, None], where=positive)
+
+        if under_prediction_tempering < 1.0:
+            alpha = np.float32(under_prediction_tempering)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                at_count = np.where(
+                    counts > 0.0,
+                    counts * np.log(np.maximum(counts, 1.0))
+                    - counts
+                    - log_gamma,
+                    0.0,
+                )
+            under = positive  # spent; reuse as the under-prediction mask
+            np.less(rates, counts32[:, None], out=under)
+            scaled = rates  # rates are spent after the mask
+            np.multiply(log_like, alpha, out=scaled)
+            np.copyto(row, (1.0 - under_prediction_tempering) * at_count)
+            np.add(scaled, row[:, None], out=scaled)
+            np.copyto(log_like, scaled, where=under)
+            spare = scaled
+        else:
+            spare = rates
+        if credibility_weights is not None:
+            cred = scratch.get("batch.cred", (n_delivered,), np.float32)
+            np.copyto(cred, credibility_weights)
+            finite = positive
+            np.isfinite(log_like, out=finite)
+            np.multiply(log_like, cred[:, None], out=spare)
+            np.copyto(log_like, spare, where=finite)
+        return log_like
+
+    def apply_log_likelihood(
+        self,
+        particles: "ParticleSet",
+        indices: np.ndarray,
+        log_like_row: np.ndarray,
+    ) -> None:
+        m = len(indices)
+        if m == 0:
+            return
+        particles.mark_reweighted()
+        scratch = self.scratch
+        prior = scratch.get("rw.prior", (m,), np.float64)
+        np.take(particles.weights, indices, out=prior)
+        subset_mass = float(prior.sum())
+        if subset_mass <= 0:
+            subset_mass = m / len(particles)
+            particles.weights[indices] = subset_mass / m
+            prior.fill(subset_mass / m)
+        log_like = scratch.get("rw.ll", (m,), np.float32)
+        np.take(log_like_row, indices, out=log_like)
+        self._apply_posterior(particles, indices, prior, log_like, subset_mass)
+
+    # --- resampling ------------------------------------------------------------
+
+    def prefix_sum(self, weights: np.ndarray, total: float) -> np.ndarray:
+        cumulative = self.scratch.get("rs.cum", (len(weights),), np.float64)
+        np.cumsum(weights, out=cumulative)
+        np.divide(cumulative, total, out=cumulative)
+        cumulative[-1] = 1.0
+        return cumulative
+
+    # --- mean-shift ------------------------------------------------------------
+
+    def meanshift_modes(
+        self,
+        particles: "ParticleSet",
+        seeds: np.ndarray,
+        config: "LocalizerConfig",
+        stats: Optional[dict] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Padded-SoA truncated mean-shift: the segmented reduction, fused.
+
+        The reference truncated driver re-concatenates each active seed's
+        ragged candidate list every sweep (``np.concatenate`` +
+        ``np.repeat`` + ``np.add.reduceat``).  Here every seed owns one
+        row of fixed-capacity float32 scratch matrices (positions and
+        weights, zero-padded), so a sweep is five broadcasted row
+        operations and three row-sums -- no ragged bookkeeping at all.
+        Converged seeds are swapped to the tail so live sweeps shrink.
+
+        Same contract as ``truncated_mean_shift_modes``: results agree
+        with the dense reference to well within the merge radius
+        (parity-tested), not bitwise.
+        """
+        from repro.core.meanshift import mean_shift_modes, padded_candidate_rows
+
+        bandwidth = config.bandwidth
+        truncation_sigmas = config.meanshift_truncation_sigmas
+        weights = particles.weights
+        total_weight = weights.sum()
+        if total_weight <= 0:
+            raise ValueError("mean-shift needs positive total weight")
+        if (
+            truncation_sigmas <= 0
+            or len(particles) < config.meanshift_truncation_min_particles
+        ):
+            # Small populations: the dense float64 sweep is already cheap
+            # and the padding machinery would dominate.
+            return mean_shift_modes(
+                seeds,
+                particles.positions,
+                weights,
+                bandwidth=bandwidth,
+                tol=config.meanshift_tol,
+                max_iter=config.meanshift_max_iter,
+                stats=stats,
+            )
+
+        grid = particles.grid(config.grid_cell())
+        scratch = self.scratch
+        n_seeds = len(seeds)
+        radius = truncation_sigmas * bandwidth
+        margin = bandwidth
+        gather_radius = radius + margin
+        inv_two_h_sq = np.float32(0.5 / (bandwidth * bandwidth))
+        tol = config.meanshift_tol
+        xs32, ys32, _ = self._position_mirrors(particles)
+        w32 = scratch.get("ms.w32", (len(particles),), np.float32)
+        np.copyto(w32, weights)
+
+        idx_rows, counts, capacity = padded_candidate_rows(
+            grid, seeds, gather_radius
+        )
+        shape = (n_seeds, capacity)
+        px = scratch.get("ms.px", shape, np.float32)
+        py = scratch.get("ms.py", shape, np.float32)
+        pw = scratch.get("ms.pw", shape, np.float32)
+        t0 = scratch.get("ms.t0", shape, np.float32)
+        t1 = scratch.get("ms.t1", shape, np.float32)
+        columns = scratch.get("ms.cols", (capacity,), np.int64)
+        np.copyto(columns, np.arange(capacity))
+
+        def fill_span(lo: int, hi: int) -> None:
+            """(Re)load the SoA rows in [lo, hi).
+
+            Basic slices only: ``out=px[rows]`` with a fancy index would
+            write into a temporary copy and silently leave the scratch
+            rows holding stale garbage.
+            """
+            np.take(xs32, idx_rows[lo:hi], out=px[lo:hi])
+            np.take(ys32, idx_rows[lo:hi], out=py[lo:hi])
+            np.take(w32, idx_rows[lo:hi], out=pw[lo:hi])
+            # Zero the padding weights so padded slots contribute nothing.
+            pw[lo:hi] *= columns[None, :] < counts[lo:hi, None]
+
+        fill_span(0, n_seeds)
+        sx = scratch.get("ms.sx", (n_seeds,), np.float32)
+        sy = scratch.get("ms.sy", (n_seeds,), np.float32)
+        np.copyto(sx, seeds[:, 0])
+        np.copyto(sy, seeds[:, 1])
+        center_x = scratch.get("ms.cx", (n_seeds,), np.float32)
+        center_y = scratch.get("ms.cy", (n_seeds,), np.float32)
+        np.copyto(center_x, sx)
+        np.copyto(center_y, sy)
+        order = np.arange(n_seeds)  # row -> seed id, updated by swaps
+
+        totals = scratch.get("ms.tot", (n_seeds,), np.float32)
+        numer_x = scratch.get("ms.nx", (n_seeds,), np.float32)
+        numer_y = scratch.get("ms.ny", (n_seeds,), np.float32)
+        margin_sq = np.float32(margin * margin)
+        # Two centers this close follow (near-)identical trajectories from
+        # here on -- the next iterate depends only on the current center and
+        # the particle population -- so the later row can retire and adopt
+        # the earlier row's final mode.  Sized to stay well inside the
+        # extraction merge radius (clustering merges modes within a
+        # bandwidth), so a cross-basin merge would need two distinct modes
+        # closer than bandwidth/16: those are duplicates to the estimator
+        # anyway.
+        merge_sq = np.float32((0.0625 * bandwidth) ** 2)
+        redirect: Dict[int, int] = {}  # seed id -> seed id it now shadows
+        sweeps = 0
+        gathers = n_seeds
+        candidates_total = 0
+        merges = 0
+        alive = n_seeds
+
+        def swap_rows(i: int, j: int) -> None:
+            if i == j:
+                return
+            # Beyond each row's count the SoA rows hold identical padding
+            # (particle 0 with zero weight), so only the wider prefix needs
+            # to move.
+            span = int(max(counts[i], counts[j]))
+            for array in (px, py, pw, idx_rows):
+                held = array[i, :span].copy()
+                array[i, :span] = array[j, :span]
+                array[j, :span] = held
+            for vector in (sx, sy, center_x, center_y, counts, order):
+                vector[[i, j]] = vector[[j, i]]
+
+        for _ in range(config.meanshift_max_iter):
+            if alive == 0:
+                break
+            sweeps += 1
+            candidates_total += int(counts[:alive].sum())
+            # Live rows are padded out to the full pow2 capacity, but the
+            # arithmetic only needs to reach the widest live row.
+            cols = int(counts[:alive].max())
+            view = np.s_[:alive, :cols]
+            rows = slice(0, alive)
+            np.subtract(px[view], sx[rows, None], out=t0[view])
+            np.multiply(t0[view], t0[view], out=t0[view])
+            np.subtract(py[view], sy[rows, None], out=t1[view])
+            np.multiply(t1[view], t1[view], out=t1[view])
+            np.add(t0[view], t1[view], out=t0[view])
+            np.multiply(t0[view], -inv_two_h_sq, out=t0[view])
+            np.exp(t0[view], out=t0[view])
+            np.multiply(t0[view], pw[view], out=t0[view])
+            np.sum(t0[view], axis=1, out=totals[rows])
+            np.multiply(t0[view], px[view], out=t1[view])
+            np.sum(t1[view], axis=1, out=numer_x[rows])
+            np.multiply(t0[view], py[view], out=t1[view])
+            np.sum(t1[view], axis=1, out=numer_y[rows])
+            stranded = totals[rows] <= 0
+            np.maximum(totals[rows], self._TINY_TOTAL, out=totals[rows])
+            np.divide(numer_x[rows], totals[rows], out=numer_x[rows])
+            np.divide(numer_y[rows], totals[rows], out=numer_y[rows])
+            np.copyto(numer_x[rows], sx[rows], where=stranded)
+            np.copyto(numer_y[rows], sy[rows], where=stranded)
+            moved_sq = (numer_x[rows] - sx[rows]) ** 2 + (
+                numer_y[rows] - sy[rows]
+            ) ** 2
+            np.copyto(sx[rows], numer_x[rows])
+            np.copyto(sy[rows], numer_y[rows])
+            finished = (moved_sq < tol * tol) | stranded
+            # Duplicate-trajectory detection: row j shadows the first row
+            # whose center coincides with its own.
+            dxp = sx[rows, None] - sx[None, :alive]
+            dyp = sy[rows, None] - sy[None, :alive]
+            close = dxp * dxp + dyp * dyp <= merge_sq
+            shadow_of = np.argmax(close, axis=0)  # diagonal is always True
+            shadowed = (shadow_of < np.arange(alive)) & ~finished
+            if shadowed.any():
+                snapshot = order[:alive].copy()
+                for j in np.nonzero(shadowed)[0]:
+                    redirect[int(snapshot[j])] = int(snapshot[shadow_of[j]])
+                    merges += 1
+            drift_sq = (sx[rows] - center_x[rows]) ** 2 + (
+                sy[rows] - center_y[rows]
+            ) ** 2
+            retire = finished | shadowed
+            refill = np.nonzero(~retire & (drift_sq > margin_sq))[0]
+            for row in refill:
+                fresh = grid.query_candidates(
+                    float(sx[row]), float(sy[row]), gather_radius
+                )
+                if len(fresh):
+                    # Same exact-disc filter as padded_candidate_rows.
+                    fdx = grid.xs[fresh] - float(sx[row])
+                    fdy = grid.ys[fresh] - float(sy[row])
+                    fresh = fresh[
+                        fdx * fdx + fdy * fdy <= gather_radius * gather_radius
+                    ]
+                gathers += 1
+                if len(fresh) > capacity:
+                    # Outgrew the row capacity: regrow every matrix and
+                    # reload all live rows (rare -- a seed drifting into a
+                    # much denser region).
+                    while capacity < len(fresh):
+                        capacity *= 2
+                    grown = np.zeros((n_seeds, capacity), dtype=np.int64)
+                    grown[:, : idx_rows.shape[1]] = idx_rows
+                    idx_rows = grown
+                    shape = (n_seeds, capacity)
+                    px = scratch.get("ms.px", shape, np.float32)
+                    py = scratch.get("ms.py", shape, np.float32)
+                    pw = scratch.get("ms.pw", shape, np.float32)
+                    t0 = scratch.get("ms.t0", shape, np.float32)
+                    t1 = scratch.get("ms.t1", shape, np.float32)
+                    columns = scratch.get("ms.cols", (capacity,), np.int64)
+                    np.copyto(columns, np.arange(capacity))
+                    idx_rows[row, : len(fresh)] = fresh
+                    counts[row] = len(fresh)
+                    center_x[row] = sx[row]
+                    center_y[row] = sy[row]
+                    # Reload every row (retired ones included -- the final
+                    # density pass reads them from the regrown buffers).
+                    fill_span(0, n_seeds)
+                    continue
+                idx_rows[row, : len(fresh)] = fresh
+                idx_rows[row, len(fresh):] = 0
+                counts[row] = len(fresh)
+                center_x[row] = sx[row]
+                center_y[row] = sy[row]
+                fill_span(int(row), int(row) + 1)
+            # Retire converged and shadowed rows by swapping them past the
+            # live window.
+            for row in np.nonzero(retire)[0][::-1]:
+                swap_rows(int(row), alive - 1)
+                alive -= 1
+
+        modes = np.empty((n_seeds, 2), dtype=float)
+        modes[order, 0] = sx[:n_seeds].astype(float)
+        modes[order, 1] = sy[:n_seeds].astype(float)
+
+        # Final density pass at the converged locations, reusing each
+        # row's gathered candidates (a superset of the truncation disc).
+        cols = int(counts.max())
+        view = np.s_[:, :cols]
+        np.subtract(px[view], sx[:, None], out=t0[view])
+        np.multiply(t0[view], t0[view], out=t0[view])
+        np.subtract(py[view], sy[:, None], out=t1[view])
+        np.multiply(t1[view], t1[view], out=t1[view])
+        np.add(t0[view], t1[view], out=t0[view])
+        np.multiply(t0[view], -inv_two_h_sq, out=t0[view])
+        np.exp(t0[view], out=t0[view])
+        np.multiply(t0[view], pw[view], out=t0[view])
+        np.sum(t0[view], axis=1, out=totals)
+        densities = np.empty(n_seeds, dtype=float)
+        densities[order] = totals.astype(float)
+        densities /= float(total_weight)
+        # Shadowed seeds adopt their survivor's mode and density (chains
+        # resolve front-to-back: a survivor may itself have been shadowed
+        # in a later sweep).
+        for seed in list(redirect):
+            root = seed
+            while root in redirect:
+                root = redirect[root]
+            modes[seed] = modes[root]
+            densities[seed] = densities[root]
+        if stats is not None:
+            stats["sweeps"] = sweeps
+            stats["n_seeds"] = n_seeds
+            stats["gathers"] = gathers
+            stats["candidates"] = candidates_total
+            stats["merges"] = merges
+        return modes, densities
+
+    # --- ground-truth transport -------------------------------------------------
+
+    def source_intensity_fold(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        sources: Sequence,
+        exponents: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized fold: all sources in one broadcasted float32 pass."""
+        if not len(sources):
+            return np.zeros(len(xs), dtype=float)
+        sx = np.array([s.x for s in sources], dtype=np.float32)
+        sy = np.array([s.y for s in sources], dtype=np.float32)
+        strength = np.array([s.strength for s in sources], dtype=np.float32)
+        dx = np.asarray(xs, dtype=np.float32)[:, None] - sx[None, :]
+        dy = np.asarray(ys, dtype=np.float32)[:, None] - sy[None, :]
+        contributions = strength[None, :] / (1.0 + dx * dx + dy * dy)
+        contributions *= np.exp(-exponents.astype(np.float32))
+        return contributions.sum(axis=1, dtype=np.float64)
+
+
+if HAVE_NUMBA:  # pragma: no cover - requires an optional dependency
+
+    @_numba.njit(cache=True, parallel=True, fastmath=True)
+    def _numba_batch_log_likelihood(  # noqa: D103 - jitted kernel
+        xs, ys, strengths, sensor_x, sensor_y, counts, log_gamma, at_count,
+        scale, background, alpha, interference, credibility, out,
+    ):
+        n_delivered, n = out.shape
+        for b in _numba.prange(n_delivered):
+            count = counts[b]
+            for p in range(n):
+                dx = xs[p] - sensor_x[b]
+                dy = ys[p] - sensor_y[b]
+                rate = (
+                    scale * strengths[p] / (np.float32(1.0) + dx * dx + dy * dy)
+                    + background
+                    + interference[b]
+                )
+                if rate > 0.0:
+                    value = (
+                        count * np.log(rate) - rate - log_gamma[b]
+                    )
+                else:
+                    value = np.float32(0.0) if count == 0.0 else -np.inf
+                if alpha < 1.0 and rate < count:
+                    value = at_count[b] + alpha * (value - at_count[b])
+                if np.isfinite(value):
+                    value = credibility[b] * value
+                out[b, p] = value
+
+
+class NumbaBackend(FastNumpyBackend):
+    """JIT backend (``"numba"``): the fused likelihood as compiled loops.
+
+    Inherits every float32 SoA kernel from :class:`FastNumpyBackend` and
+    replaces the batched likelihood with a ``prange``-parallel compiled
+    kernel.  Auto-detected: constructing it without numba installed
+    raises :class:`BackendUnavailableError` (and ``get_backend`` surfaces
+    that to the CLI as a clear error instead of an import crash).
+    """
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        if not HAVE_NUMBA:
+            raise BackendUnavailableError(
+                "backend 'numba' requested but numba is not importable; "
+                "install numba or use --backend fast"
+            )
+        super().__init__()
+
+    def log_likelihood_batch(  # pragma: no cover - requires numba
+        self,
+        particles: "ParticleSet",
+        sensor_x: np.ndarray,
+        sensor_y: np.ndarray,
+        counts: np.ndarray,
+        efficiency: float = 1.0,
+        background_cpm: float = 0.0,
+        under_prediction_tempering: float = 1.0,
+        interference_cpm: Optional[np.ndarray] = None,
+        credibility_weights: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        scratch = self.scratch
+        counts64 = np.asarray(counts, dtype=np.float64)
+        n_delivered = len(counts64)
+        xs32, ys32, st32 = self._position_mirrors(particles)
+        out = scratch.get(
+            "batch.out", (n_delivered, len(particles)), np.float32
+        )
+        log_gamma = gammaln(counts64 + 1.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            at_count = np.where(
+                counts64 > 0.0,
+                counts64 * np.log(np.maximum(counts64, 1.0))
+                - counts64
+                - log_gamma,
+                0.0,
+            )
+        ones = np.ones(n_delivered, dtype=np.float32)
+        _numba_batch_log_likelihood(
+            xs32,
+            ys32,
+            st32,
+            np.asarray(sensor_x, dtype=np.float32),
+            np.asarray(sensor_y, dtype=np.float32),
+            np.asarray(counts64, dtype=np.float32),
+            log_gamma.astype(np.float32),
+            at_count.astype(np.float32),
+            np.float32(CPM_PER_MICROCURIE * efficiency),
+            np.float32(background_cpm),
+            np.float32(under_prediction_tempering),
+            (
+                np.asarray(interference_cpm, dtype=np.float32)
+                if interference_cpm is not None
+                else np.zeros(n_delivered, dtype=np.float32)
+            ),
+            (
+                np.asarray(credibility_weights, dtype=np.float32)
+                if credibility_weights is not None
+                else ones
+            ),
+            out,
+        )
+        return out

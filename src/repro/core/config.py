@@ -207,6 +207,13 @@ class LocalizerConfig:
     #: > 1 shards seeds across a persistent, lazily-built pool owned by
     #: the localizer (exact: workers run the dense reference kernel).
     meanshift_workers: int = 1
+    #: Array backend for the hot kernels (see repro.core.backend):
+    #: "default" (float64 reference, bitwise parity), "fast" (float32 SoA
+    #: scratch-buffer kernels, tolerance parity), or "numba" (JIT, needs
+    #: numba installed).  None consults the REPRO_BACKEND environment
+    #: variable and falls back to "default"; the CLI --backend flag
+    #: overwrites this field.
+    backend: str | None = None
 
     # --- area ----------------------------------------------------------------
     #: Surveillance area (width, height); particles live in [0,w] x [0,h].
@@ -365,6 +372,15 @@ class LocalizerConfig:
             raise ValueError(
                 f"meanshift_workers must be >= 1, got {self.meanshift_workers}"
             )
+        if self.backend is not None and self.backend not in (
+            "default",
+            "fast",
+            "numba",
+        ):
+            raise ValueError(
+                f"backend must be None, 'default', 'fast' or 'numba', "
+                f"got {self.backend!r}"
+            )
 
     def grid_cell(self) -> float:
         """The effective grid cell size (explicit, or fusion_range / 2)."""
@@ -380,8 +396,11 @@ class LocalizerConfig:
         """A copy running only the reference implementations.
 
         Disables grid selection, estimate caching, kernel truncation and
-        the worker pool -- the configuration every fast path is
-        parity-tested against (and the baseline of ``bench_fastpath``).
+        the worker pool, and pins the array backend to the float64
+        reference (an explicit "default" here also shields the reference
+        runs from a stray REPRO_BACKEND environment override) -- the
+        configuration every fast path is parity-tested against (and the
+        baseline of ``bench_fastpath``).
         """
         return replace(
             self,
@@ -389,4 +408,5 @@ class LocalizerConfig:
             estimate_cache=False,
             meanshift_truncation_sigmas=0.0,
             meanshift_workers=1,
+            backend="default",
         )

@@ -133,17 +133,22 @@ def extract_estimates(
     rng: Optional[np.random.Generator] = None,
     tracer: Optional[Tracer] = None,
     pool=None,
+    backend=None,
 ) -> List[SourceEstimate]:
     """The full Section V-D step: mean-shift, merge, filter, estimate.
 
     Never needs (or produces) an assumed number of sources: every mode
     that survives the mass and strength filters is one estimated source.
 
-    The mean-shift sweep runs on one of three interchangeable backends,
+    The mean-shift sweep runs on one of four interchangeable paths,
     chosen from the config's fast-path knobs (see docs/PERFORMANCE.md):
     a ``pool`` (:class:`repro.core.parallel.MeanShiftPool`, exact,
-    process-sharded), the grid-based truncated kernel (tight
-    approximation, large populations only), or the dense reference sweep.
+    process-sharded), an accelerated array ``backend``
+    (:mod:`repro.core.backend`, padded-SoA sweep, tolerance parity), the
+    grid-based truncated kernel (tight approximation, large populations
+    only), or the dense reference sweep.  ``backend=None`` resolves one
+    from ``config.backend``; the localizer passes its own instance so
+    scratch buffers persist across calls.
 
     With an enabled ``tracer``, one ``extract`` event is emitted carrying
     seed / sweep / mode counts, the backend (``path``), and per-phase
@@ -151,6 +156,10 @@ def extract_estimates(
     """
     tracer = NULL_TRACER if tracer is None else tracer
     traced = tracer.enabled
+    if backend is None:
+        from repro.core.backend import get_backend
+
+        backend = get_backend(config.backend)
     positions = particles.positions
     weights = particles.weights
     if weights.sum() <= 0:
@@ -185,6 +194,11 @@ def extract_estimates(
         )
         if shift_stats is not None:
             shift_stats["n_seeds"] = len(seeds)
+    elif backend.accelerated:
+        path = f"backend:{backend.name}"
+        converged, _densities = backend.meanshift_modes(
+            particles, seeds, config, stats=shift_stats
+        )
     elif use_truncated:
         path = "truncated"
         converged, _densities = truncated_mean_shift_modes(

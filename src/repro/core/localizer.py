@@ -19,11 +19,13 @@ the paper's Table I accounting).
 
 from __future__ import annotations
 
+import logging
 from time import perf_counter
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.backend import get_backend
 from repro.core.config import LocalizerConfig
 from repro.core.estimator import SourceEstimate, extract_estimates
 from repro.core.fusion import FixedFusionRange, FusionRangePolicy
@@ -35,6 +37,15 @@ from repro.core.weighting import reweight_in_place
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sensors.measurement import Measurement
+
+logger = logging.getLogger(__name__)
+
+#: Readings fused per batched likelihood pass.  Within a chunk every
+#: weight row applies to the same population; resampling runs between
+#: chunks so the filter keeps the sequential loop's intra-step annealing.
+#: 8 keeps >90% of the batching win on the Table-1 cell while matching
+#: the sequential loop's accuracy on the paper scenarios.
+FUSED_CHUNK = 8
 
 #: A movement model maps (xs, ys, strengths, rng) of the touched subset to
 #: predicted arrays.  The paper's sources are static (identity model); the
@@ -59,6 +70,11 @@ class MultiSourceLocalizer:
         metrics: Optional[MetricsRegistry] = None,
     ):
         self.config = config
+        #: Array backend for the hot kernels (config.backend; see
+        #: repro.core.backend).  The default is the float64 reference and
+        #: keeps every code path bitwise-identical; accelerated backends
+        #: own scratch buffers that live as long as this localizer.
+        self.backend = get_backend(config.backend)
         self.fusion_policy = (
             fusion_policy if fusion_policy is not None else FixedFusionRange(config.fusion_range)
         )
@@ -131,6 +147,8 @@ class MultiSourceLocalizer:
         self._grid_rebuilds_seen = 0
         self._grid_queries_seen = 0
         self._grid_candidates_seen = 0
+        # Backend scratch-reuse watermark (same delta-flush pattern).
+        self._backend_reuses_seen = 0
 
     # --- the per-measurement iteration -----------------------------------------
 
@@ -160,6 +178,8 @@ class MultiSourceLocalizer:
         config = self.config
         tracer = self.tracer
         traced = tracer.enabled
+        if self.backend.accelerated:
+            self.backend.begin_step()
         if traced:
             # ESS before any clock read: diagnostics stay out of the
             # phase timings, so the phases sum to total_seconds exactly.
@@ -255,6 +275,7 @@ class MultiSourceLocalizer:
                 under_prediction_tempering=config.under_prediction_tempering,
                 interference_cpm=interference,
                 credibility_weight=credibility_weight,
+                backend=self.backend,
             )
             self.particles.normalize()
             if traced:
@@ -286,6 +307,7 @@ class MultiSourceLocalizer:
                 self.rng,
                 injection_center=(sensor_x, sensor_y),
                 injection_radius=resample_radius,
+                backend=self.backend,
             )
             self.particles.normalize()
             if traced:
@@ -309,6 +331,166 @@ class MultiSourceLocalizer:
                     self.particles.effective_sample_size()
                 )
                 self._flush_grid_metrics()
+                self._flush_backend_metrics()
+        finally:
+            self._in_observe = False
+
+    def observe_batch(self, measurements: Sequence[Measurement]) -> None:
+        """Consume one step's delivered measurements, fused when possible.
+
+        With an accelerated backend (and no movement model or tracing),
+        the per-sensor weight-path loop collapses into batched fused
+        likelihood passes of :data:`FUSED_CHUNK` readings each: within a
+        chunk, admission (integrity scoring, quarantine drops, echo-EMA
+        updates, fusion selection) runs per reading in delivery order,
+        one backend call computes the chunk's likelihood matrix, every
+        row is applied to the same un-mutated population it was computed
+        on (the weight updates are multiplicative, so their order within
+        the chunk is immaterial), and then each reading's region is
+        selectively resampled in delivery order.  Resampling *between*
+        chunks preserves the sequential loop's annealing behaviour --
+        fusing a whole step into one chunk starves later readings of the
+        particle diversity the intermediate resamples restore -- so
+        accuracy stays in the same approximation class as the truncated
+        mean-shift kernel, covered by the tolerance parity suite.
+
+        Everything else (default backend, movement models, tracing, a
+        batch of one) falls back to the exact sequential :meth:`observe`
+        loop, which is bitwise-identical to calling it yourself.
+        """
+        measurements = list(measurements)
+        if (
+            not self.backend.accelerated
+            or self.movement_model is not None
+            or self.tracer.enabled
+            or len(measurements) <= 1
+        ):
+            for measurement in measurements:
+                self.observe(measurement)
+            return
+        for start in range(0, len(measurements), FUSED_CHUNK):
+            self._observe_batch_fused(measurements[start:start + FUSED_CHUNK])
+
+    def _observe_batch_fused(self, measurements: List[Measurement]) -> None:
+        """The accelerated :meth:`observe_batch` body (backend-gated)."""
+        config = self.config
+        backend = self.backend
+        metrics = self.metrics
+        backend.begin_step()
+        self._in_observe = True
+        try:
+            # Phase A -- admission, per reading in delivery order, against
+            # the un-mutated step-start population (one grid build serves
+            # every selection query).
+            admitted: List[tuple] = []
+            for m in measurements:
+                if m.cpm < 0:
+                    raise ValueError(
+                        f"measurement CPM must be non-negative, got {m.cpm}"
+                    )
+                credibility_weight = 1.0
+                if self.credibility is not None:
+                    credibility_weight = self._assess_credibility(
+                        m.sensor_id, m.x, m.y, m.cpm
+                    )
+                    if credibility_weight <= 0.0:
+                        self._reading_ema.pop((round(m.x, 6), round(m.y, 6)), None)
+                        if metrics.enabled:
+                            metrics.counter("integrity.skipped_readings").inc()
+                        continue
+                fusion_range = self.fusion_policy.range_for(m.sensor_id, m.x, m.y)
+                key = (round(m.x, 6), round(m.y, 6))
+                previous = self._reading_ema.get(key)
+                if previous is None:
+                    self._reading_ema[key] = m.cpm
+                else:
+                    self._reading_ema[key] = (
+                        self._ema_alpha * m.cpm + (1.0 - self._ema_alpha) * previous
+                    )
+                indices = self._indices_within(m.x, m.y, fusion_range)
+                self.last_touched = len(indices)
+                self.iteration += 1
+                if metrics.enabled:
+                    metrics.counter("localizer.iterations").inc()
+                    metrics.histogram("localizer.touched").observe(len(indices))
+                if len(indices) == 0:
+                    if metrics.enabled:
+                        metrics.counter("localizer.empty_subsets").inc()
+                    continue
+                interference = self._interference_for(m.x, m.y, fusion_range)
+                admitted.append(
+                    (m, fusion_range, indices, interference, credibility_weight)
+                )
+
+            if admitted:
+                # Phase B -- one fused likelihood pass over the whole batch.
+                log_like = backend.log_likelihood_batch(
+                    self.particles,
+                    np.array([entry[0].x for entry in admitted]),
+                    np.array([entry[0].y for entry in admitted]),
+                    np.array([entry[0].cpm for entry in admitted]),
+                    efficiency=config.assumed_efficiency,
+                    background_cpm=config.assumed_background_cpm,
+                    under_prediction_tempering=config.under_prediction_tempering,
+                    interference_cpm=np.array(
+                        [entry[3] for entry in admitted]
+                    ),
+                    credibility_weights=np.array(
+                        [entry[4] for entry in admitted]
+                    ),
+                )
+                if metrics.enabled:
+                    metrics.histogram("backend.weight_update_batch_size").observe(
+                        len(admitted)
+                    )
+                # Phase C -- apply every weight row against the same
+                # un-mutated population the likelihood matrix was computed
+                # on.  Interleaving resamples here would move particles out
+                # from under the remaining precomputed rows.
+                for row, (m, fusion_range, indices, _intf, _cred) in enumerate(
+                    admitted
+                ):
+                    backend.apply_log_likelihood(
+                        self.particles, indices, log_like[row]
+                    )
+                    self.particles.normalize()
+                # Phase D -- resample each reading's region in delivery
+                # order, re-querying membership against the now-current
+                # population (earlier resamples move particles in and out).
+                for m, fusion_range, indices, _intf, _cred in admitted:
+                    if np.isinf(fusion_range):
+                        resample_indices = np.arange(len(self.particles))
+                        resample_radius = None
+                    else:
+                        resample_radius = (
+                            config.resample_range_fraction * fusion_range
+                        )
+                        resample_indices = self._indices_within(
+                            m.x, m.y, resample_radius
+                        )
+                    stats = resample_subset(
+                        self.particles,
+                        resample_indices,
+                        config,
+                        self.rng,
+                        injection_center=(m.x, m.y),
+                        injection_radius=resample_radius,
+                        backend=backend,
+                    )
+                    self.particles.normalize()
+                    if metrics.enabled:
+                        metrics.counter("localizer.resampled_particles").inc(
+                            stats.n_resampled
+                        )
+                        metrics.counter("localizer.injected_particles").inc(
+                            stats.n_injected
+                        )
+            if metrics.enabled:
+                metrics.gauge("localizer.ess").set(
+                    self.particles.effective_sample_size()
+                )
+                self._flush_grid_metrics()
+                self._flush_backend_metrics()
         finally:
             self._in_observe = False
 
@@ -384,6 +566,27 @@ class MultiSourceLocalizer:
             )
             self._grid_queries_seen = particles.grid_queries
             self._grid_candidates_seen = particles.grid_candidates
+
+    def _flush_backend_metrics(self) -> None:
+        """Report backend scratch activity since the last flush.
+
+        ``backend.allocations_per_step`` must read 0 on a warmed-up weight
+        path -- that gauge is the zero-allocation contract's witness (see
+        docs/OBSERVABILITY.md).  Only accelerated backends own scratch, so
+        the default path skips this entirely.
+        """
+        backend = self.backend
+        if not backend.accelerated:
+            return
+        metrics = self.metrics
+        pool = backend.scratch
+        metrics.gauge("backend.allocations_per_step").set(
+            pool.allocations_this_step
+        )
+        reuse_delta = pool.reuses - self._backend_reuses_seen
+        if reuse_delta:
+            metrics.counter("backend.scratch_reuse").inc(reuse_delta)
+            self._backend_reuses_seen = pool.reuses
 
     def _emit_iteration(
         self,
@@ -496,7 +699,7 @@ class MultiSourceLocalizer:
         tracer = NULL_TRACER if self._in_observe else self.tracer
         candidates = extract_estimates(
             self.particles, self.config, self.rng, tracer=tracer,
-            pool=self._meanshift_pool(),
+            pool=self._meanshift_pool(), backend=self.backend,
         )
         if config.estimate_cache:
             self._estimate_cache = (revision, candidates)
@@ -647,6 +850,10 @@ class MultiSourceLocalizer:
             ],
             "estimate_cache": cache,
             "rng_state": self.rng.bit_generator.state,
+            # The backend that produced this state: a restore under a
+            # different one cannot be bitwise-reproducible (the session
+            # layer warns, or raises under --strict-backend).
+            "backend": self.backend.describe(),
         }
         # Integrity state only when the layer is on: a vanilla localizer's
         # checkpoint document stays byte-for-byte what it always was.
@@ -696,6 +903,16 @@ class MultiSourceLocalizer:
             tracer=tracer,
             metrics=metrics,
         )
+        recorded = meta.get("backend")
+        if recorded is not None and recorded.get("name") != localizer.backend.name:
+            logger.warning(
+                "checkpoint was written by backend %r (%s); restoring under "
+                "%r (%s) -- resumed results will not be bitwise-reproducible",
+                recorded.get("name"),
+                recorded.get("dtype"),
+                localizer.backend.name,
+                localizer.backend.dtype,
+            )
         localizer.iteration = int(meta["iteration"])
         localizer.last_touched = int(meta["last_touched"])
         localizer._interference_sources = np.asarray(

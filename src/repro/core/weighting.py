@@ -120,6 +120,7 @@ def reweight_in_place(
     under_prediction_tempering: float = 1.0,
     interference_cpm: np.ndarray | float = 0.0,
     credibility_weight: float = 1.0,
+    backend=None,
 ) -> None:
     """Apply the Bayesian weight update to the selected particles.
 
@@ -134,7 +135,26 @@ def reweight_in_place(
     readings from suspect sensors (see :mod:`repro.core.integrity`): 1.0
     is full trust, values toward 0 flatten the update so the reading
     barely moves the particles.
+
+    ``backend`` routes the update through an accelerated
+    :class:`repro.core.backend.ArrayBackend` kernel when one is supplied
+    and accelerated; the default (and any non-accelerated backend) runs
+    the float64 reference body below unchanged.
     """
+    if backend is not None and backend.accelerated:
+        backend.reweight(
+            particles,
+            indices,
+            observed_cpm,
+            sensor_x,
+            sensor_y,
+            efficiency=efficiency,
+            background_cpm=background_cpm,
+            under_prediction_tempering=under_prediction_tempering,
+            interference_cpm=interference_cpm,
+            credibility_weight=credibility_weight,
+        )
+        return
     if not 0.0 <= credibility_weight <= 1.0:
         raise ValueError(
             f"credibility_weight must be in [0, 1], got {credibility_weight}"

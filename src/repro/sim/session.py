@@ -282,6 +282,7 @@ class LocalizerSession:
             scenario.name, self.seed, len(scenario.sensors),
             scenario.n_time_steps, scenario.localizer_config.n_particles,
         )
+        backend = self.localizer.backend.describe()
         self.tracer.emit(
             "run_start",
             scenario=scenario.name,
@@ -290,6 +291,8 @@ class LocalizerSession:
             n_sensors=len(scenario.sensors),
             n_steps=scenario.n_time_steps,
             n_particles=scenario.localizer_config.n_particles,
+            backend=backend["name"],
+            backend_dtype=backend["dtype"],
         )
 
     def _drain_tail(self) -> None:
@@ -341,11 +344,15 @@ class LocalizerSession:
             seeds=[self.seed],
             scenario=self.scenario,
             wall_seconds=self._total_seconds,
-            context=(
-                {"run_index": self.run_index}
-                if self.run_index is not None
-                else None
-            ),
+            context={
+                **(
+                    {"run_index": self.run_index}
+                    if self.run_index is not None
+                    else {}
+                ),
+                "backend": self.localizer.backend.describe()["name"],
+                "backend_dtype": self.localizer.backend.describe()["dtype"],
+            },
         )
 
     def _flight_context(self) -> dict:
@@ -382,8 +389,9 @@ class LocalizerSession:
 
     def _consume(self, batch) -> float:
         watch = Stopwatch().start()
-        for measurement in batch:
-            self.localizer.observe(measurement)
+        # One fused weight update per delivery batch under an accelerated
+        # backend; the default backend loops observe() inside, bitwise.
+        self.localizer.observe_batch(list(batch))
         elapsed = watch.stop()
         self._total_seconds += elapsed
         return elapsed
@@ -503,6 +511,7 @@ class LocalizerSession:
         checkpoint_path: Optional[str | Path] = None,
         ledger: Optional[Ledger] = None,
         flight_path: Optional[str | Path] = None,
+        strict_backend: bool = False,
     ) -> "LocalizerSession":
         """Rebuild a session from :meth:`export_state` output.
 
@@ -512,8 +521,28 @@ class LocalizerSession:
         Observability attachments (tracer, metrics, ledger, flight
         recorder) are runtime concerns, not run state -- they are never
         checkpointed and must be re-supplied on restore.
+
+        ``strict_backend=True`` turns the backend-mismatch warning (the
+        checkpoint records which array backend wrote it; restoring under
+        a different one forfeits bitwise resume parity) into a
+        :class:`~repro.sim.serialization.CheckpointError`.
         """
         doc = state["session"]
+        recorded_backend = (state.get("localizer") or {}).get("backend")
+        if strict_backend and recorded_backend is not None:
+            from repro.core.backend import get_backend
+
+            active = get_backend(
+                scenario_from_dict(doc["scenario"]).localizer_config.backend
+            ).describe()
+            if recorded_backend.get("name") != active["name"]:
+                raise CheckpointError(
+                    f"checkpoint was written by backend "
+                    f"{recorded_backend.get('name')!r} "
+                    f"({recorded_backend.get('dtype')}) but would restore "
+                    f"under {active['name']!r} ({active['dtype']}); pass "
+                    f"strict_backend=False to accept non-bitwise resume"
+                )
         scenario = scenario_from_dict(doc["scenario"])
         session = cls(
             scenario,
@@ -593,23 +622,35 @@ class LocalizerSession:
         checkpoint_path: Optional[str | Path] = None,
         ledger: Optional[Ledger] = None,
         flight_path: Optional[str | Path] = None,
+        strict_backend: bool = False,
+        backend_override: Optional[str] = None,
     ) -> "LocalizerSession":
         """Load a checkpoint file and rebuild the session it captured.
 
         ``checkpoint_path`` defaults to the file being resumed, so a
         session restored with ``checkpoint_every`` set keeps overwriting
-        the same snapshot as it advances.
+        the same snapshot as it advances.  ``backend_override`` rewrites
+        the checkpointed config's array backend before the session
+        rebuilds (the CLI ``--backend`` flag); the recorded-backend
+        mismatch check runs against the rewritten config, so
+        ``strict_backend`` still catches the change.
         """
         if checkpoint_every > 0 and checkpoint_path is None:
             checkpoint_path = path
+        state = load_checkpoint(path)
+        if backend_override is not None:
+            state["session"]["scenario"]["localizer_config"][
+                "backend"
+            ] = backend_override
         session = cls.from_state(
-            load_checkpoint(path),
+            state,
             tracer=tracer,
             metrics=metrics,
             checkpoint_every=checkpoint_every,
             checkpoint_path=checkpoint_path,
             ledger=ledger,
             flight_path=flight_path,
+            strict_backend=strict_backend,
         )
         session.tracer.emit("restore", step=session.step_index, path=str(path))
         if session.metrics.enabled:
