@@ -324,6 +324,79 @@ class ArrayBackend:
         cumulative[-1] = 1.0
         return cumulative
 
+    # --- spatial queries -------------------------------------------------------
+
+    def multi_candidates_query(
+        self,
+        grid,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        radius,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched candidate query over many centers: CSR ``(indices, offsets)``.
+
+        Row ``i`` -- ``indices[offsets[i]:offsets[i+1]]`` -- holds the
+        grid candidates for center ``i`` (cells overlapping the disc's
+        bounding box, no distance test).  ``radius`` is a scalar or
+        per-center array.  The reference provider loops the scalar grid
+        query, so each row *is* the scalar result by construction;
+        accelerated providers answer the whole batch with one vectorized
+        ``searchsorted`` over the flattened (center, column) key set and
+        are array-equality-tested against this.
+        """
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        radii = np.asarray(radius, dtype=float)
+        if radii.ndim == 0:
+            radii = np.broadcast_to(radii, xs.shape)
+        offsets = np.zeros(len(xs) + 1, dtype=np.int64)
+        rows = []
+        for i in range(len(xs)):
+            row = grid.query_candidates(float(xs[i]), float(ys[i]), float(radii[i]))
+            rows.append(row)
+            offsets[i + 1] = offsets[i] + len(row)
+        indices = (
+            np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
+        )
+        return indices, offsets
+
+    def multi_disc_query(
+        self,
+        grid,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        radius,
+        sort_rows: bool = True,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched exact disc query: CSR rows bit-identical to ``query_disc``.
+
+        Each row carries the exact float64 distance test and ascending
+        order of the scalar path, so batched fusion-range selection and
+        support queries keep the brute-force contract.  The reference
+        provider loops ``grid.query_disc``; accelerated providers batch
+        the whole thing and route the large buffers through their scratch
+        pools.
+
+        ``sort_rows=False`` relaxes the per-row ordering to *unspecified*
+        (contents still exact); kernel-gather callers that reduce over
+        each row use it to skip the ordering pass.
+        """
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        radii = np.asarray(radius, dtype=float)
+        if radii.ndim == 0:
+            radii = np.broadcast_to(radii, xs.shape)
+        offsets = np.zeros(len(xs) + 1, dtype=np.int64)
+        rows = []
+        for i in range(len(xs)):
+            row = grid.query_disc(float(xs[i]), float(ys[i]), float(radii[i]))
+            rows.append(row)
+            offsets[i + 1] = offsets[i] + len(row)
+        indices = (
+            np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
+        )
+        return indices, offsets
+
     # --- estimation ------------------------------------------------------------
 
     def meanshift_modes(
@@ -710,6 +783,47 @@ class FastNumpyBackend(ArrayBackend):
         cumulative[-1] = 1.0
         return cumulative
 
+    # --- spatial queries -------------------------------------------------------
+
+    def multi_candidates_query(
+        self,
+        grid,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        radius,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One vectorized searchsorted pass; rows array-equal to the scalar loop."""
+        return grid.query_candidates_batch(xs, ys, radius, pool=self.scratch)
+
+    #: Below this many centers the vectorized batch kernel's fixed
+    #: overhead (~40 array ops) exceeds the cost of just looping the
+    #: scalar query; mean-shift refill batches are typically 1-10 rows.
+    MIN_VECTORIZED_CENTERS = 12
+
+    def multi_disc_query(
+        self,
+        grid,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        radius,
+        sort_rows: bool = True,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched exact disc query through the scratch pool.
+
+        The distance test stays float64 inside the grid kernel, so each
+        CSR row is bit-identical to the scalar ``query_disc`` -- batching
+        changes the driving, not the arithmetic.  Returned arrays are
+        views into pool buffers (``gq.*``): valid until the next batched
+        query on this backend.  Tiny batches (fewer than
+        ``MIN_VECTORIZED_CENTERS``) fall back to the scalar loop, whose
+        per-center cost undercuts the vectorized kernel's setup.
+        """
+        if len(np.atleast_1d(xs)) < self.MIN_VECTORIZED_CENTERS:
+            return super().multi_disc_query(grid, xs, ys, radius, sort_rows)
+        return grid.query_disc_batch(
+            xs, ys, radius, pool=self.scratch, sort_rows=sort_rows
+        )
+
     # --- mean-shift ------------------------------------------------------------
 
     def meanshift_modes(
@@ -770,7 +884,7 @@ class FastNumpyBackend(ArrayBackend):
         np.copyto(w32, weights)
 
         idx_rows, counts, capacity = padded_candidate_rows(
-            grid, seeds, gather_radius
+            grid, seeds, gather_radius, backend=self
         )
         shape = (n_seeds, capacity)
         px = scratch.get("ms.px", shape, np.float32)
@@ -786,13 +900,19 @@ class FastNumpyBackend(ArrayBackend):
 
             Basic slices only: ``out=px[rows]`` with a fancy index would
             write into a temporary copy and silently leave the scratch
-            rows holding stale garbage.
+            rows holding stale garbage.  Only the live prefix (widest
+            count in the span) is gathered; the tail is memset so padded
+            slots hold finite coordinates and zero weight.
             """
-            np.take(xs32, idx_rows[lo:hi], out=px[lo:hi])
-            np.take(ys32, idx_rows[lo:hi], out=py[lo:hi])
-            np.take(w32, idx_rows[lo:hi], out=pw[lo:hi])
+            width = int(counts[lo:hi].max())
+            np.take(xs32, idx_rows[lo:hi, :width], out=px[lo:hi, :width])
+            np.take(ys32, idx_rows[lo:hi, :width], out=py[lo:hi, :width])
+            np.take(w32, idx_rows[lo:hi, :width], out=pw[lo:hi, :width])
             # Zero the padding weights so padded slots contribute nothing.
-            pw[lo:hi] *= columns[None, :] < counts[lo:hi, None]
+            pw[lo:hi, :width] *= columns[None, :width] < counts[lo:hi, None]
+            px[lo:hi, width:] = 0
+            py[lo:hi, width:] = 0
+            pw[lo:hi, width:] = 0
 
         fill_span(0, n_seeds)
         sx = scratch.get("ms.sx", (n_seeds,), np.float32)
@@ -803,12 +923,37 @@ class FastNumpyBackend(ArrayBackend):
         center_y = scratch.get("ms.cy", (n_seeds,), np.float32)
         np.copyto(center_x, sx)
         np.copyto(center_y, sy)
-        order = np.arange(n_seeds)  # row -> seed id, updated by swaps
+        order = np.arange(n_seeds)  # row -> seed id, updated by compaction
 
         totals = scratch.get("ms.tot", (n_seeds,), np.float32)
         numer_x = scratch.get("ms.nx", (n_seeds,), np.float32)
         numer_y = scratch.get("ms.ny", (n_seeds,), np.float32)
-        margin_sq = np.float32(margin * margin)
+        # Per-row gather margin.  A row that outruns its margin re-gathers
+        # with the margin doubled (capped), so long-travelling seeds pay
+        # O(log distance) re-gathers instead of one per bandwidth moved.
+        row_margin = scratch.get("ms.margin", (n_seeds,), np.float32)
+        row_margin.fill(np.float32(margin))
+        row_margin_sq = scratch.get("ms.marginsq", (n_seeds,), np.float32)
+        row_margin_sq.fill(np.float32(margin * margin))
+        max_margin = np.float32(3.0 * margin)
+        deep_margin = np.float32(6.0 * margin)
+        # Aitken acceleration state: the previous sweep's shift vector and
+        # squared length, plus the alternation flag (see the boost block).
+        shift_prev_x = scratch.get("ms.dxp", (n_seeds,), np.float32)
+        shift_prev_y = scratch.get("ms.dyp", (n_seeds,), np.float32)
+        moved_prev = scratch.get("ms.pmv", (n_seeds,), np.float32)
+        boosted = scratch.get("ms.boost", (n_seeds,), np.bool_)
+        shift_prev_x.fill(0)
+        shift_prev_y.fill(0)
+        moved_prev.fill(0)
+        boosted.fill(False)
+        jump_cap = np.float32(0.5 * bandwidth)
+        # No jumps in the endgame: below this shift the row re-enters the
+        # plain fixed-point sequence, so its rest position phase-matches
+        # the reference iteration (which stops at its first sub-tol step).
+        # Jumping all the way to rest would land at an arbitrary point of
+        # the tol-ball and show up as extraction deviation.
+        boost_floor_sq = np.float32((3.0 * tol) ** 2)
         # Two centers this close follow (near-)identical trajectories from
         # here on -- the next iterate depends only on the current center and
         # the particle population -- so the later row can retire and adopt
@@ -824,21 +969,15 @@ class FastNumpyBackend(ArrayBackend):
         candidates_total = 0
         merges = 0
         alive = n_seeds
-
-        def swap_rows(i: int, j: int) -> None:
-            if i == j:
-                return
-            # Beyond each row's count the SoA rows hold identical padding
-            # (particle 0 with zero weight), so only the wider prefix needs
-            # to move.
-            span = int(max(counts[i], counts[j]))
-            for array in (px, py, pw, idx_rows):
-                held = array[i, :span].copy()
-                array[i, :span] = array[j, :span]
-                array[j, :span] = held
-            for vector in (sx, sy, center_x, center_y, counts, order):
-                vector[[i, j]] = vector[[j, i]]
-
+        # Per-seed results, recorded the sweep a row retires.  A finished
+        # row's center has stopped moving (it advanced < tol this sweep),
+        # so the kernel total just computed for it *is* its mode density
+        # to within the convergence tolerance -- recording it here removes
+        # the final full-matrix density pass entirely.
+        modes = np.empty((n_seeds, 2), dtype=float)
+        densities = np.zeros(n_seeds, dtype=float)
+        modes[:, 0] = seeds[:, 0]
+        modes[:, 1] = seeds[:, 1]
         for _ in range(config.meanshift_max_iter):
             if alive == 0:
                 break
@@ -858,59 +997,118 @@ class FastNumpyBackend(ArrayBackend):
             np.exp(t0[view], out=t0[view])
             np.multiply(t0[view], pw[view], out=t0[view])
             np.sum(t0[view], axis=1, out=totals[rows])
-            np.multiply(t0[view], px[view], out=t1[view])
-            np.sum(t1[view], axis=1, out=numer_x[rows])
-            np.multiply(t0[view], py[view], out=t1[view])
-            np.sum(t1[view], axis=1, out=numer_y[rows])
+            # Fused multiply-reduce: one pass per numerator instead of a
+            # full-matrix product materialized into t1 and then summed.
+            np.einsum("ij,ij->i", t0[view], px[view], out=numer_x[rows])
+            np.einsum("ij,ij->i", t0[view], py[view], out=numer_y[rows])
             stranded = totals[rows] <= 0
             np.maximum(totals[rows], self._TINY_TOTAL, out=totals[rows])
             np.divide(numer_x[rows], totals[rows], out=numer_x[rows])
             np.divide(numer_y[rows], totals[rows], out=numer_y[rows])
             np.copyto(numer_x[rows], sx[rows], where=stranded)
             np.copyto(numer_y[rows], sy[rows], where=stranded)
-            moved_sq = (numer_x[rows] - sx[rows]) ** 2 + (
-                numer_y[rows] - sy[rows]
-            ) ** 2
+            shift_x = numer_x[rows] - sx[rows]
+            shift_y = numer_y[rows] - sy[rows]
+            moved_sq = shift_x * shift_x + shift_y * shift_y
             np.copyto(sx[rows], numer_x[rows])
             np.copyto(sy[rows], numer_y[rows])
-            finished = (moved_sq < tol * tol) | stranded
+            # A row may only finish on a sweep whose starting point was
+            # natural: right after a jump the extrapolated position can sit
+            # anywhere inside the tol-ball, so one more unboosted sweep
+            # pins the rest position to the same fixed-point resolution as
+            # the reference iteration.
+            finished = ((moved_sq < tol * tol) & ~boosted[rows]) | stranded
+            # Aitken delta-squared acceleration: near a mode the shift map
+            # is a smooth contraction, so consecutive shifts shrink by a
+            # near-constant ratio r and the remaining travel telescopes to
+            # shift * r / (1 - r).  Jumping that distance skips the long
+            # geometric tail; convergence is still declared only by the
+            # raw ``moved < tol`` test on an unboosted sweep, so the fixed
+            # point (and the reported mode) is unchanged.  Rows alternate
+            # boosted / natural sweeps because the shift measured right
+            # after a jump says nothing about the contraction ratio.
+            ratio_num = shift_x * shift_prev_x[rows] + shift_y * shift_prev_y[rows]
+            ratio = ratio_num / np.maximum(moved_prev[rows], self._TINY_TOTAL)
+            gain = np.where(
+                ~finished
+                & ~boosted[rows]
+                & (moved_prev[rows] > 0)
+                & (moved_sq > boost_floor_sq)
+                & (ratio > 0)
+                & (ratio < np.float32(0.9)),
+                ratio / (np.float32(1.0) - ratio),
+                np.float32(0.0),
+            )
+            # Cap the jump length: an uncapped extrapolation from two
+            # large shifts can fly across a basin boundary and merge two
+            # genuinely distinct modes.
+            np.minimum(
+                gain,
+                jump_cap / np.sqrt(np.maximum(moved_sq, self._TINY_TOTAL)),
+                out=gain,
+            )
+            sx[rows] += shift_x * gain
+            sy[rows] += shift_y * gain
+            boosted[rows] = gain > 0
+            shift_prev_x[rows] = shift_x
+            shift_prev_y[rows] = shift_y
+            moved_prev[rows] = moved_sq
             # Duplicate-trajectory detection: row j shadows the first row
-            # whose center coincides with its own.
-            dxp = sx[rows, None] - sx[None, :alive]
-            dyp = sy[rows, None] - sy[None, :alive]
-            close = dxp * dxp + dyp * dyp <= merge_sq
-            shadow_of = np.argmax(close, axis=0)  # diagonal is always True
-            shadowed = (shadow_of < np.arange(alive)) & ~finished
-            if shadowed.any():
-                snapshot = order[:alive].copy()
-                for j in np.nonzero(shadowed)[0]:
-                    redirect[int(snapshot[j])] = int(snapshot[shadow_of[j]])
-                    merges += 1
+            # whose center coincides with its own.  Shadowing only saves
+            # work, so with a handful of live rows the O(alive^2) scan
+            # costs more than the sweeps it would avoid -- skip it.
+            if alive > 4:
+                dxp = sx[rows, None] - sx[None, :alive]
+                dyp = sy[rows, None] - sy[None, :alive]
+                close = dxp * dxp + dyp * dyp <= merge_sq
+                shadow_of = np.argmax(close, axis=0)  # diagonal is always True
+                shadowed = (shadow_of < np.arange(alive)) & ~finished
+                if shadowed.any():
+                    snapshot = order[:alive].copy()
+                    for j in np.nonzero(shadowed)[0]:
+                        redirect[int(snapshot[j])] = int(snapshot[shadow_of[j]])
+                        merges += 1
+            else:
+                shadowed = np.zeros(alive, dtype=bool)
             drift_sq = (sx[rows] - center_x[rows]) ** 2 + (
                 sy[rows] - center_y[rows]
             ) ** 2
             retire = finished | shadowed
-            refill = np.nonzero(~retire & (drift_sq > margin_sq))[0]
-            for row in refill:
-                fresh = grid.query_candidates(
-                    float(sx[row]), float(sy[row]), gather_radius
+            refill = np.nonzero(~retire & (drift_sq > row_margin_sq[rows]))[0]
+            if len(refill):
+                # One batched exact-disc gather for every drifted row
+                # (same disc filter padded_candidate_rows applies) instead
+                # of a scalar query per row.  In the straggler phase the
+                # margin doubles on each re-gather so long-travelling rows
+                # stop re-querying every bandwidth moved; with many rows
+                # live the margin stays tight, because one wide row widens
+                # ``cols`` -- and the sweep arithmetic -- for all of them.
+                if alive <= 8:
+                    # Deep stragglers (a handful of slowly-travelling rows)
+                    # get an even wider leash: the extra columns only pad
+                    # those few rows, and every avoided re-gather saves a
+                    # grid query plus a scatter-fill.
+                    cap = max_margin if alive > 4 else deep_margin
+                    grown_margin = np.minimum(row_margin[refill] * 2, cap)
+                    row_margin[refill] = grown_margin
+                    row_margin_sq[refill] = grown_margin * grown_margin
+                flat, flat_offsets = self.multi_disc_query(
+                    grid,
+                    sx[refill].astype(np.float64),
+                    sy[refill].astype(np.float64),
+                    radius + row_margin[refill].astype(np.float64),
+                    sort_rows=False,
                 )
-                if len(fresh):
-                    # Same exact-disc filter as padded_candidate_rows.
-                    fdx = grid.xs[fresh] - float(sx[row])
-                    fdy = grid.ys[fresh] - float(sy[row])
-                    fresh = fresh[
-                        fdx * fdx + fdy * fdy <= gather_radius * gather_radius
-                    ]
-                gathers += 1
-                if len(fresh) > capacity:
-                    # Outgrew the row capacity: regrow every matrix and
-                    # reload all live rows (rare -- a seed drifting into a
-                    # much denser region).
-                    while capacity < len(fresh):
+                gathers += len(refill)
+                widest = int(np.max(flat_offsets[1:] - flat_offsets[:-1]))
+                regrown = widest > capacity
+                if regrown:
+                    # Outgrew the row capacity: regrow every matrix (rare
+                    # -- a seed drifting into a much denser region).
+                    while capacity < widest:
                         capacity *= 2
                     grown = np.zeros((n_seeds, capacity), dtype=np.int64)
-                    grown[:, : idx_rows.shape[1]] = idx_rows
+                    grown[:alive, : idx_rows.shape[1]] = idx_rows[:alive]
                     idx_rows = grown
                     shape = (n_seeds, capacity)
                     px = scratch.get("ms.px", shape, np.float32)
@@ -920,45 +1118,66 @@ class FastNumpyBackend(ArrayBackend):
                     t1 = scratch.get("ms.t1", shape, np.float32)
                     columns = scratch.get("ms.cols", (capacity,), np.int64)
                     np.copyto(columns, np.arange(capacity))
-                    idx_rows[row, : len(fresh)] = fresh
-                    counts[row] = len(fresh)
-                    center_x[row] = sx[row]
-                    center_y[row] = sy[row]
-                    # Reload every row (retired ones included -- the final
-                    # density pass reads them from the regrown buffers).
-                    fill_span(0, n_seeds)
-                    continue
-                idx_rows[row, : len(fresh)] = fresh
-                idx_rows[row, len(fresh):] = 0
-                counts[row] = len(fresh)
-                center_x[row] = sx[row]
-                center_y[row] = sy[row]
-                fill_span(int(row), int(row) + 1)
-            # Retire converged and shadowed rows by swapping them past the
-            # live window.
-            for row in np.nonzero(retire)[0][::-1]:
-                swap_rows(int(row), alive - 1)
-                alive -= 1
+                lengths = flat_offsets[1:] - flat_offsets[:-1]
+                pad = columns[None, :widest] < lengths[:, None]
+                fresh = np.zeros((len(refill), widest), dtype=np.int64)
+                fresh[pad] = flat
+                idx_rows[refill, :widest] = fresh
+                idx_rows[refill, widest:] = 0
+                counts[refill] = lengths
+                center_x[refill] = sx[refill]
+                center_y[refill] = sy[refill]
+                if regrown:
+                    # The re-fetched scratch matrices do not carry the old
+                    # contents; reload the live rows (retired rows' data
+                    # is never read again).
+                    fill_span(0, alive)
+                else:
+                    # The refilled rows are scattered, so this is the
+                    # fancy-indexed form of fill_span: padding columns
+                    # gather index 0 but carry weight 0, and the tails
+                    # beyond the widest fresh row are zeroed outright.
+                    px[refill, :widest] = xs32[fresh]
+                    py[refill, :widest] = ys32[fresh]
+                    pw[refill, :widest] = w32[fresh] * pad
+                    px[refill, widest:] = 0
+                    py[refill, widest:] = 0
+                    pw[refill, widest:] = 0
+            # Retire converged and shadowed rows: record their results,
+            # then compact the live window by copying the surviving tail
+            # rows into the freed slots (retired row data is never read
+            # again, so a one-way copy replaces the old pairwise swap).
+            ret_rows = np.nonzero(retire)[0]
+            if len(ret_rows):
+                ret_ids = order[ret_rows]
+                modes[ret_ids, 0] = sx[ret_rows]
+                modes[ret_ids, 1] = sy[ret_rows]
+                densities[ret_ids] = totals[ret_rows]
+                new_alive = alive - len(ret_rows)
+                movers = np.nonzero(~retire[new_alive:alive])[0] + new_alive
+                slots = ret_rows[ret_rows < new_alive]
+                if len(slots):
+                    # Padding beyond a mover's count is zero, so spanning
+                    # the widest of both row sets keeps the slot rows'
+                    # tails zeroed too.
+                    span = int(max(counts[slots].max(), counts[movers].max()))
+                    for array in (px, py, pw, idx_rows):
+                        array[slots, :span] = array[movers, :span]
+                    for vector in (
+                        sx, sy, center_x, center_y, counts, order,
+                        row_margin, row_margin_sq,
+                        shift_prev_x, shift_prev_y, moved_prev, boosted,
+                    ):
+                        vector[slots] = vector[movers]
+                alive = new_alive
 
-        modes = np.empty((n_seeds, 2), dtype=float)
-        modes[order, 0] = sx[:n_seeds].astype(float)
-        modes[order, 1] = sy[:n_seeds].astype(float)
-
-        # Final density pass at the converged locations, reusing each
-        # row's gathered candidates (a superset of the truncation disc).
-        cols = int(counts.max())
-        view = np.s_[:, :cols]
-        np.subtract(px[view], sx[:, None], out=t0[view])
-        np.multiply(t0[view], t0[view], out=t0[view])
-        np.subtract(py[view], sy[:, None], out=t1[view])
-        np.multiply(t1[view], t1[view], out=t1[view])
-        np.add(t0[view], t1[view], out=t0[view])
-        np.multiply(t0[view], -inv_two_h_sq, out=t0[view])
-        np.exp(t0[view], out=t0[view])
-        np.multiply(t0[view], pw[view], out=t0[view])
-        np.sum(t0[view], axis=1, out=totals)
-        densities = np.empty(n_seeds, dtype=float)
-        densities[order] = totals.astype(float)
+        if alive:
+            # max_iter exhausted with live rows: report their current
+            # centers and last-computed kernel totals.
+            live_ids = order[:alive]
+            modes[live_ids, 0] = sx[:alive]
+            modes[live_ids, 1] = sy[:alive]
+            densities[live_ids] = totals[:alive]
         densities /= float(total_weight)
         # Shadowed seeds adopt their survivor's mode and density (chains
         # resolve front-to-back: a survivor may itself have been shadowed
@@ -1028,6 +1247,61 @@ if HAVE_NUMBA:  # pragma: no cover - requires an optional dependency
                 if np.isfinite(value):
                     value = credibility[b] * value
                 out[b, p] = value
+
+    @_numba.njit(cache=True)
+    def _numba_multi_disc_query(  # noqa: D103 - jitted kernel
+        sorted_cids, order, pxs, pys, cx, cy, radii, x0, y0, inv, n_cols, n_rows,
+    ):
+        n_centers = len(cx)
+        # Pass 1: candidate capacity (sum of per-column slice widths).
+        total_candidates = np.int64(0)
+        for i in range(n_centers):
+            cx_lo = np.int64(np.floor((cx[i] - radii[i] - x0) * inv))
+            cx_hi = np.int64(np.floor((cx[i] + radii[i] - x0) * inv))
+            cy_lo = np.int64(np.floor((cy[i] - radii[i] - y0) * inv))
+            cy_hi = np.int64(np.floor((cy[i] + radii[i] - y0) * inv))
+            if cx_hi < 0 or cy_hi < 0 or cx_lo >= n_cols or cy_lo >= n_rows:
+                continue
+            cx_lo = max(cx_lo, 0)
+            cy_lo = max(cy_lo, 0)
+            cx_hi = min(cx_hi, n_cols - 1)
+            cy_hi = min(cy_hi, n_rows - 1)
+            for col in range(cx_lo, cx_hi + 1):
+                base = col * n_rows
+                lo = np.searchsorted(sorted_cids, base + cy_lo)
+                hi = np.searchsorted(sorted_cids, base + cy_hi + 1)
+                total_candidates += hi - lo
+        out = np.empty(total_candidates, dtype=np.int64)
+        offsets = np.zeros(n_centers + 1, dtype=np.int64)
+        # Pass 2: exact disc filter + per-center ascending sort.
+        pos = np.int64(0)
+        for i in range(n_centers):
+            row_start = pos
+            cx_lo = np.int64(np.floor((cx[i] - radii[i] - x0) * inv))
+            cx_hi = np.int64(np.floor((cx[i] + radii[i] - x0) * inv))
+            cy_lo = np.int64(np.floor((cy[i] - radii[i] - y0) * inv))
+            cy_hi = np.int64(np.floor((cy[i] + radii[i] - y0) * inv))
+            if not (cx_hi < 0 or cy_hi < 0 or cx_lo >= n_cols or cy_lo >= n_rows):
+                cx_lo = max(cx_lo, 0)
+                cy_lo = max(cy_lo, 0)
+                cx_hi = min(cx_hi, n_cols - 1)
+                cy_hi = min(cy_hi, n_rows - 1)
+                r_sq = radii[i] * radii[i]
+                for col in range(cx_lo, cx_hi + 1):
+                    base = col * n_rows
+                    lo = np.searchsorted(sorted_cids, base + cy_lo)
+                    hi = np.searchsorted(sorted_cids, base + cy_hi + 1)
+                    for k in range(lo, hi):
+                        idx = order[k]
+                        dx = pxs[idx] - cx[i]
+                        dy = pys[idx] - cy[i]
+                        if dx * dx + dy * dy <= r_sq:
+                            out[pos] = idx
+                            pos += 1
+            row = out[row_start:pos]
+            row.sort()
+            offsets[i + 1] = pos
+        return out[:pos], offsets, total_candidates
 
 
 class NumbaBackend(FastNumpyBackend):
@@ -1104,3 +1378,45 @@ class NumbaBackend(FastNumpyBackend):
             out,
         )
         return out
+
+    def multi_disc_query(  # pragma: no cover - requires numba
+        self,
+        grid,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        radius,
+        sort_rows: bool = True,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Compiled batched disc query: same CSR contract, typed loops.
+
+        The float64 distance test matches the scalar path op-for-op, so
+        rows stay bit-identical; the candidate walk and per-row sort run
+        as compiled code instead of vectorized passes (sorted rows are a
+        valid ``sort_rows=False`` answer, so the flag needs no branch).
+        """
+        centers_x = np.ascontiguousarray(xs, dtype=np.float64)
+        centers_y = np.ascontiguousarray(ys, dtype=np.float64)
+        radii = np.asarray(radius, dtype=np.float64)
+        if radii.ndim == 0:
+            radii = np.full(len(centers_x), float(radii))
+        else:
+            radii = np.ascontiguousarray(radii, dtype=np.float64)
+        if np.any(radii < 0):
+            raise ValueError("radius must be non-negative")
+        indices, offsets, scanned = _numba_multi_disc_query(
+            grid._sorted_cids,
+            grid._order,
+            grid.xs,
+            grid.ys,
+            centers_x,
+            centers_y,
+            radii,
+            grid.x0,
+            grid.y0,
+            1.0 / grid.cell_size,
+            grid.n_cols,
+            grid.n_rows,
+        )
+        grid.queries += len(centers_x)
+        grid.candidates_scanned += int(scanned)
+        return indices, offsets

@@ -186,6 +186,13 @@ class LocalizerConfig:
     #: Grid cell size (length units); None derives ``fusion_range / 2``,
     #: which keeps a fusion-disc query within a handful of cells.
     grid_cell_size: float | None = None
+    #: Incremental grid maintenance threshold: when a position mutation
+    #: declares its touched rows (selective resample, bounded move) and
+    #: the dirty fraction is at most this, the index is re-binned by a
+    #: sorted merge instead of rebuilt from scratch.  Exact either way
+    #: (the maintained index is array-equal to a rebuild); 0 disables
+    #: incremental maintenance.
+    grid_incremental_threshold: float = 0.25
     #: Cache the mean-shift extraction keyed on the particle revision, so
     #: repeated ``estimates()`` calls on an unmutated population (the
     #: interference refresh, per-step diagnostics) reuse the result.
@@ -352,6 +359,11 @@ class LocalizerConfig:
         if self.grid_cell_size is not None and self.grid_cell_size <= 0:
             raise ValueError(
                 f"grid_cell_size must be positive, got {self.grid_cell_size}"
+            )
+        if not 0.0 <= self.grid_incremental_threshold <= 1.0:
+            raise ValueError(
+                f"grid_incremental_threshold must be in [0, 1], "
+                f"got {self.grid_incremental_threshold}"
             )
         if self.meanshift_truncation_sigmas < 0:
             raise ValueError(

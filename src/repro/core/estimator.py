@@ -241,17 +241,49 @@ def extract_estimates(
     support_radius = config.bandwidth
     uniform_mass = min(1.0, math.pi * support_radius**2 / area)
 
-    estimates: List[SourceEstimate] = []
-    for mode in modes:
-        # One disc query per mode, shared by the mass and strength filters
-        # (grid-accelerated when enabled; identical index set either way).
-        if use_grid:
-            support_idx = particles.indices_within_grid(
+    # One disc query per mode, shared by the mass and strength filters
+    # (identical index set on every path).  Accelerated backends answer
+    # all modes with one batched CSR query; the grid path loops the exact
+    # scalar query; and the brute-force fallback still reuses a fresh
+    # index when one exists (bit-identical -- it only skips the O(N)
+    # scan, never changes the result).
+    if modes and use_grid and backend.accelerated:
+        grid = particles.grid(config.grid_cell())
+        before = grid.candidates_scanned
+        flat, offsets = backend.multi_disc_query(
+            grid,
+            np.array([mode.x for mode in modes], dtype=float),
+            np.array([mode.y for mode in modes], dtype=float),
+            support_radius,
+        )
+        particles.grid_queries += len(modes)
+        particles.grid_candidates += grid.candidates_scanned - before
+        support_sets = [
+            flat[offsets[i]:offsets[i + 1]] for i in range(len(modes))
+        ]
+    elif use_grid:
+        support_sets = [
+            particles.indices_within_grid(
                 mode.x, mode.y, support_radius, config.grid_cell()
             )
-        else:
-            support_idx = particles.indices_within(mode.x, mode.y, support_radius)
-        mass = disc_mass(particles, mode.x, mode.y, support_radius, indices=support_idx)
+            for mode in modes
+        ]
+    else:
+        support_sets = [
+            particles.indices_within_cached(mode.x, mode.y, support_radius)
+            for mode in modes
+        ]
+
+    estimates: List[SourceEstimate] = []
+    # Hoisted out of disc_mass: one O(N) total-weight sum shared by every
+    # mode (the per-mode expression below is op-for-op disc_mass).
+    total_w = particles.weights.sum()
+    for mode, support_idx in zip(modes, support_sets):
+        mass = (
+            float(particles.weights[support_idx].sum() / total_w)
+            if total_w > 0
+            else 0.0
+        )
         ratio = mass / uniform_mass if uniform_mass > 0 else 0.0
         if ratio < config.mode_mass_ratio:
             continue

@@ -137,8 +137,9 @@ class TestRegistry:
 
 
 class TestDefaultBitwise:
-    def test_default_backend_matches_direct_call(self):
+    def test_default_backend_matches_direct_call(self, monkeypatch):
         """Dispatch through the backend == calling the kernels directly."""
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
         config = base_config()
         steps = measurement_stream()
         through = MultiSourceLocalizer(
@@ -156,8 +157,9 @@ class TestDefaultBitwise:
         )
         np.testing.assert_array_equal(through.particles.xs, direct.particles.xs)
 
-    def test_reweight_backend_none_is_reference(self):
+    def test_reweight_backend_none_is_reference(self, monkeypatch):
         """``backend=None`` and a non-accelerated backend are the same code."""
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
         config = base_config()
         rng = np.random.default_rng(11)
         a = MultiSourceLocalizer(config, rng=np.random.default_rng(0)).particles
@@ -177,8 +179,9 @@ class TestDefaultBitwise:
         )
         np.testing.assert_array_equal(a.weights, expected)
 
-    def test_observe_batch_default_is_bitwise_loop(self):
+    def test_observe_batch_default_is_bitwise_loop(self, monkeypatch):
         """observe_batch under the default backend == the observe loop."""
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
         config = base_config()
         steps = measurement_stream()
         batched = MultiSourceLocalizer(config, rng=np.random.default_rng(5))
@@ -474,11 +477,14 @@ class TestCheckpointBackend:
             )
         assert any("backend" in r.message for r in caplog.records)
 
-    def test_session_strict_backend_errors(self, tmp_path):
+    def test_session_strict_backend_errors(self, tmp_path, monkeypatch):
         from repro.sim.scenarios import scenario_a
         from repro.sim.serialization import CheckpointError
         from repro.sim.session import LocalizerSession
 
+        # The mismatch below relies on the session resolving "default";
+        # neutralize any REPRO_BACKEND override from the environment.
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
         scenario = scenario_a(n_time_steps=4)
         session = LocalizerSession(scenario, seed=1)
         session.step()
@@ -501,12 +507,14 @@ class TestCheckpointBackend:
         assert resumed.localizer.backend.name == "fast"
         resumed.run()
 
-    def test_run_start_and_manifest_record_backend(self, tmp_path):
+    def test_run_start_and_manifest_record_backend(self, tmp_path, monkeypatch):
         from repro.obs.trace import Tracer
         from repro.obs.sinks import InMemorySink
         from repro.sim.scenarios import scenario_a
         from repro.sim.session import LocalizerSession
 
+        # This test pins the recorded identity of the *default* backend.
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
         sink = InMemorySink()
         scenario = scenario_a(n_time_steps=2)
         session = LocalizerSession(scenario, seed=1, tracer=Tracer(sink))
@@ -517,3 +525,91 @@ class TestCheckpointBackend:
         manifest = session.manifest()
         assert manifest.context["backend"] == "default"
         assert manifest.context["backend_dtype"] == "float64"
+
+
+class TestMultiDiscQuery:
+    """Backend batched disc queries vs the scalar query_disc loop."""
+
+    def _population(self, seed, n):
+        from repro.core.grid import SpatialGridIndex
+
+        rng = np.random.default_rng(seed)
+        xs = rng.uniform(0, 100, n)
+        ys = rng.uniform(0, 100, n)
+        return SpatialGridIndex(xs, ys, 6.0), rng
+
+    def _reference_csr(self, grid, cx, cy, radii):
+        offsets = np.zeros(len(cx) + 1, dtype=np.int64)
+        rows = [
+            grid.query_disc(float(x), float(y), float(r))
+            for x, y, r in zip(cx, cy, radii)
+        ]
+        for i, row in enumerate(rows):
+            offsets[i + 1] = offsets[i] + len(row)
+        flat = (
+            np.concatenate(rows).astype(np.int64)
+            if rows
+            else np.empty(0, dtype=np.int64)
+        )
+        return flat, offsets
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n_centers=st.integers(1, 30),
+        scalar_radius=st.booleans(),
+    )
+    def test_fast_backend_matches_reference(self, seed, n_centers, scalar_radius):
+        # n_centers straddles MIN_VECTORIZED_CENTERS, so both the scalar
+        # fallback and the vectorized kernel are exercised.
+        grid, rng = self._population(seed, 200)
+        cx = rng.uniform(-50, 150, n_centers)
+        cy = rng.uniform(-50, 150, n_centers)
+        radii = 12.0 if scalar_radius else rng.uniform(0, 40, n_centers)
+        radii_arr = np.broadcast_to(np.asarray(radii, dtype=float), cx.shape)
+        want_flat, want_offsets = self._reference_csr(grid, cx, cy, radii_arr)
+        got_flat, got_offsets = FastNumpyBackend().multi_disc_query(
+            grid, cx, cy, radii
+        )
+        np.testing.assert_array_equal(got_offsets, want_offsets)
+        np.testing.assert_array_equal(got_flat, want_flat)
+
+    def test_default_backend_is_scalar_loop(self):
+        grid, rng = self._population(7, 150)
+        cx = rng.uniform(0, 100, 8)
+        cy = rng.uniform(0, 100, 8)
+        want_flat, want_offsets = self._reference_csr(
+            grid, cx, cy, np.full(8, 15.0)
+        )
+        got_flat, got_offsets = NumpyBackend().multi_disc_query(
+            grid, cx, cy, 15.0
+        )
+        np.testing.assert_array_equal(got_offsets, want_offsets)
+        np.testing.assert_array_equal(got_flat, want_flat)
+
+    def test_unsorted_rows_same_contents(self):
+        grid, rng = self._population(9, 300)
+        cx = rng.uniform(0, 100, 16)
+        cy = rng.uniform(0, 100, 16)
+        flat, offsets = FastNumpyBackend().multi_disc_query(
+            grid, cx, cy, 20.0
+        )
+        raw_flat, raw_offsets = FastNumpyBackend().multi_disc_query(
+            grid, cx, cy, 20.0, sort_rows=False
+        )
+        np.testing.assert_array_equal(offsets, raw_offsets)
+        for i in range(16):
+            np.testing.assert_array_equal(
+                np.sort(raw_flat[raw_offsets[i]:raw_offsets[i + 1]]),
+                flat[offsets[i]:offsets[i + 1]],
+            )
+
+    def test_warm_batch_query_allocates_nothing(self):
+        grid, rng = self._population(15, 500)
+        backend = FastNumpyBackend()
+        cx = rng.uniform(0, 100, 20)
+        cy = rng.uniform(0, 100, 20)
+        backend.multi_disc_query(grid, cx, cy, 18.0)  # warm the pool
+        backend.scratch.begin_step()
+        backend.multi_disc_query(grid, cx, cy, 18.0)
+        assert backend.scratch.allocations_this_step == 0
