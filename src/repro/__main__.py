@@ -8,6 +8,13 @@ Commands
 ``export``    Write a paper scenario to a JSON document.
 ``run-file``  Run a scenario loaded from a JSON document.
 ``resume``    Resume a checkpointed run and print its metrics.
+``record``    Run a scenario once and record its measurement stream to a
+              ``repro-stream v1`` JSONL file (``run --stream PATH`` tees
+              the same recording onto a normal run).
+``replay``    Re-run the localizer over a recorded stream file -- same
+              seed reproduces the recorded run bitwise; ``--seed``,
+              ``--faults``/``--no-faults`` and ``--backend`` re-run
+              variations over the identical measurement realization.
 ``report``    The observability readout, four subcommands:
               ``trace`` summarizes a JSONL trace (``report PATH`` is a
               shorthand for ``report trace PATH``); ``trends`` tabulates
@@ -34,6 +41,11 @@ Examples::
     python -m repro run c --checkpoint-every 5 --checkpoint-dir ckpts
     python -m repro resume ckpts/cell-v0-r0.ckpt.json --health
     python -m repro run a --faults faults.json --integrity
+    python -m repro record a --out run.stream.jsonl --seed 7
+    python -m repro replay run.stream.jsonl
+    python -m repro replay run.stream.jsonl --faults drop.json --integrity
+    python -m repro replay run.stream.jsonl --pace wall --speed 4
+    python -m repro report trends --ledger .repro/ledger --stream live
 
 Every command accepts ``--verbose``/``-v`` (repeatable: ``-vv`` for debug)
 and ``--quiet``/``-q`` to control the library's stdlib logging; the
@@ -58,6 +70,7 @@ from repro.obs.trace import Tracer, jsonl_tracer
 from repro.obs.trends import (
     compare_manifests,
     compare_table,
+    filter_by_stream,
     gate_report,
     load_manifest_source,
     resolve_series,
@@ -240,6 +253,14 @@ def _open_ledger(args) -> Optional[Ledger]:
 
 def _report_run(scenario, policy, args) -> None:
     """Run + report a scenario with the shared CLI flags applied."""
+    record_path = getattr(args, "stream", None)
+    if record_path and (
+        args.repeats != 1 or args.workers or args.checkpoint_every > 0
+    ):
+        raise SystemExit(
+            "--stream recording requires a single serial uncheckpointed run "
+            "(--repeats 1, --workers 0, no --checkpoint-every)"
+        )
     print(scenario.describe())
     tracer, registry = _open_instrumentation(args)
     ledger = _open_ledger(args)
@@ -256,6 +277,8 @@ def _report_run(scenario, policy, args) -> None:
             checkpoint_dir=args.checkpoint_dir,
             ledger=ledger,
             flight_dir=getattr(args, "flight_dir", None),
+            record_path=record_path,
+            record_stream_id=getattr(args, "stream_id", None),
         )
         if tracer is not None and registry is not None:
             # The trace carries the final metrics snapshot too, so a
@@ -266,6 +289,15 @@ def _report_run(scenario, policy, args) -> None:
             tracer.close()
     _print_aggregate(scenario, agg, args)
     _print_instrumentation(args, registry)
+    if record_path:
+        from repro.streams import read_header
+
+        header = read_header(record_path)
+        print(
+            f"\nrecorded stream {header.stream_id} -> {record_path} "
+            f"({header.n_time_steps} steps; replay with: "
+            f"python -m repro replay {record_path})"
+        )
     if ledger is not None:
         print(
             f"\nappended {args.repeats} manifest(s) to the ledger at "
@@ -279,6 +311,111 @@ def cmd_run(args) -> int:
     scenario = _apply_robustness(scenario, args)
     scenario = _apply_backend(scenario, args)
     _report_run(scenario, policy, args)
+    return 0
+
+
+def cmd_record(args) -> int:
+    """``record``: a single run teeing its raw measurements to a stream.
+
+    Recording happens *before* fault injection, so the stream is the
+    clean measurement realization; a replay re-applies (or swaps) the
+    fault schedule deterministically on top of it.
+    """
+    scenario, policy = _build_scenario(args)
+    scenario = _apply_robustness(scenario, args)
+    scenario = _apply_backend(scenario, args)
+    # The record command is a single serial run by construction.
+    args.stream = args.out
+    args.repeats = 1
+    args.workers = 0
+    args.checkpoint_every = 0
+    args.checkpoint_dir = None
+    _report_run(scenario, policy, args)
+    return 0
+
+
+def cmd_replay(args) -> int:
+    """``replay``: drive a session from a recorded stream file."""
+    from repro.sim.results import RepeatedRunResult
+    from repro.sim.session import LocalizerSession
+    from repro.streams import (
+        FileReplaySource,
+        StreamFormatError,
+        WallClockPacer,
+        read_header,
+        scenario_from_header,
+    )
+
+    try:
+        header = read_header(args.stream)
+    except OSError as exc:
+        print(f"{args.stream}: {exc.strerror or exc}", file=sys.stderr)
+        return 1
+    except StreamFormatError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    scenario = scenario_from_header(
+        header, backend=getattr(args, "backend", None)
+    )
+    if args.no_faults:
+        scenario = scenario.with_faults(None)
+    scenario = _apply_robustness(scenario, args)
+    policy = scenario_c_fusion_policy(scenario) if args.fusion_auto else None
+    seed = args.seed if args.seed is not None else header.seed
+    print(scenario.describe())
+    print(
+        f"replaying stream {header.stream_id} ({header.n_time_steps} steps, "
+        f"recorded seed {header.seed}, replay seed {seed})"
+    )
+    pacer = WallClockPacer(speed=args.speed) if args.pace == "wall" else None
+    checkpoint_path = None
+    if args.checkpoint_every > 0:
+        if args.checkpoint_dir is None:
+            raise SystemExit("--checkpoint-every needs --checkpoint-dir")
+        from pathlib import Path
+
+        Path(args.checkpoint_dir).mkdir(parents=True, exist_ok=True)
+        checkpoint_path = str(Path(args.checkpoint_dir) / "replay.ckpt.json")
+    tracer, registry = _open_instrumentation(args)
+    ledger = _open_ledger(args)
+    try:
+        try:
+            source = FileReplaySource(args.stream, pacer=pacer)
+            session = LocalizerSession(
+                scenario,
+                seed=seed,
+                fusion_policy=policy,
+                source=source,
+                tracer=tracer,
+                metrics=registry,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_path=checkpoint_path,
+                ledger=ledger,
+            )
+            result = session.run()
+        except StreamFormatError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        if tracer is not None and registry is not None:
+            registry.flush_to(tracer.sink)
+    finally:
+        if tracer is not None:
+            tracer.close()
+    agg = RepeatedRunResult(
+        scenario_name=result.scenario_name,
+        source_labels=result.source_labels,
+        runs=[result],
+    )
+    args.seed = seed
+    _print_aggregate(scenario, agg, args)
+    _print_instrumentation(args, registry)
+    if checkpoint_path is not None:
+        print(
+            f"\ncheckpointed to {checkpoint_path} (resume with: python -m "
+            f"repro resume {checkpoint_path} --stream {args.stream})"
+        )
+    if ledger is not None:
+        print(f"\nappended the replay manifest to the ledger at {ledger.root}")
     return 0
 
 
@@ -309,6 +446,14 @@ def cmd_report_trends(args) -> int:
     except (OSError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
         return 1
+    if args.stream is not None:
+        manifests = filter_by_stream(manifests, args.stream)
+        if not manifests:
+            print(
+                f"series {name!r} has no entries for stream {args.stream!r}",
+                file=sys.stderr,
+            )
+            return 1
     if args.as_json:
         print(
             json.dumps(
@@ -501,6 +646,7 @@ def cmd_resume(args) -> int:
                 flight_path=getattr(args, "flight", None),
                 strict_backend=getattr(args, "strict_backend", False),
                 backend_override=getattr(args, "backend", None),
+                stream_path=getattr(args, "stream", None),
             )
         except CheckpointError as exc:
             print(str(exc), file=sys.stderr)
@@ -647,6 +793,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--obstacles", action="store_true",
                        help="include the scenario's obstacles")
 
+    def stream_record_flag(p):
+        p.add_argument(
+            "--stream", default=None, metavar="PATH",
+            help="record the run's raw measurement batches to a "
+            "repro-stream file (single serial run only; replay with: "
+            "python -m repro replay PATH)",
+        )
+
     run_parser = sub.add_parser("run", help="run a scenario and print metrics")
     run_parser.add_argument("scenario", help="a, a3, b, or c")
     run_parser.add_argument("--repeats", type=int, default=3,
@@ -657,8 +811,69 @@ def build_parser() -> argparse.ArgumentParser:
     checkpoint_flags(run_parser)
     ledger_flags(run_parser)
     workers_flag(run_parser)
+    stream_record_flag(run_parser)
     common(run_parser)
     run_parser.set_defaults(func=cmd_run)
+
+    record_parser = sub.add_parser(
+        "record",
+        help="run a scenario once and record its measurement stream",
+    )
+    record_parser.add_argument("scenario", help="a, a3, b, or c")
+    record_parser.add_argument(
+        "--out", required=True, metavar="PATH",
+        help="stream file to write (repro-stream v1 JSONL)",
+    )
+    record_parser.add_argument(
+        "--stream-id", default=None, metavar="ID", dest="stream_id",
+        help="stream id for the header (default: derived from the "
+        "scenario name, seed, and config hash)",
+    )
+    instrumentation_flags(record_parser)
+    backend_flag(record_parser)
+    fault_flags(record_parser)
+    ledger_flags(record_parser, flight=False)
+    common(record_parser)
+    record_parser.set_defaults(func=cmd_record)
+
+    replay_parser = sub.add_parser(
+        "replay", help="re-run the localizer over a recorded stream file"
+    )
+    replay_parser.add_argument(
+        "stream", help="recorded stream path (from record or run --stream)"
+    )
+    replay_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the header seed (default: the recorded seed, "
+        "which reproduces the recorded run bitwise)",
+    )
+    replay_parser.add_argument(
+        "--pace", choices=("fast", "wall"), default="fast",
+        help="fast = as fast as possible (default); wall = follow the "
+        "recorded timestamps in wall-clock time",
+    )
+    replay_parser.add_argument(
+        "--speed", type=float, default=1.0,
+        help="wall-clock pacing multiplier (--pace wall; 2.0 = twice "
+        "real time)",
+    )
+    replay_parser.add_argument(
+        "--no-faults", action="store_true",
+        help="strip the recorded fault schedule (clean replay); "
+        "--faults swaps in a different schedule instead",
+    )
+    replay_parser.add_argument(
+        "--fusion-auto", action="store_true",
+        help="derive Scenario C's auto fusion-range policy from the "
+        "replayed scenario (use when the recording ran with it)",
+    )
+    instrumentation_flags(replay_parser)
+    backend_flag(replay_parser)
+    fault_flags(replay_parser)
+    checkpoint_flags(replay_parser)
+    ledger_flags(replay_parser, flight=False)
+    logging_flags(replay_parser)
+    replay_parser.set_defaults(func=cmd_replay)
 
     resume_parser = sub.add_parser(
         "resume", help="resume a checkpointed run to completion"
@@ -678,6 +893,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--flight", default=None, metavar="PATH",
         help="arm a flight recorder; on a crash the last trace events "
         "dump to PATH",
+    )
+    resume_parser.add_argument(
+        "--stream", default=None, metavar="PATH",
+        help="recorded stream path for a replay checkpoint whose stream "
+        "file has moved (default: the path stored in the checkpoint)",
     )
     backend_flag(resume_parser)
     resume_parser.add_argument(
@@ -733,6 +953,11 @@ def build_parser() -> argparse.ArgumentParser:
     trends_parser.add_argument(
         "--last", type=int, default=0, metavar="N",
         help="only the last N entries (0 = all)",
+    )
+    trends_parser.add_argument(
+        "--stream", default=None, metavar="ID",
+        help="only entries that replayed this stream id "
+        "('live' = only non-replayed runs)",
     )
     json_flag(trends_parser)
     logging_flags(trends_parser)
@@ -820,6 +1045,7 @@ def build_parser() -> argparse.ArgumentParser:
     checkpoint_flags(run_file_parser)
     ledger_flags(run_file_parser)
     workers_flag(run_file_parser)
+    stream_record_flag(run_file_parser)
     logging_flags(run_file_parser)
     run_file_parser.set_defaults(func=cmd_run_file)
     return parser

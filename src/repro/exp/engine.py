@@ -209,6 +209,7 @@ def _build_session(
     failing the sweep.
     """
     checkpoint_path = payload["checkpoint_path"]
+    stream = payload.get("stream")
     if checkpoint_path is not None and Path(checkpoint_path).exists():
         try:
             session = LocalizerSession.resume_from_checkpoint(
@@ -216,6 +217,7 @@ def _build_session(
                 tracer=tracer,
                 metrics=metrics,
                 checkpoint_every=payload["checkpoint_every"],
+                stream_path=stream,
             )
             return session, True
         except CheckpointError as exc:
@@ -223,6 +225,14 @@ def _build_session(
                 "unusable checkpoint %s (%s); cell restarts from scratch",
                 checkpoint_path, exc,
             )
+    source = None
+    if stream is not None:
+        # Stream-backed cell: replay the recorded file instead of
+        # simulating.  The source is built worker-side (sources hold
+        # open handles and parsed batches; only the path is picklable).
+        from repro.streams.source import FileReplaySource
+
+        source = FileReplaySource(stream)
     session = LocalizerSession(
         payload["scenario"],
         seed=payload["seed"],
@@ -233,6 +243,7 @@ def _build_session(
         run_index=payload["run_index"],
         checkpoint_every=payload["checkpoint_every"],
         checkpoint_path=checkpoint_path,
+        source=source,
     )
     return session, False
 
@@ -310,6 +321,7 @@ def _cell_payload(
         "scenario": cell.scenario,
         "fusion_policy": cell.fusion_policy,
         "seed": cell.seed,
+        "stream": cell.stream,
         "run_index": cell.repeat_index,
         "trace": trace,
         "metrics": metrics,
@@ -605,6 +617,15 @@ def run_sweep(
         if ledger is not None:
             from repro.obs.ledger import manifest_from_result
 
+            stream_context = {}
+            if variant.stream is not None:
+                from repro.streams.replay import read_header
+
+                header = read_header(variant.stream)
+                stream_context = {
+                    "source_kind": "file-replay",
+                    "stream_id": header.stream_id,
+                }
             for r, run in enumerate(variant_runs):
                 cell = cells[vi * spec.n_repeats + r]
                 ledger.append(
@@ -614,7 +635,11 @@ def run_sweep(
                         name=variant.name,
                         seeds=[cell.seed],
                         scenario=variant.scenario,
-                        context={"run_index": r, "workers": workers},
+                        context={
+                            "run_index": r,
+                            "workers": workers,
+                            **stream_context,
+                        },
                     )
                 )
     logger.info(

@@ -31,6 +31,12 @@ class Variant:
     scenario: Scenario
     #: Optional per-variant fusion policy (e.g. Scenario C's auto range).
     fusion_policy: Optional[FusionRangePolicy] = None
+    #: Optional recorded-stream path: the variant's cells replay this
+    #: ``repro-stream v1`` file instead of simulating measurements.
+    stream: Optional[str] = None
+    #: Optional per-variant base seed (stream-backed variants default to
+    #: their header seed, which reproduces the recorded run bitwise).
+    base_seed: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -43,6 +49,8 @@ class SweepCell:
     seed: int
     scenario: Scenario
     fusion_policy: Optional[FusionRangePolicy] = None
+    #: Recorded-stream path driving this cell (None = simulate).
+    stream: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -80,15 +88,21 @@ class SweepSpec:
         """
         cells: List[SweepCell] = []
         for vi, variant in enumerate(self.variants):
+            base = (
+                variant.base_seed
+                if variant.base_seed is not None
+                else self.base_seed
+            )
             for r in range(self.n_repeats):
                 cells.append(
                     SweepCell(
                         variant_name=variant.name,
                         variant_index=vi,
                         repeat_index=r,
-                        seed=derive_run_seed(self.base_seed, r),
+                        seed=derive_run_seed(base, r),
                         scenario=variant.scenario,
                         fusion_policy=variant.fusion_policy,
+                        stream=variant.stream,
                     )
                 )
         return cells
@@ -121,6 +135,40 @@ class SweepSpec:
             n_repeats=n_repeats,
             base_seed=base_seed,
         )
+
+    @classmethod
+    def of_streams(
+        cls,
+        paths: Sequence[str],
+        n_repeats: int = 1,
+        base_seed: Optional[int] = None,
+    ) -> "SweepSpec":
+        """A spec whose cells replay recorded stream files.
+
+        One variant per stream, named by its stream id; the scenario is
+        rebuilt from each stream's header.  With ``base_seed=None`` (the
+        default) every variant seeds from its own header, so repeat 0
+        reproduces the recorded run bitwise; pass an explicit base seed
+        to re-randomize transport/filter over the canned measurements.
+        ``n_repeats`` defaults to 1 because the measurement realization
+        is frozen -- repeats only vary the downstream RNG streams.
+        """
+        from repro.streams.replay import read_header, scenario_from_header
+
+        variants = []
+        for path in paths:
+            header = read_header(path)
+            variants.append(
+                Variant(
+                    name=header.stream_id,
+                    scenario=scenario_from_header(header),
+                    stream=str(path),
+                    base_seed=(
+                        header.seed if base_seed is None else base_seed
+                    ),
+                )
+            )
+        return cls(variants=tuple(variants), n_repeats=n_repeats, base_seed=0)
 
     @classmethod
     def config_grid(

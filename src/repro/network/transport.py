@@ -22,7 +22,6 @@ wrapper: a generator that opens a stream and pushes each batch through it.
 
 from __future__ import annotations
 
-import dataclasses
 from abc import ABC, abstractmethod
 from typing import Any, Dict, Iterable, Iterator, List, Sequence
 
@@ -30,7 +29,11 @@ import numpy as np
 
 from repro.network.link import LinkModel, PerfectLink
 from repro.network.scheduler import EventQueue
-from repro.sensors.measurement import Measurement
+from repro.sensors.measurement import (
+    Measurement,
+    measurement_from_dict,
+    measurement_to_dict,
+)
 
 
 class DeliveryStream(ABC):
@@ -172,7 +175,7 @@ class QueuedDeliveryStream(DeliveryStream):
                 {
                     "time": event.time,
                     "tiebreak": event.tiebreak,
-                    "measurement": dataclasses.asdict(event.payload),
+                    "measurement": measurement_to_dict(event.payload),
                 }
                 for event in self.queue.export_events()
             ],
@@ -185,7 +188,7 @@ class QueuedDeliveryStream(DeliveryStream):
                 (
                     event["time"],
                     event["tiebreak"],
-                    Measurement(**event["measurement"]),
+                    measurement_from_dict(event["measurement"]),
                 )
                 for event in state["events"]
             ],

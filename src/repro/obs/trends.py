@@ -242,13 +242,40 @@ def _fmt(value: float) -> str:
     return f"{value:.4g}"
 
 
+def manifest_stream_id(manifest: RunManifest) -> Optional[str]:
+    """The stream id a manifest's run replayed, or None for live runs."""
+    value = manifest.context.get("stream_id")
+    return str(value) if value is not None else None
+
+
+def filter_by_stream(
+    manifests: Sequence[RunManifest], stream: Optional[str]
+) -> List[RunManifest]:
+    """Restrict history to one ingestion lineage.
+
+    ``stream`` is a stream id (keep only runs that replayed it), the
+    special key ``"live"`` (keep only non-replayed runs), or None (keep
+    everything).  This is what lets one ledger series hold live and
+    golden-stream history side by side without poisoning either trend.
+    """
+    if stream is None:
+        return list(manifests)
+    if stream == "live":
+        return [m for m in manifests if manifest_stream_id(m) is None]
+    return [m for m in manifests if manifest_stream_id(m) == stream]
+
+
 def trend_table(
     name: str,
     manifests: Sequence[RunManifest],
     metrics: Optional[Sequence[str]] = None,
     last: int = 0,
 ) -> str:
-    """A trend table: one row per ledger entry, one column per metric."""
+    """A trend table: one row per ledger entry, one column per metric.
+
+    When any entry carries a replay stream id, a ``stream`` column
+    appears so live and replayed history stay distinguishable.
+    """
     from repro.eval.reporting import format_table
 
     entries = list(manifests)[-last:] if last > 0 else list(manifests)
@@ -256,18 +283,25 @@ def trend_table(
         names = list(metrics)
     else:
         names = sorted({m for entry in entries for m in entry.metrics})
+    show_stream = any(manifest_stream_id(e) is not None for e in entries)
     rows = []
     for i, entry in enumerate(entries):
         sha = (entry.git_sha or "-")[:9]
+        row = [i, sha, entry.config_hash or "-"]
+        if show_stream:
+            row.append(manifest_stream_id(entry) or "live")
         rows.append(
-            [i, sha, entry.config_hash or "-"]
+            row
             + [
                 _fmt(entry.metrics[m]) if m in entry.metrics else "-"
                 for m in names
             ]
         )
+    header = ["#", "git", "config"]
+    if show_stream:
+        header.append("stream")
     return format_table(
-        ["#", "git", "config"] + names,
+        header + names,
         rows,
         title=f"Trend: {name} ({len(entries)} of {len(manifests)} entries)",
     )

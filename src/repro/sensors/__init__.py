@@ -15,7 +15,11 @@ from repro.sensors.placement import (
     poisson_placement,
     uniform_random_placement,
 )
-from repro.sensors.measurement import Measurement
+from repro.sensors.measurement import (
+    Measurement,
+    measurement_from_dict,
+    measurement_to_dict,
+)
 from repro.sensors.network import SensorNetwork
 from repro.sensors.calibration import (
     CalibrationResult,
@@ -30,6 +34,8 @@ __all__ = [
     "poisson_placement",
     "uniform_random_placement",
     "Measurement",
+    "measurement_from_dict",
+    "measurement_to_dict",
     "SensorNetwork",
     "CalibrationResult",
     "apply_calibration",

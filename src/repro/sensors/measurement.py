@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Any, Dict, Tuple
 
 
 @dataclass(frozen=True)
@@ -48,3 +48,35 @@ class Measurement:
             f"Measurement(sensor={self.sensor_id}, pos=({self.x:.1f}, {self.y:.1f}), "
             f"cpm={self.cpm:.0f}, T={self.time_step}, seq={self.sequence})"
         )
+
+
+def measurement_to_dict(measurement: Measurement) -> Dict[str, Any]:
+    """The canonical JSON form of one measurement.
+
+    Keys are emitted in alphabetical order and every field is coerced to a
+    plain Python scalar, so numpy values (``np.int64`` sensor ids, float32
+    counts from accelerated backends) serialize identically to native ones.
+    Floats go through ``float()`` untouched -- ``json.dumps`` uses ``repr``,
+    the shortest round-tripping representation -- so the codec is lossless:
+    ``measurement_from_dict(measurement_to_dict(m)) == m`` bitwise.
+    """
+    return {
+        "cpm": float(measurement.cpm),
+        "sensor_id": int(measurement.sensor_id),
+        "sequence": int(measurement.sequence),
+        "time_step": int(measurement.time_step),
+        "x": float(measurement.x),
+        "y": float(measurement.y),
+    }
+
+
+def measurement_from_dict(data: Dict[str, Any]) -> Measurement:
+    """Inverse of :func:`measurement_to_dict` (validates via __post_init__)."""
+    return Measurement(
+        sensor_id=int(data["sensor_id"]),
+        x=float(data["x"]),
+        y=float(data["y"]),
+        cpm=float(data["cpm"]),
+        time_step=int(data["time_step"]),
+        sequence=int(data["sequence"]),
+    )

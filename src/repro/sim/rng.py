@@ -58,3 +58,22 @@ def spawn_rngs(seed: int, n: int) -> List[np.random.Generator]:
         raise ValueError(f"need at least one generator, got {n}")
     seq = np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in seq.spawn(n)]
+
+
+def export_rng_state(generator: np.random.Generator) -> dict:
+    """A generator's bit-state as a JSON-safe dict (plain ints/strs).
+
+    The shared checkpoint helper: sessions, fault injectors and
+    measurement sources all snapshot their generators through this so the
+    state survives a JSON round-trip (numpy scalars become plain ints).
+    Restore by assigning the dict back to ``generator.bit_generator.state``.
+    """
+
+    def _clean(value):
+        if isinstance(value, dict):
+            return {k: _clean(v) for k, v in value.items()}
+        if isinstance(value, str):
+            return value
+        return int(value)
+
+    return _clean(generator.bit_generator.state)

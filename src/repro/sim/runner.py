@@ -69,6 +69,9 @@ class SimulationRunner:
         ledger: Optional[Ledger] = None,
         manifest_name: Optional[str] = None,
         flight_path: Optional[str | Path] = None,
+        source=None,
+        record_path: Optional[str | Path] = None,
+        record_stream_id: Optional[str] = None,
     ):
         self.scenario = scenario
         self.seed = seed
@@ -93,6 +96,11 @@ class SimulationRunner:
         self.ledger = ledger
         self.manifest_name = manifest_name
         self.flight_path = flight_path
+        #: Measurement source override (default: the in-process simulator)
+        #: and optional stream recording -- see repro.streams.
+        self.source = source
+        self.record_path = record_path
+        self.record_stream_id = record_stream_id
 
     def session(self) -> LocalizerSession:
         """A fresh session configured like this runner."""
@@ -113,6 +121,9 @@ class SimulationRunner:
             ledger=self.ledger,
             manifest_name=self.manifest_name,
             flight_path=self.flight_path,
+            source=self.source,
+            record_path=self.record_path,
+            record_stream_id=self.record_stream_id,
         )
 
     def run(self) -> RunResult:
@@ -152,6 +163,8 @@ def run_repeated(
     ledger: Optional[Ledger] = None,
     manifest_name: Optional[str] = None,
     flight_dir: Optional[str | Path] = None,
+    record_path: Optional[str | Path] = None,
+    record_stream_id: Optional[str] = None,
 ) -> RepeatedRunResult:
     """Run a scenario ``n_repeats`` times with distinct seeds and aggregate.
 
@@ -178,9 +191,20 @@ def run_repeated(
     ``flight_dir`` (serial path only -- worker crashes already spool
     their trace events to the parent) arms a per-run flight recorder at
     ``flight_dir/run-<r>.flight.json``.
+
+    ``record_path`` tees the run's raw measurement batches to a
+    ``repro-stream v1`` file (see :mod:`repro.streams`); recording is
+    only meaningful for a single serial uncheckpointed run.
     """
     if n_repeats < 1:
         raise ValueError(f"n_repeats must be >= 1, got {n_repeats}")
+    if record_path is not None and (
+        n_repeats != 1 or (workers and workers > 0) or checkpoint_every > 0
+    ):
+        raise ValueError(
+            "stream recording requires a single serial uncheckpointed run "
+            "(n_repeats=1, workers=0, checkpoint_every=0)"
+        )
     from repro.exp.engine import run_cells
     from repro.exp.spec import SweepSpec
 
@@ -229,6 +253,8 @@ def run_repeated(
                     ledger=ledger,
                     manifest_name=manifest_name,
                     flight_path=flight_path,
+                    record_path=record_path,
+                    record_stream_id=record_stream_id,
                 ).run()
             )
     return RepeatedRunResult(

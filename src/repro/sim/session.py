@@ -43,9 +43,8 @@ from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.obs.sinks import TeeSink
 from repro.obs.timers import Stopwatch
 from repro.obs.trace import NULL_TRACER, Tracer
-from repro.sensors.network import SensorNetwork
 from repro.sim.results import RunResult, StepRecord
-from repro.sim.rng import spawn_rngs
+from repro.sim.rng import export_rng_state, spawn_rngs
 from repro.sim.scenario import Scenario
 from repro.sim.serialization import (
     CheckpointError,
@@ -58,21 +57,18 @@ from repro.sim.serialization import (
     step_record_from_dict,
     step_record_to_dict,
 )
+from repro.streams.recorder import Recorder
+from repro.streams.source import (
+    FileReplaySource,
+    MeasurementSource,
+    SimulatorSource,
+)
 
 logger = logging.getLogger(__name__)
 
-
-def _rng_state(generator) -> dict:
-    """A generator's bit-state as a JSON-safe dict (plain ints/strs)."""
-
-    def _clean(value):
-        if isinstance(value, dict):
-            return {k: _clean(v) for k, v in value.items()}
-        if isinstance(value, str):
-            return value
-        return int(value)
-
-    return _clean(generator.bit_generator.state)
+# Retained name: external callers historically imported the RNG snapshot
+# helper from here; it now lives in repro.sim.rng.
+_rng_state = export_rng_state
 
 
 class LocalizerSession:
@@ -110,6 +106,9 @@ class LocalizerSession:
         flight_path: Optional[str | Path] = None,
         flight_capacity: int = DEFAULT_CAPACITY,
         flight_storm_fraction: float = 0.25,
+        source: Optional[MeasurementSource] = None,
+        record_path: Optional[str | Path] = None,
+        record_stream_id: Optional[str] = None,
     ):
         if checkpoint_every < 0:
             raise ValueError(
@@ -151,11 +150,30 @@ class LocalizerSession:
         measurement_rng, transport_rng, filter_rng = spawn_rngs(seed, 3)
         self.measurement_rng = measurement_rng
         self.transport_rng = transport_rng
-        self.network = SensorNetwork(
-            scenario.sensors,
-            scenario.field_with_obstacles(),
-            measurement_rng,
-        )
+        # The ingestion seam: every raw batch comes from a
+        # MeasurementSource.  The default wraps the in-process simulator
+        # bitwise-identically (construction consumes no RNG draws, so the
+        # RNG fan-out -> localizer-init ordering above is preserved);
+        # replay sources feed the same downstream pipeline from a file or
+        # socket.
+        if source is None:
+            source = SimulatorSource(scenario, measurement_rng)
+        self.source = source
+        available = source.n_time_steps
+        if available is not None and available < scenario.n_time_steps:
+            raise ValueError(
+                f"source supplies {available} time steps but scenario "
+                f"{scenario.name!r} needs {scenario.n_time_steps}"
+            )
+        self.recorder: Optional[Recorder] = None
+        if record_path is not None:
+            self.recorder = Recorder.for_scenario(
+                record_path,
+                scenario,
+                seed,
+                stream_id=record_stream_id,
+            )
+            source.recorder = self.recorder
         self.localizer = MultiSourceLocalizer(
             scenario.localizer_config,
             fusion_policy=fusion_policy,
@@ -168,11 +186,12 @@ class LocalizerSession:
             stable_checks=convergence_checks,
         )
         self.stream = scenario.delivery.open_stream(transport_rng)
-        # Fault injector (scenario.faults): applied between measurement
-        # generation and stream.push.  Its RNG derives from
+        # Fault injector (scenario.faults): applied by the source between
+        # the raw read and stream.push (after the record tee, so stream
+        # files hold pre-fault data).  Its RNG derives from
         # (schedule.seed, run seed) independently of the spawn_rngs
         # fan-out, so an absent/empty schedule leaves every session
-        # stream untouched.
+        # stream untouched -- including replayed ones.
         self.injector = (
             scenario.faults.injector(
                 seed, tracer=self.tracer, metrics=self.metrics
@@ -180,6 +199,7 @@ class LocalizerSession:
             if scenario.faults
             else None
         )
+        source.injector = self.injector
 
         self.step_index = 0
         self.records: List[StepRecord] = []
@@ -188,6 +208,15 @@ class LocalizerSession:
         self._finished = False
 
     # --- lifecycle --------------------------------------------------------------
+
+    @property
+    def network(self):
+        """The ground-truth :class:`SensorNetwork` (simulator sources only).
+
+        Replay sources have no simulator behind them; this is ``None``
+        for them.
+        """
+        return getattr(self.source, "network", None)
 
     @property
     def finished(self) -> bool:
@@ -235,9 +264,7 @@ class LocalizerSession:
         self._ensure_started()
         scenario = self.scenario
         step = self.step_index
-        generated = self.network.measure_time_step(step)
-        if self.injector is not None:
-            generated = self.injector.apply(step, generated)
+        generated = self.source.measure(step)
         batch = self.stream.push(generated)
         elapsed = self._consume(batch)
         record = self._record(step, len(batch), elapsed / max(1, len(batch)))
@@ -329,6 +356,17 @@ class LocalizerSession:
             self.metrics.histogram("runner.run_seconds").observe(
                 self._total_seconds
             )
+        # Finalize the recording (and its digest) before the manifest is
+        # built, so the ledger entry pins the completed stream's sha256.
+        if self.recorder is not None:
+            sha = self.recorder.close()
+            self.tracer.emit(
+                "stream_recorded",
+                path=str(self.recorder.path),
+                stream_id=self.recorder.stream_id,
+                sha256=sha,
+                steps=self.recorder.steps_written,
+            )
         if self.ledger is not None:
             manifest = self.manifest()
             self.ledger.append(manifest)
@@ -336,7 +374,34 @@ class LocalizerSession:
                 self.metrics.counter("ledger.appends").inc()
 
     def manifest(self):
-        """The run's ledger manifest (callable any time; final at finish)."""
+        """The run's ledger manifest (callable any time; final at finish).
+
+        Replayed runs carry their stream identity (``stream_id`` +
+        ``stream_sha256``) in the context, which is what lets the trend
+        observatory separate live from replayed history and key golden
+        streams; recorded runs pin the stream they produced as
+        ``recorded_stream_id``/``recorded_stream_sha256``.
+        """
+        context = {
+            **(
+                {"run_index": self.run_index}
+                if self.run_index is not None
+                else {}
+            ),
+            "backend": self.localizer.backend.describe()["name"],
+            "backend_dtype": self.localizer.backend.describe()["dtype"],
+        }
+        source_info = self.source.describe()
+        if source_info.get("kind") != "simulator":
+            context["source_kind"] = source_info["kind"]
+            if "stream_id" in source_info:
+                context["stream_id"] = source_info["stream_id"]
+            if "stream_sha256" in source_info:
+                context["stream_sha256"] = source_info["stream_sha256"]
+        if self.recorder is not None:
+            context["recorded_stream_id"] = self.recorder.stream_id
+            if self.recorder.sha256 is not None:
+                context["recorded_stream_sha256"] = self.recorder.sha256
         return manifest_from_result(
             self.result(),
             kind="session",
@@ -344,15 +409,7 @@ class LocalizerSession:
             seeds=[self.seed],
             scenario=self.scenario,
             wall_seconds=self._total_seconds,
-            context={
-                **(
-                    {"run_index": self.run_index}
-                    if self.run_index is not None
-                    else {}
-                ),
-                "backend": self.localizer.backend.describe()["name"],
-                "backend_dtype": self.localizer.backend.describe()["dtype"],
-            },
+            context=context,
         )
 
     def _flight_context(self) -> dict:
@@ -483,10 +540,6 @@ class LocalizerSession:
                 "total_seconds": self._total_seconds,
                 "records": [step_record_to_dict(r) for r in self.records],
             },
-            "network": {
-                "sequence": self.network._sequence,
-                "measurement_rng": _rng_state(self.measurement_rng),
-            },
             "transport": {
                 "rng": _rng_state(self.transport_rng),
                 "stream": self.stream.export_state(),
@@ -495,6 +548,14 @@ class LocalizerSession:
             "monitor": self.monitor.export_state(),
             "arrays": arrays,
         }
+        # Source cursor.  Simulator cursors keep the pre-source layout
+        # under "network" ({"sequence", "measurement_rng"}) so existing
+        # checkpoints restore byte-for-byte; replay cursors go under
+        # "source" (stream id + sha256 + next batch index).
+        if isinstance(self.source, SimulatorSource):
+            state["network"] = self.source.export_cursor()
+        else:
+            state["source"] = self.source.export_cursor()
         # Fault-injector state only when a schedule is attached, so
         # fault-free checkpoint documents are unchanged.
         if self.injector is not None:
@@ -512,6 +573,7 @@ class LocalizerSession:
         ledger: Optional[Ledger] = None,
         flight_path: Optional[str | Path] = None,
         strict_backend: bool = False,
+        stream_path: Optional[str | Path] = None,
     ) -> "LocalizerSession":
         """Rebuild a session from :meth:`export_state` output.
 
@@ -521,6 +583,12 @@ class LocalizerSession:
         Observability attachments (tracer, metrics, ledger, flight
         recorder) are runtime concerns, not run state -- they are never
         checkpointed and must be re-supplied on restore.
+
+        A replayed session's checkpoint carries its stream cursor
+        (``state["source"]``): the stream file is reopened -- from
+        ``stream_path`` if given, else the recorded location -- verified
+        against the pinned SHA-256, and resumed at the next batch, so
+        mid-stream resume is bitwise too.
 
         ``strict_backend=True`` turns the backend-mismatch warning (the
         checkpoint records which array backend wrote it; restoring under
@@ -561,10 +629,14 @@ class LocalizerSession:
             ledger=ledger,
             flight_path=flight_path,
         )
-        session.measurement_rng.bit_generator.state = state["network"][
-            "measurement_rng"
-        ]
-        session.network._sequence = int(state["network"]["sequence"])
+        if "source" in state:
+            source = FileReplaySource.from_cursor(
+                state["source"], path=stream_path
+            )
+            source.injector = session.injector
+            session.source = source
+        else:
+            session.source.load_cursor(state["network"])
         session.transport_rng.bit_generator.state = state["transport"]["rng"]
         session.stream.load_state(state["transport"]["stream"])
         faults_state = state.get("faults")
@@ -624,6 +696,7 @@ class LocalizerSession:
         flight_path: Optional[str | Path] = None,
         strict_backend: bool = False,
         backend_override: Optional[str] = None,
+        stream_path: Optional[str | Path] = None,
     ) -> "LocalizerSession":
         """Load a checkpoint file and rebuild the session it captured.
 
@@ -651,6 +724,7 @@ class LocalizerSession:
             ledger=ledger,
             flight_path=flight_path,
             strict_backend=strict_backend,
+            stream_path=stream_path,
         )
         session.tracer.emit("restore", step=session.step_index, path=str(path))
         if session.metrics.enabled:

@@ -1,0 +1,64 @@
+"""Measurement streams: the record/replay ingestion seam.
+
+* :mod:`repro.streams.format` -- the versioned ``repro-stream v1`` JSONL
+  format (header + one canonical batch line per time step).
+* :mod:`repro.streams.source` -- the :class:`MeasurementSource` interface
+  sessions pull from, with simulator, file-replay, and socket-replay
+  implementations plus wall-clock pacing.
+* :mod:`repro.streams.recorder` -- tee any live run to a stream file.
+* :mod:`repro.streams.replay` -- build sessions from recorded streams and
+  serve streams over sockets.
+
+See ``docs/ARCHITECTURE.md`` ("The ingestion seam") for the format
+schema, recording semantics, and pacing contract.
+"""
+
+from repro.streams.format import (
+    STREAM_FORMAT,
+    STREAM_VERSION,
+    StreamBatch,
+    StreamFormatError,
+    StreamHeader,
+    canonical_dumps,
+    header_for_scenario,
+    load_stream,
+    parse_batch_line,
+    parse_header_line,
+)
+from repro.streams.recorder import Recorder
+from repro.streams.replay import (
+    open_replay_session,
+    read_header,
+    scenario_from_header,
+    serve_stream,
+)
+from repro.streams.source import (
+    FileReplaySource,
+    MeasurementSource,
+    SimulatorSource,
+    SocketReplaySource,
+    WallClockPacer,
+)
+
+__all__ = [
+    "STREAM_FORMAT",
+    "STREAM_VERSION",
+    "StreamBatch",
+    "StreamFormatError",
+    "StreamHeader",
+    "canonical_dumps",
+    "header_for_scenario",
+    "load_stream",
+    "parse_batch_line",
+    "parse_header_line",
+    "Recorder",
+    "open_replay_session",
+    "read_header",
+    "scenario_from_header",
+    "serve_stream",
+    "FileReplaySource",
+    "MeasurementSource",
+    "SimulatorSource",
+    "SocketReplaySource",
+    "WallClockPacer",
+]

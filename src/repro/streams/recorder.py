@@ -1,0 +1,106 @@
+"""Tee a live session's raw measurement batches to a stream file.
+
+A :class:`Recorder` attaches to any
+:class:`~repro.streams.source.MeasurementSource` (the session does this
+when constructed with ``record_path``) and writes the ``repro-stream v1``
+header plus one canonical batch line per time step as the run advances.
+Bytes are hashed incrementally, so :attr:`Recorder.sha256` -- final once
+:meth:`close` runs -- equals the SHA-256 a later
+:func:`~repro.streams.format.load_stream` computes over the file, and
+the session's manifest can pin the recording it produced.
+
+Recording captures **pre-fault** batches; see
+:mod:`repro.streams.source` for why that is the bitwise-replay choice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.sensors.measurement import Measurement
+from repro.streams.format import (
+    StreamBatch,
+    StreamHeader,
+    canonical_dumps,
+    header_for_scenario,
+)
+
+
+class Recorder:
+    """Incremental ``repro-stream v1`` writer for one run."""
+
+    def __init__(self, path, header: StreamHeader):
+        self.path = Path(path)
+        self.header = header
+        self.stream_id = header.stream_id
+        self._hasher = hashlib.sha256()
+        #: Final file digest; populated by :meth:`close`.
+        self.sha256: Optional[str] = None
+        self._steps_written = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = self.path.open("w", encoding="utf-8")
+        self._write_line(canonical_dumps(header.to_dict()))
+
+    @classmethod
+    def for_scenario(
+        cls,
+        path,
+        scenario,
+        seed: int,
+        stream_id: Optional[str] = None,
+        dt_seconds: float = 1.0,
+        context: Optional[Dict[str, Any]] = None,
+    ) -> "Recorder":
+        """Open a recorder whose header describes ``scenario`` at ``seed``."""
+        return cls(
+            path,
+            header_for_scenario(
+                scenario,
+                seed,
+                stream_id=stream_id,
+                dt_seconds=dt_seconds,
+                context=context,
+            ),
+        )
+
+    def _write_line(self, line: str) -> None:
+        payload = line + "\n"
+        self._file.write(payload)
+        self._hasher.update(payload.encode("utf-8"))
+
+    def record(self, time_step: int, batch: List[Measurement]) -> None:
+        """Append one time step's raw batch (timestamp = t * dt)."""
+        if self._file.closed:
+            raise RuntimeError(f"recorder for {self.path} is closed")
+        if time_step != self._steps_written:
+            raise ValueError(
+                f"recorder expected time step {self._steps_written}, "
+                f"got {time_step}; stream batches must be consecutive"
+            )
+        stream_batch = StreamBatch(
+            time_step=time_step,
+            timestamp=time_step * self.header.dt_seconds,
+            measurements=list(batch),
+        )
+        self._write_line(canonical_dumps(stream_batch.to_dict()))
+        self._steps_written += 1
+
+    @property
+    def steps_written(self) -> int:
+        return self._steps_written
+
+    def close(self) -> str:
+        """Flush, close, and return the file's SHA-256."""
+        if not self._file.closed:
+            self._file.close()
+        if self.sha256 is None:
+            self.sha256 = self._hasher.hexdigest()
+        return self.sha256
+
+    def __enter__(self) -> "Recorder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

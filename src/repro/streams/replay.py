@@ -1,0 +1,130 @@
+"""Replay helpers: build a live session from a recorded stream.
+
+:func:`open_replay_session` is the one-stop entry the CLI and tests use:
+it reads a stream header, rebuilds the scenario it describes, and wires a
+:class:`~repro.streams.source.FileReplaySource` into a fresh
+:class:`~repro.sim.session.LocalizerSession`.  Replaying with the
+header's own seed and scenario reproduces the recorded live run bitwise
+(same transport/filter RNG streams, same faults); overrides let callers
+study the same canned measurements under different conditions:
+
+* ``faults=`` injects a *different* schedule over the recorded stream
+  (``no_faults=True`` strips the recorded one);
+* ``seed=`` re-randomizes transport/filter while holding the data fixed;
+* ``backend=`` re-runs the stream under another array backend;
+* ``pacer=`` switches from as-fast-as-possible to wall-clock pacing.
+
+:func:`serve_stream` is the socket half: it serves a stream file's bytes
+over TCP once, for :class:`~repro.streams.source.SocketReplaySource`
+consumers (tests, demos, the ``replay --socket`` path).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import socket
+import threading
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+from repro.streams.format import (
+    StreamFormatError,
+    StreamHeader,
+    parse_header_line,
+)
+from repro.streams.source import FileReplaySource, WallClockPacer
+
+
+def read_header(path) -> StreamHeader:
+    """The header of a stream file (first line only; cheap)."""
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            line = handle.readline()
+    except OSError as exc:
+        raise StreamFormatError(f"cannot read stream {path}: {exc}") from exc
+    if not line.strip():
+        raise StreamFormatError(f"stream {path} is empty")
+    return parse_header_line(line)
+
+
+def scenario_from_header(
+    header,
+    faults: Any = ...,
+    backend: Optional[str] = None,
+):
+    """Rebuild the header's scenario, with optional fault/backend overrides.
+
+    ``faults`` uses ``...`` (Ellipsis) as the "keep the recorded schedule"
+    sentinel, because ``None`` already means "strip faults".
+    """
+    from repro.sim.serialization import scenario_from_dict
+
+    scenario = scenario_from_dict(header.scenario)
+    if faults is not ...:
+        scenario = scenario.with_faults(faults)
+    if backend is not None:
+        scenario = dataclasses.replace(
+            scenario,
+            localizer_config=dataclasses.replace(
+                scenario.localizer_config, backend=backend
+            ),
+        )
+    return scenario
+
+
+def open_replay_session(
+    path,
+    seed: Optional[int] = None,
+    pacer: Optional[WallClockPacer] = None,
+    faults: Any = ...,
+    backend: Optional[str] = None,
+    allow_partial: bool = False,
+    **session_kwargs,
+):
+    """A :class:`LocalizerSession` driven by a recorded stream file.
+
+    With no overrides the session reproduces the recorded live run
+    bitwise.  ``session_kwargs`` pass through to the session constructor
+    (tracer, metrics, ledger, checkpointing, ...).
+    """
+    from repro.sim.session import LocalizerSession
+
+    source = FileReplaySource(path, pacer=pacer, allow_partial=allow_partial)
+    scenario = scenario_from_header(source.header, faults=faults, backend=backend)
+    if allow_partial and source.n_time_steps < scenario.n_time_steps:
+        scenario = dataclasses.replace(
+            scenario, n_time_steps=source.n_time_steps
+        )
+    return LocalizerSession(
+        scenario,
+        seed=seed if seed is not None else source.header.seed,
+        source=source,
+        **session_kwargs,
+    )
+
+
+def serve_stream(
+    path, host: str = "127.0.0.1", port: int = 0
+) -> Tuple[str, int, threading.Thread]:
+    """Serve a stream file's bytes over TCP to one client, once.
+
+    Returns ``(host, port, thread)`` with the server already listening,
+    so callers can connect immediately; the daemon thread exits after the
+    single transfer.
+    """
+    payload = Path(path).read_bytes()
+    server = socket.create_server((host, port))
+    bound_host, bound_port = server.getsockname()[:2]
+
+    def _serve() -> None:
+        try:
+            conn, _ = server.accept()
+            with conn:
+                conn.sendall(payload)
+        finally:
+            server.close()
+
+    thread = threading.Thread(target=_serve, name="stream-server", daemon=True)
+    thread.start()
+    return bound_host, bound_port, thread

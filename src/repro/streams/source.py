@@ -1,0 +1,357 @@
+"""Measurement sources: the ingestion seam between sessions and the world.
+
+A :class:`MeasurementSource` is where a
+:class:`~repro.sim.session.LocalizerSession` gets each time step's raw
+measurement batch.  The session no longer cares whether those batches
+come from the in-process simulator (:class:`SimulatorSource`), a recorded
+stream file (:class:`FileReplaySource`), or a socket feed
+(:class:`SocketReplaySource`) -- every downstream stage (fault injection,
+transport, localization, metrics) is identical across all three.
+
+Two cross-cutting concerns live *on* the source rather than in the
+session, because they belong to ingestion:
+
+* **fault injection** -- the session attaches its
+  :class:`~repro.faults.schedule.FaultInjector` to ``source.injector``;
+  :meth:`MeasurementSource.measure` applies it after the raw read, so
+  canned streams can be faulted exactly like live simulations;
+* **recording** -- attaching a
+  :class:`~repro.streams.recorder.Recorder` to ``source.recorder`` tees
+  the **raw pre-fault** batches to a stream file.  Recording pre-fault
+  is what makes replay bitwise: the injector's RNG derives from
+  ``(schedule.seed, run_seed)``, so replaying the raw stream under the
+  same header scenario re-applies identical faults, while replaying it
+  under a different schedule injects *new* faults over the same data.
+
+Checkpointing goes through :meth:`export_cursor` /
+:meth:`load_cursor`: the simulator cursor is its RNG bit-state plus the
+global sequence counter (byte-compatible with the pre-source checkpoint
+layout), and a file-replay cursor is the stream's identity (id + SHA-256)
+plus the next batch index, so a replayed session resumes mid-stream
+bitwise in a fresh process.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.sensors.measurement import Measurement
+from repro.sensors.network import SensorNetwork
+from repro.sim.rng import export_rng_state
+from repro.streams.format import (
+    StreamBatch,
+    StreamFormatError,
+    StreamHeader,
+    load_stream,
+    parse_batch_line,
+    parse_header_line,
+)
+
+
+class WallClockPacer:
+    """Paces replay to the stream's embedded timestamps.
+
+    ``speed`` scales playback (2.0 = twice real time).  The first
+    :meth:`wait` call anchors the stream clock to the wall clock, so a
+    replay started at any point (including mid-stream after a resume)
+    paces relative to its own start.  ``clock``/``sleep`` are injectable
+    for tests.
+    """
+
+    def __init__(
+        self,
+        speed: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if speed <= 0:
+            raise ValueError(f"pacer speed must be > 0, got {speed}")
+        self.speed = speed
+        self._clock = clock
+        self._sleep = sleep
+        self._anchor: Optional[float] = None
+        self._anchor_ts: Optional[float] = None
+
+    def wait(self, timestamp: float) -> None:
+        """Block until the wall clock reaches ``timestamp`` (stream time)."""
+        now = self._clock()
+        if self._anchor is None:
+            self._anchor = now
+            self._anchor_ts = timestamp
+            return
+        target = self._anchor + (timestamp - self._anchor_ts) / self.speed
+        delay = target - now
+        if delay > 0:
+            self._sleep(delay)
+
+
+class MeasurementSource(ABC):
+    """Where a session's raw measurement batches come from.
+
+    Subclasses implement :meth:`read`; the session calls :meth:`measure`,
+    which layers recording and fault injection around the raw read.
+    """
+
+    #: Source family tag, surfaced in manifests and cursors.
+    kind: str = "abstract"
+
+    def __init__(self) -> None:
+        #: Fault injector applied to every batch after the raw read
+        #: (attached by the session; None = fault-free).
+        self.injector = None
+        #: Recorder teeing raw batches to a stream file (None = off).
+        self.recorder = None
+
+    @abstractmethod
+    def read(self, time_step: int) -> List[Measurement]:
+        """The raw measurement batch for ``time_step`` (pre-fault)."""
+
+    def measure(self, time_step: int) -> List[Measurement]:
+        """One ingested batch: raw read -> record tee -> fault injection."""
+        batch = self.read(time_step)
+        if self.recorder is not None:
+            self.recorder.record(time_step, batch)
+        if self.injector is not None:
+            batch = self.injector.apply(time_step, batch)
+        return batch
+
+    @property
+    def n_time_steps(self) -> Optional[int]:
+        """Batches this source can supply (None = unbounded)."""
+        return None
+
+    def export_cursor(self) -> Dict[str, Any]:
+        """JSON-safe resume point (raises if the source cannot checkpoint)."""
+        raise StreamFormatError(
+            f"{type(self).__name__} does not support checkpointing"
+        )
+
+    def load_cursor(self, cursor: Dict[str, Any]) -> None:
+        """Restore a cursor produced by :meth:`export_cursor`."""
+        raise StreamFormatError(
+            f"{type(self).__name__} does not support checkpointing"
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        """Manifest-ready identity of this source."""
+        return {"kind": self.kind}
+
+    def close(self) -> None:
+        """Release any underlying handle (file, socket)."""
+
+
+class SimulatorSource(MeasurementSource):
+    """The in-process simulator behind the source interface.
+
+    Wraps :meth:`repro.sensors.network.SensorNetwork.measure_time_step`
+    bitwise-identically: construction performs exactly the work the
+    session used to do inline (build the network from the scenario's
+    ground truth; no RNG draws), and each read is one Poisson batch from
+    the shared measurement generator.
+    """
+
+    kind = "simulator"
+
+    def __init__(self, scenario, rng: np.random.Generator):
+        super().__init__()
+        self.rng = rng
+        self.network = SensorNetwork(
+            scenario.sensors,
+            scenario.field_with_obstacles(),
+            rng,
+        )
+
+    def read(self, time_step: int) -> List[Measurement]:
+        return self.network.measure_time_step(time_step)
+
+    def export_cursor(self) -> Dict[str, Any]:
+        # Byte-compatible with the pre-source checkpoint layout
+        # (state["network"]), so old checkpoints restore unchanged.
+        return {
+            "sequence": self.network._sequence,
+            "measurement_rng": export_rng_state(self.rng),
+        }
+
+    def load_cursor(self, cursor: Dict[str, Any]) -> None:
+        self.rng.bit_generator.state = cursor["measurement_rng"]
+        self.network._sequence = int(cursor["sequence"])
+
+
+class FileReplaySource(MeasurementSource):
+    """Replays a ``repro-stream v1`` file batch-by-batch.
+
+    The whole file is parsed eagerly (stream files are per-run sized) and
+    its SHA-256 pinned, so cursors and manifests identify the exact bytes
+    consumed.  Each read validates that the requested time step matches
+    the stream's, making any session/stream drift a loud
+    :class:`StreamFormatError` instead of silent misalignment.
+
+    ``allow_partial`` accepts a truncated file (a crashed recording):
+    :attr:`n_time_steps` then reflects the batches actually present.
+    """
+
+    kind = "file-replay"
+
+    def __init__(
+        self,
+        path,
+        pacer: Optional[WallClockPacer] = None,
+        allow_partial: bool = False,
+    ):
+        super().__init__()
+        self.path = Path(path)
+        self.pacer = pacer
+        header, batches, sha256 = load_stream(self.path)
+        if len(batches) != header.n_time_steps and not allow_partial:
+            raise StreamFormatError(
+                f"stream {self.path} has {len(batches)} batches but its "
+                f"header promises {header.n_time_steps}; pass "
+                f"allow_partial=True to replay a truncated recording"
+            )
+        self.header = header
+        self.batches = batches
+        self.sha256 = sha256
+        self._index = 0
+
+    @property
+    def n_time_steps(self) -> Optional[int]:
+        return len(self.batches)
+
+    def read(self, time_step: int) -> List[Measurement]:
+        if self._index >= len(self.batches):
+            raise StreamFormatError(
+                f"stream {self.header.stream_id!r} exhausted after "
+                f"{len(self.batches)} batches (asked for step {time_step})"
+            )
+        batch = self.batches[self._index]
+        if batch.time_step != time_step:
+            raise StreamFormatError(
+                f"stream {self.header.stream_id!r} is at time step "
+                f"{batch.time_step} but the session asked for {time_step}"
+            )
+        if self.pacer is not None:
+            self.pacer.wait(batch.timestamp)
+        self._index += 1
+        return list(batch.measurements)
+
+    def export_cursor(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "path": str(self.path),
+            "stream_id": self.header.stream_id,
+            "sha256": self.sha256,
+            "index": self._index,
+        }
+
+    def load_cursor(self, cursor: Dict[str, Any]) -> None:
+        if cursor.get("sha256") != self.sha256:
+            raise StreamFormatError(
+                f"checkpoint cursor pins stream sha256 "
+                f"{str(cursor.get('sha256'))[:12]}... but {self.path} has "
+                f"{self.sha256[:12]}...; resuming against different bytes "
+                f"would break bitwise replay"
+            )
+        index = int(cursor["index"])
+        if not 0 <= index <= len(self.batches):
+            raise StreamFormatError(
+                f"cursor index {index} outside stream of "
+                f"{len(self.batches)} batches"
+            )
+        self._index = index
+
+    @classmethod
+    def from_cursor(
+        cls,
+        cursor: Dict[str, Any],
+        path=None,
+        pacer: Optional[WallClockPacer] = None,
+    ) -> "FileReplaySource":
+        """Reopen the stream a checkpoint cursor points at, mid-stream.
+
+        ``path`` overrides the recorded location (the file may have moved
+        between processes/hosts); the SHA-256 pin still guarantees the
+        bytes are the ones the checkpointed session was consuming.
+        """
+        source = cls(path if path is not None else cursor["path"], pacer=pacer)
+        source.load_cursor(cursor)
+        return source
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "stream_id": self.header.stream_id,
+            "stream_sha256": self.sha256,
+            "path": str(self.path),
+        }
+
+
+class SocketReplaySource(MeasurementSource):
+    """Replays a stream fed over a TCP socket, one line at a time.
+
+    The peer writes the same bytes a stream file holds: one header line,
+    then one batch line per time step.  Lines are consumed lazily --
+    nothing is buffered beyond the current batch -- so this is the live
+    ingestion path for real sensor feeds.  Socket sources are not
+    checkpointable (there is no seekable identity to pin);
+    :meth:`export_cursor` raises.
+    """
+
+    kind = "socket-replay"
+
+    def __init__(self, sock: socket.socket, pacer: Optional[WallClockPacer] = None):
+        super().__init__()
+        self.pacer = pacer
+        self._socket = sock
+        self._file = sock.makefile("r", encoding="utf-8")
+        line = self._file.readline()
+        if not line.strip():
+            raise StreamFormatError("socket stream closed before the header")
+        self.header: StreamHeader = parse_header_line(line)
+
+    @classmethod
+    def connect(
+        cls,
+        host: str,
+        port: int,
+        pacer: Optional[WallClockPacer] = None,
+        timeout: Optional[float] = 30.0,
+    ) -> "SocketReplaySource":
+        """Dial a stream server and read its header."""
+        sock = socket.create_connection((host, port), timeout=timeout)
+        return cls(sock, pacer=pacer)
+
+    @property
+    def n_time_steps(self) -> Optional[int]:
+        return self.header.n_time_steps
+
+    def read(self, time_step: int) -> List[Measurement]:
+        line = self._file.readline()
+        if not line.strip():
+            raise StreamFormatError(
+                f"socket stream {self.header.stream_id!r} closed at time "
+                f"step {time_step}"
+            )
+        batch: StreamBatch = parse_batch_line(line)
+        if batch.time_step != time_step:
+            raise StreamFormatError(
+                f"socket stream {self.header.stream_id!r} sent time step "
+                f"{batch.time_step} but the session asked for {time_step}"
+            )
+        if self.pacer is not None:
+            self.pacer.wait(batch.timestamp)
+        return list(batch.measurements)
+
+    def describe(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "stream_id": self.header.stream_id}
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._socket.close()

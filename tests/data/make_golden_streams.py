@@ -1,0 +1,147 @@
+"""Regenerate the committed golden stream fixtures and their baselines.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/data/make_golden_streams.py
+
+Produces (all committed):
+
+* ``tests/data/golden_a1.stream.jsonl`` -- scenario-A-style single
+  source on the 100x100 / 6x6-grid testbed, 10 steps.
+* ``tests/data/golden_c3.stream.jsonl`` -- scenario-C-style three
+  sources, Poisson-placed sensors, out-of-order delivery, 10 steps.
+* ``benchmarks/baselines/golden_stream_a1.json`` /
+  ``golden_stream_c3.json`` -- frozen replay manifests the CI
+  golden-stream job gates against.
+
+Both scenarios pin ``backend="default"`` so the fixtures gate the same
+numbers no matter what ``REPRO_BACKEND`` the CI matrix leg exports, and
+both embed the full scenario in the stream header, so a replay needs
+nothing but the fixture file.  Regenerating after an intentional
+behaviour change rewrites the baselines; the diff is the review surface.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import LocalizerConfig
+from repro.network.link import UniformLatencyLink
+from repro.network.transport import InOrderDelivery, OutOfOrderDelivery
+from repro.obs.ledger import manifest_from_result
+from repro.physics.source import RadiationSource
+from repro.sensors.placement import grid_placement, poisson_placement
+from repro.sim.scenario import Scenario
+from repro.sim.session import LocalizerSession
+from repro.streams import load_stream
+
+REPO = Path(__file__).resolve().parents[2]
+DATA = REPO / "tests" / "data"
+BASELINES = REPO / "benchmarks" / "baselines"
+
+#: Frozen recording seeds; the stream headers carry them, so a replay
+#: with no ``--seed`` reproduces these exact runs.
+SEED_A1 = 42
+SEED_C3 = 43
+
+
+def golden_a1_scenario() -> Scenario:
+    """One 10 uCi source on the paper's 100x100 / 6x6-grid testbed."""
+    return Scenario(
+        name="golden-a1",
+        area=(100.0, 100.0),
+        sources=[RadiationSource(30.0, 70.0, 10.0, label="Source 1")],
+        sensors=grid_placement(
+            6, 6, 100.0, 100.0, efficiency=1e-4, background_cpm=5.0,
+            margin_fraction=0.0,
+        ),
+        background_cpm=5.0,
+        n_time_steps=10,
+        localizer_config=LocalizerConfig(
+            n_particles=2000,
+            area=(100.0, 100.0),
+            assumed_background_cpm=5.0,
+            assumed_efficiency=1e-4,
+            backend="default",
+        ),
+        delivery=InOrderDelivery(),
+    )
+
+
+def golden_c3_scenario() -> Scenario:
+    """Three sources, Poisson-placed sensors, out-of-order delivery.
+
+    The sensor layout is drawn once here from a frozen placement seed
+    and then baked into the scenario (and thus the stream header), so
+    the fixture does not depend on this function staying reachable.
+    """
+    placement_rng = np.random.default_rng(777)
+    return Scenario(
+        name="golden-c3",
+        area=(140.0, 140.0),
+        sources=[
+            RadiationSource(30.0, 100.0, 12.0, label="Source 1"),
+            RadiationSource(75.0, 40.0, 10.0, label="Source 2"),
+            RadiationSource(115.0, 110.0, 8.0, label="Source 3"),
+        ],
+        sensors=poisson_placement(
+            60, 140.0, 140.0, placement_rng, efficiency=1e-4,
+            background_cpm=5.0, exact_count=True,
+        ),
+        background_cpm=5.0,
+        n_time_steps=10,
+        localizer_config=LocalizerConfig(
+            n_particles=3000,
+            area=(140.0, 140.0),
+            assumed_background_cpm=5.0,
+            assumed_efficiency=1e-4,
+            backend="default",
+        ),
+        delivery=OutOfOrderDelivery(UniformLatencyLink(0.0, 2.0)),
+    )
+
+
+def record_fixture(scenario: Scenario, seed: int, stem: str) -> None:
+    stream_path = DATA / f"{stem}.stream.jsonl"
+    session = LocalizerSession(
+        scenario, seed=seed, record_path=stream_path,
+        record_stream_id=stem,
+    )
+    result = session.run()
+    header, batches, sha = load_stream(stream_path)
+    manifest = manifest_from_result(
+        result,
+        kind="session",
+        name=f"golden-stream-{stem.split('_')[-1]}",
+        seeds=[seed],
+        scenario=scenario,
+        context={
+            "source": "committed golden-stream baseline "
+            "(regenerate with tests/data/make_golden_streams.py)",
+            "stream_id": header.stream_id,
+            "stream_sha256": sha,
+        },
+    )
+    baseline_path = BASELINES / f"{stem}.json"
+    doc = manifest.to_dict()
+    # Strip run-machine noise: the baseline is a frozen expectation, not
+    # a record of where it was generated.
+    doc["git_sha"] = None
+    doc["timings"] = {}
+    doc["metrics"].pop("iter_seconds", None)
+    baseline_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(
+        f"{stream_path.relative_to(REPO)}: {header.n_time_steps} steps, "
+        f"{len(scenario.sensors)} sensors, sha256 {sha[:12]}..."
+    )
+    print(f"{baseline_path.relative_to(REPO)}: {doc['metrics']}")
+
+
+def main() -> None:
+    record_fixture(golden_a1_scenario(), SEED_A1, "golden_stream_a1")
+    record_fixture(golden_c3_scenario(), SEED_C3, "golden_stream_c3")
+
+
+if __name__ == "__main__":
+    main()

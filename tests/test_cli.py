@@ -160,3 +160,90 @@ class TestCheckpointResume:
         with pytest.raises(ValueError, match="checkpoint_dir"):
             main(["run", "a", "--steps", "4", "--repeats", "1",
                   "--checkpoint-every", "2"])
+
+
+class TestRecordReplayCli:
+    def _record(self, tmp_path, capsys, extra=()):
+        stream = tmp_path / "run.stream.jsonl"
+        assert main(["record", "a", "--out", str(stream),
+                     "--steps", "4", "--seed", "7", *extra]) == 0
+        out = capsys.readouterr().out
+        assert "recorded stream" in out
+        assert stream.exists()
+        return stream
+
+    def test_record_then_replay_round_trip(self, tmp_path, capsys):
+        stream = self._record(tmp_path, capsys)
+        assert main(["replay", str(stream)]) == 0
+        out = capsys.readouterr().out
+        assert "replaying stream" in out
+        assert "err[Source 1]" in out
+
+    def test_replay_reproduces_recorded_metrics(self, tmp_path, capsys):
+        stream = self._record(tmp_path, capsys)
+        assert main(["run", "a", "--steps", "4", "--seed", "7",
+                     "--repeats", "1"]) == 0
+        live = capsys.readouterr().out
+        assert main(["replay", str(stream)]) == 0
+        replay = capsys.readouterr().out
+        live_table = live[live.index("T  "):live.index("steady state")]
+        replay_table = replay[replay.index("T  "):replay.index("steady state")]
+        assert live_table == replay_table
+
+    def test_run_stream_flag_records(self, tmp_path, capsys):
+        stream = tmp_path / "via-run.stream.jsonl"
+        assert main(["run", "a", "--steps", "3", "--repeats", "1",
+                     "--stream", str(stream)]) == 0
+        assert "recorded stream" in capsys.readouterr().out
+        assert stream.exists()
+
+    def test_run_stream_flag_requires_single_serial_run(self, tmp_path):
+        with pytest.raises(SystemExit, match="repeats 1"):
+            main(["run", "a", "--steps", "3", "--repeats", "2",
+                  "--stream", str(tmp_path / "s.jsonl")])
+
+    def test_replay_with_swapped_faults(self, tmp_path, capsys):
+        import json as jsonlib
+
+        stream = self._record(tmp_path, capsys)
+        spec = tmp_path / "faults.json"
+        spec.write_text(jsonlib.dumps({
+            "seed": 9,
+            "models": [{"kind": "dropout", "sensor_ids": [1, 2],
+                        "start": 1, "end": 3}],
+        }))
+        assert main(["replay", str(stream), "--faults", str(spec),
+                     "--integrity"]) == 0
+        assert "replaying stream" in capsys.readouterr().out
+
+    def test_replay_checkpoint_then_resume_with_stream(self, tmp_path, capsys):
+        stream = self._record(tmp_path, capsys)
+        ckpt_dir = tmp_path / "ckpts"
+        assert main(["replay", str(stream), "--checkpoint-every", "2",
+                     "--checkpoint-dir", str(ckpt_dir)]) == 0
+        capsys.readouterr()
+        checkpoint = ckpt_dir / "replay.ckpt.json"
+        assert checkpoint.exists()
+        moved = tmp_path / "moved.stream.jsonl"
+        moved.write_bytes(stream.read_bytes())
+        stream.unlink()
+        assert main(["resume", str(checkpoint),
+                     "--stream", str(moved)]) == 0
+        assert "resumed at step" in capsys.readouterr().out
+
+    def test_replay_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["replay", str(tmp_path / "nope.jsonl")]) == 1
+        assert capsys.readouterr().err
+
+    def test_trends_stream_filter(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger"
+        stream = self._record(tmp_path, capsys)
+        assert main(["replay", str(stream), "--ledger", str(ledger)]) == 0
+        capsys.readouterr()
+        assert main(["report", "trends", "--ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "stream" in out
+        assert main(["report", "trends", "--ledger", str(ledger),
+                     "--stream", "live"]) == 1
+        err = capsys.readouterr().err
+        assert "no entries" in err

@@ -1,0 +1,85 @@
+"""Golden-stream regression tests.
+
+Replays the two committed ``repro-stream v1`` fixtures (single-source
+scenario-A-style and three-source scenario-C-style, recorded by
+``tests/data/make_golden_streams.py``) and checks the replayed accuracy
+metrics against their frozen baselines.
+
+Tolerances are deliberately loose (25% relative on error metrics):
+replay on the recording platform is bitwise, so any drift within one
+platform means the localizer pipeline changed behaviour -- but the same
+fixtures run on CI machines with different BLAS/libm builds, and the
+tolerance absorbs that, not algorithmic slack.  An intentional
+behaviour change regenerates the fixtures and baselines in one command;
+the baseline diff is the review surface.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.obs.ledger import manifest_from_result
+from repro.streams import load_stream, open_replay_session, read_header
+
+DATA = Path(__file__).parent / "data"
+BASELINES = Path(__file__).parent.parent / "benchmarks" / "baselines"
+
+FIXTURES = ("golden_stream_a1", "golden_stream_c3")
+
+#: Relative tolerance for continuous error metrics (OSPA, source error).
+REL_TOL = 0.25
+#: Absolute tolerance for per-step FP/FN rates (counting metrics; one
+#: flipped estimate over 10 steps moves them by 0.1).
+RATE_TOL = 0.31
+
+
+def load_baseline(stem: str) -> dict:
+    return json.loads((BASELINES / f"{stem}.json").read_text())
+
+
+@pytest.mark.parametrize("stem", FIXTURES)
+class TestGoldenStreams:
+    def test_fixture_matches_baseline_identity(self, stem):
+        baseline = load_baseline(stem)
+        header, _, sha = load_stream(DATA / f"{stem}.stream.jsonl")
+        assert header.stream_id == baseline["context"]["stream_id"]
+        assert sha == baseline["context"]["stream_sha256"]
+        assert header.seed == baseline["seeds"][0]
+        # The backend is pinned so REPRO_BACKEND cannot change the
+        # replayed numbers between CI matrix legs.
+        assert header.scenario["localizer_config"]["backend"] == "default"
+
+    def test_replay_within_frozen_tolerances(self, stem):
+        baseline = load_baseline(stem)
+        path = DATA / f"{stem}.stream.jsonl"
+        session = open_replay_session(path)
+        result = session.run()
+        header = read_header(path)
+        replayed = manifest_from_result(
+            result,
+            kind="session",
+            name=baseline["name"],
+            seeds=[header.seed],
+            scenario=session.scenario,
+        ).metrics
+        expected = baseline["metrics"]
+        for name in ("final_ospa", "worst_source_error", "mean_source_error"):
+            assert name in replayed, f"replay lost metric {name}"
+            assert replayed[name] == pytest.approx(
+                expected[name], rel=REL_TOL, abs=1e-9
+            ), f"{stem}: {name} drifted"
+        for name in ("fp_per_step", "fn_per_step"):
+            assert math.isclose(
+                replayed[name], expected[name], abs_tol=RATE_TOL
+            ), f"{stem}: {name} drifted"
+
+    def test_replay_is_deterministic_here(self, stem):
+        """Two replays of the fixture agree bitwise on this machine."""
+        from tests.test_session_checkpoint import comparable
+
+        path = DATA / f"{stem}.stream.jsonl"
+        first = open_replay_session(path).run()
+        second = open_replay_session(path).run()
+        assert comparable(first) == comparable(second)
