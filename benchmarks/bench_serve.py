@@ -1,0 +1,257 @@
+"""Serving front-end: throughput, shedding, and kill-recovery time.
+
+PR 10 introduced :mod:`repro.serve` -- the asyncio front-end that
+multiplexes many :class:`~repro.sim.session.LocalizerSession` streams
+over shard worker processes with admission control, deadline-aware
+retries and checkpoint-backed self-healing.  This bench answers the
+operational questions the ISSUE pins:
+
+* **sessions/sec** -- how fast does the service drive a batch of
+  concurrent sessions to completion (and what is the p99 single-step
+  latency under that multiplexing)?
+* **shedding** -- at 2x capacity, does every excess submit get a typed
+  rejection while the admitted half still completes (``shed_ok``)?
+* **recovery** -- SIGKILL a shard worker mid-run: how long until the
+  service is stepping again (``recovery_seconds``), and is the finished
+  run still bitwise-identical to the uninterrupted replay
+  (``resurrect_parity_ok``)?
+
+Artifacts: ``benchmarks/results/BENCH_serve.json`` plus the usual text
+report.  CI gates ``shed_ok`` / ``resurrect_parity_ok`` (must stay 1.0)
+and ``recovery_seconds`` against a deliberately generous committed
+ceiling, so wall-clock noise on shared runners cannot flake the gate
+while a hang or a parity break still fails it.
+"""
+
+import asyncio
+import os
+import signal
+import time
+from pathlib import Path
+
+from benchmarks.conftest import BENCH_SEED, write_bench_json
+from repro.eval.reporting import format_table
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import (
+    AdmissionConfig,
+    Admitted,
+    LocalizationService,
+    Rejected,
+    ServiceConfig,
+)
+from repro.sim.scenarios import scenario_a
+from repro.sim.serialization import scenario_to_dict, step_record_to_dict
+from repro.streams import open_replay_session
+
+GOLDEN_A1 = (
+    Path(__file__).parent.parent
+    / "tests"
+    / "data"
+    / "golden_stream_a1.stream.jsonl"
+)
+
+#: Concurrent sessions for the throughput leg.
+N_SESSIONS = 8
+#: Admission capacity for the 2x-overload shedding leg.
+CAPACITY = 4
+
+
+def _strip(docs):
+    return [
+        {k: v for k, v in d.items() if k != "mean_iteration_seconds"}
+        for d in docs
+    ]
+
+
+def _spec(seed):
+    scenario = scenario_a(n_particles=500, n_time_steps=4)
+    return {"scenario": scenario_to_dict(scenario), "seed": seed}
+
+
+def _throughput_leg(tmp_path):
+    """Drive N_SESSIONS concurrent sessions to completion, inline shards."""
+    registry = MetricsRegistry()
+
+    async def main():
+        service = LocalizationService(
+            ServiceConfig(
+                checkpoint_dir=tmp_path / "tp-ckpts", n_shards=2, inline=True
+            ),
+            metrics=registry,
+        )
+        for i in range(N_SESSIONS):
+            outcome = await service.submit(
+                f"tenant-{i % 2}", f"tp-{i}", _spec(BENCH_SEED + i)
+            )
+            assert isinstance(outcome, Admitted)
+        start = time.perf_counter()
+        results = await asyncio.gather(
+            *(
+                service.run_to_completion(f"tp-{i}")
+                for i in range(N_SESSIONS)
+            )
+        )
+        elapsed = time.perf_counter() - start
+        assert all(r["finished"] for r in results)
+        await service.close()
+        return elapsed
+
+    elapsed = asyncio.run(main())
+    hist = registry.snapshot()["service.step_seconds"]
+    return {
+        "sessions_per_sec": N_SESSIONS / elapsed,
+        "p50_step_seconds": hist["p50"],
+        "p99_step_seconds": hist["p99"],
+        "elapsed_seconds": elapsed,
+    }
+
+
+def _shedding_leg(tmp_path):
+    """2x capacity: typed shedding, admitted sessions still finish."""
+
+    async def main():
+        service = LocalizationService(
+            ServiceConfig(
+                checkpoint_dir=tmp_path / "shed-ckpts",
+                n_shards=2,
+                inline=True,
+                admission=AdmissionConfig(
+                    max_sessions=CAPACITY,
+                    tenant_max_sessions=CAPACITY,
+                    tenant_rate=1e6,
+                    tenant_burst=1e6,
+                ),
+            )
+        )
+        outcomes = await asyncio.wait_for(
+            asyncio.gather(
+                *(
+                    service.submit("t", f"shed-{i}", _spec(BENCH_SEED + i))
+                    for i in range(2 * CAPACITY)
+                )
+            ),
+            timeout=120.0,
+        )
+        admitted = [o for o in outcomes if isinstance(o, Admitted)]
+        rejected = [o for o in outcomes if isinstance(o, Rejected)]
+        for o in admitted:
+            result = await service.run_to_completion(o.session_id)
+            assert result["finished"]
+        await service.close()
+        return admitted, rejected
+
+    admitted, rejected = asyncio.run(main())
+    ok = (
+        len(admitted) == CAPACITY
+        and len(rejected) == CAPACITY
+        and all(r.status in (429, 503) and r.reason for r in rejected)
+    )
+    return {
+        "shed_ok": 1.0 if ok else 0.0,
+        "admitted": len(admitted),
+        "rejected": len(rejected),
+    }
+
+
+def _recovery_leg(tmp_path):
+    """SIGKILL the shard worker mid-run; time the recovery, check parity."""
+
+    async def main():
+        service = LocalizationService(
+            ServiceConfig(
+                checkpoint_dir=tmp_path / "chaos-ckpts",
+                n_shards=1,
+                inline=False,
+                checkpoint_every=1,
+                steps_per_call=1,
+                step_timeout_seconds=120.0,
+            )
+        )
+        outcome = await service.submit(
+            "golden", "a1", {"stream_path": str(GOLDEN_A1)}
+        )
+        assert isinstance(outcome, Admitted)
+        await service.advance("a1", 3)
+        (pid,) = await service.shard_pids()
+        os.kill(pid, signal.SIGKILL)
+        # Recovery time: dead-worker detection + hard-kill discard +
+        # pool rebuild + checkpoint resume + the first successful step.
+        start = time.perf_counter()
+        await asyncio.wait_for(service.advance("a1", 1), timeout=300.0)
+        recovery_seconds = time.perf_counter() - start
+        result = await asyncio.wait_for(
+            service.run_to_completion("a1"), timeout=300.0
+        )
+        resurrections = service.sessions["a1"].resurrections
+        await service.close()
+        return recovery_seconds, result, resurrections
+
+    recovery_seconds, result, resurrections = asyncio.run(main())
+    baseline = open_replay_session(GOLDEN_A1).run()
+    parity = _strip(result["steps"]) == _strip(
+        [step_record_to_dict(s) for s in baseline.steps]
+    )
+    assert resurrections >= 1, "worker kill did not trigger a resurrection"
+    return {
+        "recovery_seconds": recovery_seconds,
+        "resurrect_parity_ok": 1.0 if parity else 0.0,
+        "resurrections": resurrections,
+    }
+
+
+def test_serve_smoke(report, tmp_path):
+    """Throughput + shedding + kill-recovery in one CI-safe pass.
+
+    Only the contract metrics (``shed_ok``, ``resurrect_parity_ok``) and
+    the generously-bounded ``recovery_seconds`` are gated; raw
+    throughput numbers are recorded for trends, never gated.
+    """
+    throughput = _throughput_leg(tmp_path)
+    shedding = _shedding_leg(tmp_path)
+    recovery = _recovery_leg(tmp_path)
+
+    report.add(
+        format_table(
+            ["metric", "value"],
+            [
+                ["sessions/sec", round(throughput["sessions_per_sec"], 2)],
+                [
+                    "p99 step (ms)",
+                    round(throughput["p99_step_seconds"] * 1e3, 1),
+                ],
+                ["shed_ok", shedding["shed_ok"]],
+                ["admitted@2x", shedding["admitted"]],
+                ["rejected@2x", shedding["rejected"]],
+                [
+                    "recovery (s)",
+                    round(recovery["recovery_seconds"], 2),
+                ],
+                ["resurrect_parity_ok", recovery["resurrect_parity_ok"]],
+            ],
+            title=f"serve smoke ({N_SESSIONS} sessions over 2 shards; "
+            f"SIGKILL recovery on golden a1)",
+        )
+    )
+    write_bench_json(
+        "serve",
+        metrics={
+            "sessions_per_sec": throughput["sessions_per_sec"],
+            "p99_step_seconds": throughput["p99_step_seconds"],
+            "shed_ok": shedding["shed_ok"],
+            "recovery_seconds": recovery["recovery_seconds"],
+            "resurrect_parity_ok": recovery["resurrect_parity_ok"],
+        },
+        config={
+            "n_sessions": N_SESSIONS,
+            "capacity": CAPACITY,
+            "stream": GOLDEN_A1.name,
+        },
+        context={"cpu_count": os.cpu_count()},
+        detail={
+            "throughput": throughput,
+            "shedding": shedding,
+            "recovery": recovery,
+        },
+    )
+    assert shedding["shed_ok"] == 1.0
+    assert recovery["resurrect_parity_ok"] == 1.0

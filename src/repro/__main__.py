@@ -15,6 +15,10 @@ Commands
               seed reproduces the recorded run bitwise; ``--seed``,
               ``--faults``/``--no-faults`` and ``--backend`` re-run
               variations over the identical measurement realization.
+``serve``     Drive recorded streams through the multi-tenant serving
+              front-end: admission control, shard worker processes,
+              deadline-aware retries and checkpoint-backed self-healing
+              (see ``docs/SERVING.md``).
 ``report``    The observability readout, four subcommands:
               ``trace`` summarizes a JSONL trace (``report PATH`` is a
               shorthand for ``report trace PATH``); ``trends`` tabulates
@@ -45,6 +49,7 @@ Examples::
     python -m repro replay run.stream.jsonl
     python -m repro replay run.stream.jsonl --faults drop.json --integrity
     python -m repro replay run.stream.jsonl --pace wall --speed 4
+    python -m repro serve a.stream.jsonl b.stream.jsonl --shards 2
     python -m repro report trends --ledger .repro/ledger --stream live
 
 Every command accepts ``--verbose``/``-v`` (repeatable: ``-vv`` for debug)
@@ -676,6 +681,106 @@ def cmd_resume(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+    import tempfile
+    from pathlib import Path
+
+    from repro.serve import (
+        AdmissionConfig,
+        Admitted,
+        LocalizationService,
+        ServiceConfig,
+    )
+
+    streams = [Path(p) for p in args.streams]
+    for path in streams:
+        if not path.exists():
+            print(f"{path}: no such stream file", file=sys.stderr)
+            return 1
+    checkpoint_dir = args.checkpoint_dir or tempfile.mkdtemp(
+        prefix="repro-serve-"
+    )
+    tracer, _ = _open_instrumentation(args)
+    registry = MetricsRegistry()  # the summary always needs service.*
+    ledger = _open_ledger(args)
+    config = ServiceConfig(
+        checkpoint_dir=checkpoint_dir,
+        n_shards=args.shards,
+        inline=args.inline,
+        checkpoint_every=args.checkpoint_every,
+        steps_per_call=args.steps_per_call,
+        step_timeout_seconds=args.step_timeout,
+        admission=AdmissionConfig(max_sessions=args.max_sessions),
+    )
+
+    async def drive():
+        service = LocalizationService(
+            config, tracer=tracer, metrics=registry, ledger=ledger
+        )
+        try:
+            if args.health_port is not None:
+                host, port = await service.serve_health(
+                    port=args.health_port
+                )
+                print(f"health endpoint on {host}:{port}", file=sys.stderr)
+            session_ids = []
+            for i, path in enumerate(streams):
+                session_id = f"{path.stem}-{i}" if len(streams) > 1 else path.stem
+                outcome = await service.submit(
+                    args.tenant, session_id, {"stream_path": str(path)}
+                )
+                if not isinstance(outcome, Admitted):
+                    print(
+                        f"{path}: shed ({outcome.reason}: {outcome.detail})",
+                        file=sys.stderr,
+                    )
+                    continue
+                session_ids.append(session_id)
+            results = await asyncio.gather(
+                *(service.run_to_completion(s) for s in session_ids)
+            )
+            sessions = [
+                {
+                    "session_id": session_id,
+                    "scenario": result["scenario_name"],
+                    "steps": len(result["steps"]),
+                    "resurrections": service.sessions[
+                        session_id
+                    ].resurrections,
+                }
+                for session_id, result in zip(session_ids, results)
+            ]
+            manifest = service.manifest()
+            summary = {
+                "submitted": len(streams),
+                "completed": len(sessions),
+                "shed": len(streams) - len(sessions),
+                "sessions": sessions,
+                "metrics": manifest.metrics,
+            }
+            if args.metrics:
+                summary["metrics_snapshot"] = registry.snapshot()
+            return summary
+        finally:
+            await service.close()
+            if tracer is not None:
+                tracer.close()
+
+    try:
+        summary = asyncio.run(drive())
+    except Exception as exc:  # surfaced typed: StepFailed et al.
+        print(f"serve failed: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(summary, indent=2))
+    if ledger is not None:
+        print(
+            f"\nappended the serve manifest to the ledger at {ledger.root}",
+            file=sys.stderr,
+        )
+    return 0 if summary["shed"] == 0 else 1
+
+
 #: ``report``'s nested subcommands; a bare path is shorthand for ``trace``.
 _REPORT_SUBCOMMANDS = ("trace", "trends", "compare", "gate")
 
@@ -874,6 +979,66 @@ def build_parser() -> argparse.ArgumentParser:
     ledger_flags(replay_parser, flight=False)
     logging_flags(replay_parser)
     replay_parser.set_defaults(func=cmd_replay)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="drive recorded streams through the multi-tenant serving "
+        "front-end (admission, shards, checkpoint-backed self-healing)",
+    )
+    serve_parser.add_argument(
+        "streams", nargs="+", metavar="STREAM",
+        help="one recorded ``repro-stream v1`` file per session to serve",
+    )
+    serve_parser.add_argument(
+        "--shards", type=int, default=2, metavar="N",
+        help="worker-process shard count (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--inline", action="store_true",
+        help="run shards in-process instead of worker processes "
+        "(deterministic, no chaos coverage; the test fast path)",
+    )
+    serve_parser.add_argument(
+        "--tenant", default="cli", metavar="NAME",
+        help="tenant all sessions are submitted under (default: cli)",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="directory for per-session eviction/resurrection snapshots "
+        "(default: a fresh temporary directory)",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="snapshot cadence armed on every hosted session (default: 1)",
+    )
+    serve_parser.add_argument(
+        "--steps-per-call", type=int, default=4, metavar="N",
+        help="steps advanced per shard round-trip (default: 4)",
+    )
+    serve_parser.add_argument(
+        "--step-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="deadline on any single shard call (default: 60)",
+    )
+    serve_parser.add_argument(
+        "--max-sessions", type=int, default=256, metavar="N",
+        help="admission-control service capacity (default: 256)",
+    )
+    serve_parser.add_argument(
+        "--health-port", type=int, default=None, metavar="PORT",
+        help="expose the line-JSON health/ready/metrics endpoint on "
+        "127.0.0.1:PORT while serving (0 = ephemeral port)",
+    )
+    serve_parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a JSONL trace of every service transition",
+    )
+    serve_parser.add_argument(
+        "--metrics", action="store_true",
+        help="include the full service metrics snapshot in the summary",
+    )
+    ledger_flags(serve_parser, flight=False)
+    logging_flags(serve_parser)
+    serve_parser.set_defaults(func=cmd_serve)
 
     resume_parser = sub.add_parser(
         "resume", help="resume a checkpointed run to completion"

@@ -96,15 +96,24 @@ class WorkerPool:
             self.discard()
             return list(self.executor().map(fn, payloads))
 
-    def discard(self) -> None:
+    #: Grace period between SIGTERM and SIGKILL in :meth:`discard`.
+    KILL_DEADLINE_SECONDS = 2.0
+
+    def discard(self, kill_deadline: Optional[float] = None) -> None:
         """Drop the executor without waiting for in-flight work.
 
         Used to recover from hung or killed workers: pending futures are
-        cancelled, worker processes still running a task are terminated
-        outright, and the next call builds a fresh executor.
+        cancelled and worker processes still running a task are escalated
+        through a hard-kill deadline -- ``terminate()`` (SIGTERM), a
+        bounded ``join``, then ``kill()`` (SIGKILL) for anything that
+        ignored the polite signal -- and finally reaped, so a discard can
+        neither hang on a SIGTERM-blocking worker nor leak zombies.  The
+        next call builds a fresh executor.
         """
         if self._executor is None:
             return
+        if kill_deadline is None:
+            kill_deadline = self.KILL_DEADLINE_SECONDS
         executor, self._executor = self._executor, None
         processes = list(getattr(executor, "_processes", {}).values())
         executor.shutdown(wait=False, cancel_futures=True)
@@ -113,7 +122,22 @@ class WorkerPool:
             if process.is_alive():
                 process.terminate()
                 terminated += 1
-        self._emit("pool_discard", build=self.builds, terminated=terminated)
+        killed = 0
+        deadline_each = kill_deadline / max(1, terminated) if terminated else 0.0
+        for process in processes:
+            process.join(timeout=deadline_each)
+            if process.is_alive():
+                process.kill()
+                killed += 1
+        for process in processes:
+            # Post-SIGKILL join cannot block; it reaps the zombie.
+            process.join()
+        self._emit(
+            "pool_discard",
+            build=self.builds,
+            terminated=terminated,
+            killed=killed,
+        )
 
     def close(self) -> None:
         """Shut the executor down cleanly (the pool can be reused)."""

@@ -78,7 +78,13 @@ RETRY_BACKOFF_BASE = 0.1
 RETRY_BACKOFF_MAX = 1.0
 
 
-def retry_backoff_seconds(seed: int, attempt: int = 1) -> float:
+def retry_backoff_seconds(
+    seed: int,
+    attempt: int = 1,
+    base: float = RETRY_BACKOFF_BASE,
+    cap: float = RETRY_BACKOFF_MAX,
+    exponential: bool = False,
+) -> float:
     """Deterministic pause before resubmitting a failed cell.
 
     Cells that failed together usually failed on a *shared* bottleneck
@@ -86,8 +92,14 @@ def retry_backoff_seconds(seed: int, attempt: int = 1) -> float:
     pool at the same instant invites the same collision.  The stagger is
     derived from the cell's seed through :class:`numpy.random.SeedSequence`
     -- no wall-clock randomness, so a re-run of the same sweep backs off
-    by exactly the same amounts -- and spans ``[0.5, 1.5) *
-    RETRY_BACKOFF_BASE * attempt``, capped at :data:`RETRY_BACKOFF_MAX`.
+    by exactly the same amounts -- and spans ``[0.5, 1.5) * base *
+    growth(attempt)``, capped at ``cap``.
+
+    Growth is linear in ``attempt`` by default (the sweep engine's
+    historical behaviour).  ``exponential=True`` doubles per attempt
+    (``base * 2**(attempt-1)``) -- the schedule the serving front-end
+    uses, where repeated failures should back a tenant off sharply
+    rather than gently.
     """
     if attempt < 1:
         raise ValueError(f"attempt must be >= 1, got {attempt}")
@@ -95,7 +107,8 @@ def retry_backoff_seconds(seed: int, attempt: int = 1) -> float:
         np.random.SeedSequence(entropy=(int(seed), int(attempt))).generate_state(1)[0]
         / 2**32
     )
-    return min(RETRY_BACKOFF_MAX, RETRY_BACKOFF_BASE * attempt * (0.5 + unit))
+    growth = base * (2 ** (attempt - 1)) if exponential else base * attempt
+    return min(cap, growth * (0.5 + unit))
 
 
 @dataclass

@@ -1,0 +1,85 @@
+"""Crash-durable file primitives shared by every on-disk writer.
+
+Checkpoints, flight dumps, and recorded streams are exactly the files a
+process is touching *when it dies* -- that is the whole reason they
+exist -- so their write path has to survive the writer being killed at
+any instruction.  Two guarantees matter:
+
+* **no torn reads** -- a reader never sees a half-written file.  The
+  classic temp-file + ``os.replace`` rename gives this on POSIX.
+* **no lost directory entries** -- the rename itself lives in the
+  directory's metadata, which the kernel may hold in cache.  A crash
+  (power loss, container kill) right after the rename can roll the
+  directory back to a state where neither the temp file nor the target
+  exists.  Fsyncing the *file* before the rename and the *containing
+  directory* after it closes that window.
+
+:func:`atomic_write_bytes` composes both, and additionally guarantees
+that a failed write never leaves the temp file behind -- a stale
+``*.tmp`` next to a checkpoint is how a later "resume from newest file"
+heuristic picks up garbage.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from pathlib import Path
+from typing import Union
+
+logger = logging.getLogger(__name__)
+
+
+def fsync_directory(path: Union[str, Path]) -> None:
+    """Flush a directory's metadata (new/renamed entries) to disk.
+
+    Best-effort by design: some filesystems and platforms (e.g. opening
+    a directory on Windows) refuse the operation, and durability of the
+    *entry* is then simply whatever the platform gives -- the data-file
+    guarantees are unaffected.  Failures are logged, never raised.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError as exc:  # pragma: no cover - platform dependent
+        logger.debug("cannot open directory %s for fsync: %s", path, exc)
+        return
+    try:
+        os.fsync(fd)
+    except OSError as exc:  # pragma: no cover - platform dependent
+        logger.debug("cannot fsync directory %s: %s", path, exc)
+    finally:
+        os.close(fd)
+
+
+def fsync_file(handle) -> None:
+    """Flush an open file handle's data to disk (flush + fsync)."""
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def atomic_write_bytes(
+    path: Union[str, Path], payload: bytes, durable: bool = True
+) -> None:
+    """Write ``payload`` to ``path`` atomically and (optionally) durably.
+
+    The payload goes to a sibling temp file first, is fsynced, and is
+    renamed over the target; with ``durable=True`` (the default) the
+    containing directory is fsynced after the rename so a crash
+    immediately afterwards cannot lose the directory entry.  Any failure
+    along the way removes the temp file before re-raising -- the
+    invariant regression-tested by the checkpoint suite is that a
+    ``*.tmp`` never outlives the call that created it.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(payload)
+            if durable:
+                fsync_file(handle)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    if durable:
+        fsync_directory(path.parent)

@@ -29,12 +29,12 @@ from __future__ import annotations
 
 import json
 import logging
-import os
 import traceback as traceback_module
 from collections import deque
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro.ioutil import atomic_write_bytes
 from repro.obs.sinks import Sink, _jsonable
 
 logger = logging.getLogger(__name__)
@@ -107,12 +107,12 @@ class FlightRecorder(Sink):
             "events": list(self.events),
         }
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(
-            json.dumps(document, indent=2, default=_jsonable) + "\n",
-            encoding="utf-8",
+        atomic_write_bytes(
+            path,
+            (json.dumps(document, indent=2, default=_jsonable) + "\n").encode(
+                "utf-8"
+            ),
         )
-        os.replace(tmp, path)
         self.dumps.append(str(reason))
         logger.warning(
             "flight recorder: dumped %d events to %s (reason: %s)",

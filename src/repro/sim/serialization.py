@@ -25,13 +25,13 @@ import hashlib
 import io
 import json
 import math
-import os
 from pathlib import Path
 from typing import Any, Dict, Optional
 
 import numpy as np
 
 from repro.core.config import LocalizerConfig
+from repro.ioutil import atomic_write_bytes
 from repro.core.diagnostics import PopulationHealth
 from repro.core.estimator import SourceEstimate
 from repro.core.fusion import (
@@ -427,10 +427,8 @@ def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
 
 
 def _atomic_write_bytes(path: Path, payload: bytes) -> None:
-    """Write via a temp file + rename so readers never see a torn file."""
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_bytes(payload)
-    os.replace(tmp, path)
+    """Write via temp file + rename + directory fsync (crash-durable)."""
+    atomic_write_bytes(path, payload, durable=True)
 
 
 def save_checkpoint(state: Dict[str, Any], path: str | Path) -> int:

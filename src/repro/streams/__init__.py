@@ -19,6 +19,7 @@ from repro.streams.format import (
     StreamBatch,
     StreamFormatError,
     StreamHeader,
+    StreamTransportError,
     canonical_dumps,
     header_for_scenario,
     load_stream,
@@ -46,6 +47,7 @@ __all__ = [
     "StreamBatch",
     "StreamFormatError",
     "StreamHeader",
+    "StreamTransportError",
     "canonical_dumps",
     "header_for_scenario",
     "load_stream",

@@ -58,6 +58,16 @@ class StreamFormatError(RuntimeError):
     """A stream file/line is missing, malformed, or unsupported."""
 
 
+class StreamTransportError(StreamFormatError):
+    """The transport under a stream failed (dead peer, timeout, reset).
+
+    Subclasses :class:`StreamFormatError` so existing handlers that treat
+    "the stream broke" as one failure class keep working, while callers
+    that care can distinguish a bad *peer* (retryable: reconnect, fail
+    over) from bad *bytes* (not retryable: the stream itself is wrong).
+    """
+
+
 def canonical_dumps(value: Any) -> str:
     """Deterministic single-line JSON (sorted keys, no whitespace).
 

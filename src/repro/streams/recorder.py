@@ -19,6 +19,7 @@ import hashlib
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from repro.ioutil import fsync_directory, fsync_file
 from repro.sensors.measurement import Measurement
 from repro.streams.format import (
     StreamBatch,
@@ -92,9 +93,17 @@ class Recorder:
         return self._steps_written
 
     def close(self) -> str:
-        """Flush, close, and return the file's SHA-256."""
+        """Flush, fsync, close, and return the file's SHA-256.
+
+        The close path is durable: file data is fsynced before the handle
+        closes and the containing directory entry is flushed too, so a
+        crash right after a completed recording cannot lose the stream the
+        session's manifest just pinned by digest.
+        """
         if not self._file.closed:
+            fsync_file(self._file)
             self._file.close()
+            fsync_directory(self.path.parent)
         if self.sha256 is None:
             self.sha256 = self._hasher.hexdigest()
         return self.sha256

@@ -48,6 +48,7 @@ from repro.streams.format import (
     StreamBatch,
     StreamFormatError,
     StreamHeader,
+    StreamTransportError,
     load_stream,
     parse_batch_line,
     parse_header_line,
@@ -300,16 +301,33 @@ class SocketReplaySource(MeasurementSource):
     ingestion path for real sensor feeds.  Socket sources are not
     checkpointable (there is no seekable identity to pin);
     :meth:`export_cursor` raises.
+
+    **Failure contract**: a dead or stalled peer fails *fast and typed*.
+    ``read_timeout`` bounds every blocking read (header and batches), and
+    any transport-level failure -- refused dial, timeout, reset,
+    mid-line disconnect -- surfaces as :class:`StreamTransportError`
+    rather than a hang or a bare ``OSError``, so callers (the serve
+    front-end especially) can shed or fail over on a bounded clock.
     """
 
     kind = "socket-replay"
 
-    def __init__(self, sock: socket.socket, pacer: Optional[WallClockPacer] = None):
+    #: Default bound on any single blocking socket read.
+    DEFAULT_READ_TIMEOUT = 30.0
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        pacer: Optional[WallClockPacer] = None,
+        read_timeout: Optional[float] = DEFAULT_READ_TIMEOUT,
+    ):
         super().__init__()
         self.pacer = pacer
+        self.read_timeout = read_timeout
         self._socket = sock
+        sock.settimeout(read_timeout)
         self._file = sock.makefile("r", encoding="utf-8")
-        line = self._file.readline()
+        line = self._read_line("header")
         if not line.strip():
             raise StreamFormatError("socket stream closed before the header")
         self.header: StreamHeader = parse_header_line(line)
@@ -321,17 +339,42 @@ class SocketReplaySource(MeasurementSource):
         port: int,
         pacer: Optional[WallClockPacer] = None,
         timeout: Optional[float] = 30.0,
+        read_timeout: Optional[float] = DEFAULT_READ_TIMEOUT,
     ) -> "SocketReplaySource":
-        """Dial a stream server and read its header."""
-        sock = socket.create_connection((host, port), timeout=timeout)
-        return cls(sock, pacer=pacer)
+        """Dial a stream server and read its header.
+
+        ``timeout`` bounds the dial; ``read_timeout`` bounds every later
+        read.  A refused/unreachable peer raises
+        :class:`StreamTransportError` instead of a bare ``OSError``.
+        """
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise StreamTransportError(
+                f"cannot connect to stream server {host}:{port}: {exc}"
+            ) from exc
+        return cls(sock, pacer=pacer, read_timeout=read_timeout)
+
+    def _read_line(self, what: str) -> str:
+        """One line from the peer, with timeouts/resets made typed."""
+        try:
+            return self._file.readline()
+        except socket.timeout as exc:
+            raise StreamTransportError(
+                f"socket stream read timed out after {self.read_timeout}s "
+                f"waiting for the {what}; peer is stalled or dead"
+            ) from exc
+        except OSError as exc:
+            raise StreamTransportError(
+                f"socket stream transport failed reading the {what}: {exc}"
+            ) from exc
 
     @property
     def n_time_steps(self) -> Optional[int]:
         return self.header.n_time_steps
 
     def read(self, time_step: int) -> List[Measurement]:
-        line = self._file.readline()
+        line = self._read_line(f"batch for time step {time_step}")
         if not line.strip():
             raise StreamFormatError(
                 f"socket stream {self.header.stream_id!r} closed at time "

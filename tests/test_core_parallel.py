@@ -1,5 +1,8 @@
 """Tests for the process-parallel mean-shift driver."""
 
+import signal
+import time
+
 import numpy as np
 import pytest
 
@@ -157,6 +160,14 @@ def _pid(_):
     return os.getpid()
 
 
+def _ignore_sigterm_and_sleep(seconds):
+    import signal as worker_signal
+    import time as worker_time
+
+    worker_signal.signal(worker_signal.SIGTERM, worker_signal.SIG_IGN)
+    worker_time.sleep(seconds)
+
+
 class TestWorkerPool:
     def test_lazy_build_and_reuse(self):
         with WorkerPool(2) as pool:
@@ -214,3 +225,41 @@ class TestWorkerPool:
         pool = WorkerPool(2)
         pool.discard()
         assert pool.builds == 0
+
+    def test_discard_reaps_workers(self):
+        pool = WorkerPool(2)
+        try:
+            pool.run_batch(_square, [1, 2])
+            processes = list(pool.executor()._processes.values())
+            pool.discard()
+            assert all(not p.is_alive() for p in processes)
+            # exitcode is only set once the child has been reaped.
+            assert all(p.exitcode is not None for p in processes)
+        finally:
+            pool.close()
+
+    def test_discard_hard_kills_sigterm_ignoring_worker(self):
+        """A worker blocking SIGTERM must still die within the deadline."""
+        pool = WorkerPool(1)
+        try:
+            # Park a task that first makes the worker immune to SIGTERM,
+            # then sleeps far longer than any deadline.
+            future = pool.submit(_ignore_sigterm_and_sleep, 120.0)
+            # Wait until the worker has actually installed the handler.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                processes = list(pool.executor()._processes.values())
+                if processes and future.running():
+                    break
+                time.sleep(0.02)
+            time.sleep(0.3)  # give the signal handler swap time to land
+            start = time.monotonic()
+            pool.discard(kill_deadline=0.5)
+            elapsed = time.monotonic() - start
+            assert elapsed < 30.0  # escalated to SIGKILL, did not hang
+            assert all(not p.is_alive() for p in processes)
+            assert any(p.exitcode == -signal.SIGKILL for p in processes)
+            # The pool is still usable afterwards.
+            assert pool.run_batch(_square, [3]) == [9]
+        finally:
+            pool.close()

@@ -1,0 +1,179 @@
+"""Durability tests for :mod:`repro.ioutil` and the writers built on it.
+
+The crash window under test: a checkpoint (or flight dump / recorded
+stream) is being written exactly when the process dies.  The contracts:
+
+* the target file is never torn (temp + rename),
+* the rename is durable (file fsync before, directory fsync after),
+* a failed write NEVER leaves the temp file behind -- a stale ``*.tmp``
+  next to a checkpoint is how a recovery heuristic picks up garbage.
+"""
+
+import os
+
+import pytest
+
+import repro.ioutil as ioutil
+from repro.ioutil import atomic_write_bytes
+from repro.sim.serialization import save_checkpoint
+from repro.sim.session import LocalizerSession
+from tests.test_session_checkpoint import tiny_scenario
+
+
+class TestAtomicWriteBytes:
+    def test_writes_payload_and_cleans_temp(self, tmp_path):
+        target = tmp_path / "doc.json"
+        atomic_write_bytes(target, b"payload")
+        assert target.read_bytes() == b"payload"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_overwrite_is_atomic(self, tmp_path):
+        target = tmp_path / "doc.json"
+        target.write_bytes(b"old")
+        atomic_write_bytes(target, b"new")
+        assert target.read_bytes() == b"new"
+
+    def test_fsync_failure_removes_temp_and_keeps_target(
+        self, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "doc.json"
+        target.write_bytes(b"old")
+
+        def boom(fd):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(ioutil.os, "fsync", boom)
+        with pytest.raises(OSError, match="disk on fire"):
+            atomic_write_bytes(target, b"new")
+        assert target.read_bytes() == b"old"  # old content untouched
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_rename_failure_removes_temp(self, tmp_path, monkeypatch):
+        target = tmp_path / "doc.json"
+
+        def boom(src, dst):
+            raise OSError("rename denied")
+
+        monkeypatch.setattr(ioutil.os, "replace", boom)
+        with pytest.raises(OSError, match="rename denied"):
+            atomic_write_bytes(target, b"payload")
+        assert not target.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_directory_fsynced_after_rename(self, tmp_path, monkeypatch):
+        synced = []
+        original = ioutil.fsync_directory
+        monkeypatch.setattr(
+            ioutil,
+            "fsync_directory",
+            lambda path: (synced.append(str(path)), original(path)),
+        )
+        atomic_write_bytes(tmp_path / "doc.json", b"payload")
+        assert synced == [str(tmp_path)]
+
+    def test_non_durable_mode_skips_fsync(self, tmp_path, monkeypatch):
+        calls = []
+        monkeypatch.setattr(
+            ioutil.os, "fsync", lambda fd: calls.append(fd)
+        )
+        atomic_write_bytes(tmp_path / "doc.json", b"payload", durable=False)
+        assert calls == []
+
+    def test_fsync_directory_is_best_effort(self, tmp_path, monkeypatch):
+        # A filesystem refusing the directory fsync must not raise.
+        def boom(fd):
+            raise OSError("not supported")
+
+        monkeypatch.setattr(ioutil.os, "fsync", boom)
+        ioutil.fsync_directory(tmp_path)
+
+
+class TestCheckpointDurability:
+    """The satellite regression: crash-safe checkpoint documents."""
+
+    def test_save_checkpoint_leaves_no_temp_files(self, tmp_path):
+        session = LocalizerSession(tiny_scenario(), seed=4)
+        session.step()
+        session.save_checkpoint(tmp_path / "ok.ckpt.json")
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_simulated_write_failure_never_leaves_temp(
+        self, tmp_path, monkeypatch
+    ):
+        """Kill the write at every stage; no ``*.tmp`` may survive any."""
+        session = LocalizerSession(tiny_scenario(), seed=4)
+        session.step()
+        state = session.export_state()
+
+        for stage in ("fsync", "replace"):
+            target_dir = tmp_path / stage
+            target_dir.mkdir()
+            with monkeypatch.context() as patch:
+                if stage == "fsync":
+                    patch.setattr(
+                        ioutil.os, "fsync",
+                        lambda fd: (_ for _ in ()).throw(OSError("dead disk")),
+                    )
+                else:
+                    patch.setattr(
+                        ioutil.os, "replace",
+                        lambda s, d: (_ for _ in ()).throw(OSError("dead fs")),
+                    )
+                with pytest.raises(OSError):
+                    save_checkpoint(dict(state), target_dir / "c.ckpt.json")
+            leftovers = [p.name for p in target_dir.glob("*.tmp")]
+            assert leftovers == [], f"stage {stage} leaked {leftovers}"
+
+    def test_checkpoint_directory_fsynced(self, tmp_path, monkeypatch):
+        synced = []
+        original = ioutil.fsync_directory
+        monkeypatch.setattr(
+            ioutil,
+            "fsync_directory",
+            lambda path: (synced.append(str(path)), original(path)),
+        )
+        session = LocalizerSession(tiny_scenario(), seed=4)
+        session.step()
+        session.save_checkpoint(tmp_path / "c.ckpt.json")
+        # Once for the npz sidecar, once for the JSON document.
+        assert synced.count(str(tmp_path)) == 2
+
+
+class TestRecorderDurability:
+    def test_close_fsyncs_file_and_directory(self, tmp_path, monkeypatch):
+        import repro.streams.recorder as recorder_module
+
+        synced_files, synced_dirs = [], []
+        monkeypatch.setattr(
+            recorder_module, "fsync_file",
+            lambda handle: synced_files.append(handle.name),
+        )
+        monkeypatch.setattr(
+            recorder_module, "fsync_directory",
+            lambda path: synced_dirs.append(str(path)),
+        )
+        scenario = tiny_scenario(n_time_steps=2)
+        path = tmp_path / "run.stream.jsonl"
+        session = LocalizerSession(scenario, seed=3, record_path=path)
+        session.run()
+        assert synced_files == [str(path)]
+        assert synced_dirs == [str(tmp_path)]
+
+    def test_flight_dump_uses_durable_write(self, tmp_path):
+        from repro.obs.flight import FlightRecorder
+
+        ring = FlightRecorder(4)
+        ring.write({"type": "step", "step": 0})
+        out = ring.dump(tmp_path / "crash.flight.json", "exception")
+        assert out.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+def test_environment_has_working_fsync(tmp_path):
+    """Sanity: the primitives run for real on this platform."""
+    path = tmp_path / "real.bin"
+    with open(path, "wb") as handle:
+        handle.write(b"x")
+        handle.flush()
+        os.fsync(handle.fileno())
+    ioutil.fsync_directory(tmp_path)

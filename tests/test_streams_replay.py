@@ -6,8 +6,9 @@ estimates **bitwise** -- including across a mid-stream checkpoint/resume
 split, from a moved stream file, and over a socket.
 """
 
-import dataclasses
 import json
+import socket
+import threading
 
 import pytest
 
@@ -18,6 +19,7 @@ from repro.streams import (
     FileReplaySource,
     SocketReplaySource,
     StreamFormatError,
+    StreamTransportError,
     WallClockPacer,
     load_stream,
     open_replay_session,
@@ -214,6 +216,115 @@ class TestReplaySourceBehaviour:
         header = read_header(path)
         full_header, _, _ = load_stream(path)
         assert header == full_header
+
+
+def _one_shot_server(handler):
+    """Serve one connection with ``handler(conn)``; return (host, port)."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    host, port = listener.getsockname()
+
+    def run():
+        conn, _ = listener.accept()
+        try:
+            handler(conn)
+        finally:
+            conn.close()
+            listener.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return host, port, thread
+
+
+class TestSocketTransportHardening:
+    """A dead or stalled peer must fail fast with a typed error."""
+
+    def test_transport_error_is_a_stream_format_error(self):
+        assert issubclass(StreamTransportError, StreamFormatError)
+
+    def test_refused_connection_raises_typed_error(self):
+        # Bind-then-close guarantees the port exists but nothing listens.
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        _, dead_port = probe.getsockname()
+        probe.close()
+        with pytest.raises(StreamTransportError, match="cannot connect"):
+            SocketReplaySource.connect("127.0.0.1", dead_port, timeout=1.0)
+
+    def test_stalled_peer_header_times_out(self, tmp_path):
+        stop = threading.Event()
+
+        def never_speaks(conn):
+            stop.wait(timeout=10.0)
+
+        host, port, _ = _one_shot_server(never_speaks)
+        try:
+            with pytest.raises(StreamTransportError, match="timed out"):
+                SocketReplaySource.connect(host, port, read_timeout=0.2)
+        finally:
+            stop.set()
+
+    def test_stalled_peer_batch_times_out(self, tmp_path):
+        path, _ = record_run(tmp_path)
+        header_line = path.read_text().splitlines()[0]
+        stop = threading.Event()
+
+        def header_then_silence(conn):
+            conn.sendall((header_line + "\n").encode("utf-8"))
+            stop.wait(timeout=10.0)
+
+        host, port, _ = _one_shot_server(header_then_silence)
+        try:
+            source = SocketReplaySource.connect(host, port, read_timeout=0.2)
+            with pytest.raises(StreamTransportError, match="timed out"):
+                source.read(0)
+            source.close()
+        finally:
+            stop.set()
+
+    def test_reset_peer_raises_typed_error(self, tmp_path):
+        path, _ = record_run(tmp_path)
+        header_line = path.read_text().splitlines()[0]
+
+        def header_then_reset(conn):
+            conn.sendall((header_line + "\n").encode("utf-8"))
+            # SO_LINGER with zero timeout turns close() into a TCP RST.
+            conn.setsockopt(
+                socket.SOL_SOCKET,
+                socket.SO_LINGER,
+                b"\x01\x00\x00\x00\x00\x00\x00\x00",
+            )
+
+        host, port, thread = _one_shot_server(header_then_reset)
+        source = SocketReplaySource.connect(host, port, read_timeout=2.0)
+        thread.join(timeout=5.0)
+        with pytest.raises((StreamTransportError, StreamFormatError)):
+            source.read(0)
+        source.close()
+
+    def test_clean_eof_is_format_error_not_transport(self, tmp_path):
+        path, _ = record_run(tmp_path)
+        header_line = path.read_text().splitlines()[0]
+
+        def header_then_close(conn):
+            conn.sendall((header_line + "\n").encode("utf-8"))
+
+        host, port, thread = _one_shot_server(header_then_close)
+        source = SocketReplaySource.connect(host, port, read_timeout=2.0)
+        thread.join(timeout=5.0)
+        with pytest.raises(StreamFormatError, match="closed at time"):
+            source.read(0)
+        source.close()
+
+    def test_healthy_socket_replay_still_bitwise(self, tmp_path):
+        path, live = record_run(tmp_path)
+        host, port, thread = serve_stream(path)
+        source = SocketReplaySource.connect(host, port, read_timeout=5.0)
+        replay = LocalizerSession(tiny_scenario(), seed=11, source=source).run()
+        thread.join(timeout=5)
+        assert comparable(replay) == comparable(live)
 
 
 class TestStreamSweepCells:
